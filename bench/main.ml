@@ -1,0 +1,302 @@
+(** The benchmark and reproduction harness.
+
+    Running [dune exec bench/main.exe] does three things, in order:
+
+    1. regenerates every table and figure of the paper's evaluation from
+       the synthetic corpus (paper numbers beside measured numbers);
+    2. runs the static-vs-dynamic comparison behind the paper's
+       motivation (Section 2) and the ablations DESIGN.md calls out;
+    3. times the pipeline with Bechamel — one [Test.make] per table
+       regeneration, plus per-checker, front-end, and simulator
+       micro-benchmarks.
+
+    Pass [tables] / [sim] / [ablations] / [bench] to run one part, or
+    [tableN] for a single table. *)
+
+let corpus = lazy (Corpus.generate ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: tables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let print_table n =
+  let c = Lazy.force corpus in
+  let table =
+    match n with
+    | 1 -> Experiments.table1 c
+    | 2 -> Experiments.table2 c
+    | 3 -> Experiments.table3 c
+    | 4 -> Experiments.table4 c
+    | 5 -> Experiments.table5 c
+    | 6 -> Experiments.table6 c
+    | 7 -> Experiments.table7 c
+    | _ -> invalid_arg "table number"
+  in
+  Table.print table;
+  print_newline ()
+
+let print_all_tables () =
+  print_endline
+    "================ paper tables (cells are paper/measured) \
+     ================";
+  print_newline ();
+  let c = Lazy.force corpus in
+  List.iter
+    (fun t ->
+      Table.print t;
+      print_newline ())
+    (Experiments.all c)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: the Section 2 motivation and the ablations                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_sim_comparison () =
+  print_endline
+    "================ static checking vs FlashLite-style simulation \
+     ================";
+  print_newline ();
+  let tus = Golden.program Golden.Buggy in
+  print_endline "metal checkers on the buggy golden protocol:";
+  List.iter
+    (fun (c : Registry.checker) ->
+      List.iter
+        (fun d -> Format.printf "  %a@." Diag.pp d)
+        (c.Registry.run ~spec:Golden.spec tus))
+    Registry.all;
+  print_newline ();
+  List.iter
+    (fun (variant, label) ->
+      Printf.printf "simulation, %s protocol (4000 transactions):\n" label;
+      let r =
+        Sim.run
+          { Sim.default_config with Sim.transactions = 4000; variant }
+      in
+      Format.printf "%a@.@." Sim.pp_result r)
+    [ (Golden.Clean, "clean"); (Golden.Buggy, "buggy") ]
+
+let print_ablations () =
+  print_endline "================ ablations ================";
+  print_newline ();
+  let c = Lazy.force corpus in
+  (* (a) the lanes checker's fixed-point rule *)
+  let count_lanes fixed_point =
+    List.fold_left
+      (fun acc (p : Corpus.protocol) ->
+        acc
+        + List.length
+            (Lane_checker.run ~fixed_point ~spec:p.Corpus.spec p.Corpus.tus))
+      0 c.Corpus.protocols
+  in
+  Printf.printf
+    "lanes checker reports, whole corpus:\n\
+    \  with the fixed-point rule (paper):    %d\n\
+    \  without it (every loop+send flagged): %d\n\n"
+    (count_lanes true) (count_lanes false);
+  (* (b) the directory checker's NAK pruning *)
+  let count_dir nak_pruning =
+    List.fold_left
+      (fun acc (p : Corpus.protocol) ->
+        acc
+        + List.length
+            (Dir_entry.run ~nak_pruning ~spec:p.Corpus.spec p.Corpus.tus))
+      0 c.Corpus.protocols
+  in
+  Printf.printf
+    "directory checker reports, whole corpus:\n\
+    \  with speculative-NAK pruning (paper): %d\n\
+    \  without it:                           %d\n\n"
+    (count_dir true) (count_dir false)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2b: rarity sensitivity                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The quantitative heart of the motivation: the rarer the corner
+   condition, the longer dynamic testing needs to stumble on the bug
+   (and below some rate it simply never does in the budget), while the
+   static checkers are oblivious to rarity. *)
+let print_sensitivity () =
+  print_endline
+    "================ rarity vs time-to-detection (buggy protocol)      ================";
+  print_newline ();
+  let budget = 8000 in
+  let seeds = [ 11; 23; 37; 51; 73 ] in
+  Printf.printf
+    "corner-path probability swept; %d-transaction budget; cells are the\n\
+     mean transaction of first manifestation over %d workload seeds\n\
+     (n/m = only n of m seeds ever hit it)\n\n"
+    budget (List.length seeds);
+  Printf.printf "  %-8s %-12s %-12s %-14s\n" "corner%" "double free"
+    "fill race" "len mismatch";
+  List.iter
+    (fun pct ->
+      let runs =
+        List.map
+          (fun seed ->
+            Sim.run
+              {
+                Sim.default_config with
+                Sim.transactions = budget;
+                variant = Golden.Buggy;
+                seed;
+                corner_flag_pct = pct;
+                fill_delay_pct = pct;
+                queue_pressure_pct = pct;
+              })
+          seeds
+      in
+      let cell cls =
+        let hits =
+          List.filter_map
+            (fun (r : Sim.result) ->
+              List.assoc_opt cls r.Sim.first_detection)
+            runs
+        in
+        match hits with
+        | [] -> "-"
+        | _ when List.length hits < List.length seeds ->
+          Printf.sprintf "%d/%d" (List.length hits) (List.length seeds)
+        | _ ->
+          string_of_int (List.fold_left ( + ) 0 hits / List.length hits)
+      in
+      Printf.printf "  %-8d %-12s %-12s %-14s\n" pct (cell "double free")
+        (cell "fill race") (cell "length mismatch"))
+    [ 20; 10; 5; 2; 1 ];
+  print_newline ();
+  print_endline
+    "  (the static checkers flag all three sites in one pass regardless)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel timings                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bitvector () = Option.get (Corpus.find (Lazy.force corpus) "bitvector")
+
+let bench_tests () =
+  let open Bechamel in
+  let c = Lazy.force corpus in
+  let bv = bitvector () in
+  let bv_sources = List.map snd bv.Corpus.files in
+  let table_tests =
+    List.map
+      (fun (name, f) -> Test.make ~name (Staged.stage (fun () -> ignore (f c))))
+      [
+        ("table1 (size metrics)", Experiments.table1);
+        ("table2 (buffer race)", Experiments.table2);
+        ("table3 (msg length)", Experiments.table3);
+        ("table4 (buffer mgmt)", Experiments.table4);
+        ("table5 (exec restrict)", Experiments.table5);
+        ("table6 (three checks)", Experiments.table6);
+        ("table7 (summary)", Experiments.table7);
+      ]
+  in
+  let checker_tests =
+    List.map
+      (fun (ck : Registry.checker) ->
+        Test.make
+          ~name:("checker " ^ ck.Registry.name ^ " on bitvector")
+          (Staged.stage (fun () ->
+               ignore (ck.Registry.run ~spec:bv.Corpus.spec bv.Corpus.tus))))
+      Registry.all
+  in
+  let infra_tests =
+    [
+      Test.make ~name:"parse bitvector sources"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun src ->
+                 ignore (Parser.parse_string ~file:"bench.c" src))
+               bv_sources));
+      Test.make ~name:"cfg+paths for bitvector"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun tu ->
+                 List.iter
+                   (fun f -> ignore (Paths.analyze (Cfg.build f)))
+                   (Ast.functions tu))
+               bv.Corpus.tus));
+      Test.make ~name:"corpus generation (all six protocols)"
+        (Staged.stage (fun () -> ignore (Corpus.generate ())));
+      Test.make ~name:"simulator, 200 transactions (clean)"
+        (Staged.stage (fun () ->
+             ignore
+               (Sim.run
+                  { Sim.default_config with Sim.transactions = 200 })));
+      Test.make ~name:"metal DSL compile (Figure 2)"
+        (Staged.stage (fun () ->
+             ignore
+               (Mdsl.load
+                  "sm w { decl { scalar } a, b; start: { \
+                   WAIT_FOR_DB_FULL(a); } ==> stop | { MISCBUS_READ_DB(a, \
+                   b); } ==> { err(\"x\"); } ; }")));
+      Test.make ~name:"auto-fix bitvector (hooks+races+leaks)"
+        (Staged.stage (fun () ->
+             ignore (Fixer.fix_all ~spec:bv.Corpus.spec bv.Corpus.tus)));
+      Test.make ~name:"optimizer over bitvector"
+        (Staged.stage (fun () -> ignore (Optimizer.optimize bv.Corpus.tus)));
+    ]
+  in
+  Test.make_grouped ~name:"metal-flash"
+    (table_tests @ checker_tests @ infra_tests)
+
+let run_bench () =
+  print_endline "================ Bechamel timings ================";
+  print_newline ();
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (bench_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let value, unit_ =
+        if ns > 1e9 then (ns /. 1e9, "s")
+        else if ns > 1e6 then (ns /. 1e6, "ms")
+        else if ns > 1e3 then (ns /. 1e3, "us")
+        else (ns, "ns")
+      in
+      Printf.printf "  %-45s %10.2f %s/run\n" name value unit_)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    print_all_tables ();
+    print_sim_comparison ();
+    print_sensitivity ();
+    print_ablations ();
+    run_bench ()
+  | [ "tables" ] -> print_all_tables ()
+  | [ "sim" ] -> print_sim_comparison ()
+  | [ "sensitivity" ] -> print_sensitivity ()
+  | [ "ablations" ] -> print_ablations ()
+  | [ "bench" ] -> run_bench ()
+  | [ arg ]
+    when String.length arg = 6 && String.sub arg 0 5 = "table"
+         && arg.[5] >= '1' && arg.[5] <= '7' ->
+    print_table (Char.code arg.[5] - Char.code '0')
+  | _ ->
+    prerr_endline
+      "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
+       ablations | bench]";
+    exit 2

@@ -1,0 +1,40 @@
+(** flashgen — write the synthetic FLASH protocol corpus to disk.
+
+    The emitted .c files are what [mcheck] checks; writing them out lets
+    you read the protocols, diff seeds, or feed them to other tools. *)
+
+open Cmdliner
+
+let main out_dir seed summary =
+  let corpus = Corpus.generate ~seed () in
+  Corpus.write_to_dir corpus out_dir;
+  Printf.printf "wrote corpus (seed %#x) to %s/\n" seed out_dir;
+  if summary then
+    List.iter
+      (fun (p : Corpus.protocol) ->
+        Printf.printf
+          "  %-10s %6d LOC  %3d handlers  %d seeded fault site(s)\n"
+          p.Corpus.name p.Corpus.loc
+          (List.length p.Corpus.spec.Flash_api.p_handlers)
+          (List.length p.Corpus.manifest))
+      corpus.Corpus.protocols
+
+let out_arg =
+  Arg.(
+    value & opt string "corpus"
+    & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0xF1A54
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Generation seed.")
+
+let summary_arg =
+  Arg.(value & flag & info [ "summary" ] ~doc:"Print per-protocol sizes.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "flashgen" ~doc:"generate the synthetic FLASH protocol corpus")
+    Term.(const main $ out_arg $ seed_arg $ summary_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,66 @@
+(** flashsim — run the FlashLite-substitute protocol simulator.
+
+    Runs coherence traffic through the golden bitvector protocol (clean or
+    buggy variant) and reports runtime faults and data corruptions. *)
+
+open Cmdliner
+
+let main transactions nodes lines seed buggy dir_name =
+  let directory =
+    match Directory.of_protocol dir_name with
+    | Some d -> d
+    | None ->
+      Printf.eprintf
+        "unknown directory %S (try bitvector, coarsevector, dyn_ptr, sci, \
+         coma, rac)\n"
+        dir_name;
+      exit 2
+  in
+  let cfg =
+    {
+      Sim.default_config with
+      Sim.transactions;
+      n_nodes = nodes;
+      n_lines = lines;
+      seed;
+      variant = (if buggy then Golden.Buggy else Golden.Clean);
+      directory;
+    }
+  in
+  let result = Sim.run cfg in
+  Format.printf "%a@." Sim.pp_result result
+
+let transactions_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "n"; "transactions" ] ~docv:"N" ~doc:"Transactions to run.")
+
+let nodes_arg =
+  Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"K" ~doc:"Node count.")
+
+let lines_arg =
+  Arg.(value & opt int 8 & info [ "lines" ] ~docv:"K" ~doc:"Cache lines.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let dir_arg =
+  Arg.(
+    value & opt string "bitvector"
+    & info [ "dir" ] ~docv:"NAME"
+        ~doc:"Directory organisation: bitvector, coarsevector, dyn_ptr, \
+              sci, coma or rac.")
+
+let buggy_arg =
+  Arg.(
+    value & flag
+    & info [ "buggy" ] ~doc:"Run the variant with the seeded protocol bugs.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "flashsim" ~doc:"FlashLite-substitute protocol simulator")
+    Term.(
+      const main $ transactions_arg $ nodes_arg $ lines_arg $ seed_arg
+      $ buggy_arg $ dir_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,290 @@
+(** mcheck — run the metal checkers over FLASH-style protocol code.
+
+    Usage:
+    - [mcheck] — run every checker on the builtin synthetic corpus and
+      print per-protocol results;
+    - [mcheck --table N] — regenerate a table from the paper (1–7);
+    - [mcheck --checker NAME FILE.c ...] — run one checker on source
+      files;
+    - [mcheck --metal FILE.metal FILE.c ...] — compile a checker written
+      in the paper's metal syntax and run it (metal/ has Figures 2 and 3
+      verbatim);
+    - [mcheck --fix -o DIR FILE.c ...] — apply the automatic repairs
+      (hooks, races, leaks) and write the patched sources;
+    - [mcheck --list] — list the available checkers. *)
+
+open Cmdliner
+
+let list_checkers () =
+  List.iter
+    (fun (c : Registry.checker) ->
+      Printf.printf "%-14s %s\n" c.Registry.name c.Registry.description)
+    Registry.all
+
+let load_metal paths : (string * string Sm.t) list =
+  List.map
+    (fun path ->
+      match Mdsl.load_file path with
+      | sm -> (path, sm)
+      | exception Mdsl.Parse_error msg ->
+        Printf.eprintf "%s: metal parse error: %s\n" path msg;
+        exit 2)
+    paths
+
+let run_metal_on metal_paths (tus : Ast.tunit list) verbose =
+  let total = ref 0 in
+  List.iter
+    (fun (_, sm) ->
+      let diags = List.concat_map (fun tu -> Engine.run_unit sm tu) tus in
+      total := !total + List.length diags;
+      List.iter
+        (fun d ->
+          if verbose then Format.printf "%a@." Diag.pp_with_trace d
+          else Format.printf "%a@." Diag.pp d)
+        diags)
+    (load_metal metal_paths);
+  !total
+
+let run_on_files checker_names files verbose =
+  let units =
+    List.map
+      (fun path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        (path, Prelude.text ^ src))
+      files
+  in
+  let tus = Frontend.of_strings units in
+  let spec =
+    (* without a protocol spec, treat every void/no-arg function as a
+       hardware handler, which is what xg++'s default tables did *)
+    {
+      Flash_api.p_name = "<cli>";
+      p_handlers =
+        List.concat_map
+          (fun tu ->
+            List.filter_map
+              (fun (f : Ast.func) ->
+                if Ctype.equal f.Ast.f_ret Ctype.Void && f.Ast.f_params = []
+                then
+                  Some
+                    {
+                      Flash_api.h_name = f.Ast.f_name;
+                      h_kind = Flash_api.Hw_handler;
+                      h_lane_allowance = [| 1; 1; 1; 1 |];
+                      h_no_stack = false;
+                    }
+                else None)
+              (Ast.functions tu))
+          tus;
+      p_free_funcs = [];
+      p_use_funcs = [];
+      p_cond_free_funcs = [];
+    }
+  in
+  let checkers =
+    match checker_names with
+    | [] -> Registry.all
+    | names -> List.filter_map Registry.find names
+  in
+  let total = ref 0 in
+  List.iter
+    (fun (c : Registry.checker) ->
+      let diags = c.Registry.run ~spec tus in
+      total := !total + List.length diags;
+      List.iter
+        (fun d ->
+          if verbose then
+            Format.printf "%a@." Diag.pp_with_trace d
+          else Format.printf "%a@." Diag.pp d)
+        diags)
+    checkers;
+  if !total = 0 then print_endline "no violations found";
+  if !total > 0 then exit 1
+
+let run_corpus checker_names seed verbose =
+  let corpus = Corpus.generate ~seed () in
+  let checkers =
+    match checker_names with
+    | [] -> Registry.all
+    | names -> List.filter_map Registry.find names
+  in
+  List.iter
+    (fun (p : Corpus.protocol) ->
+      Printf.printf "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
+      List.iter
+        (fun (c : Registry.checker) ->
+          let diags = c.Registry.run ~spec:p.Corpus.spec p.Corpus.tus in
+          Printf.printf "-- %s: %d report(s)\n" c.Registry.name
+            (List.length diags);
+          if verbose then
+            List.iter (fun d -> Format.printf "   %a@." Diag.pp d) diags)
+        checkers)
+    corpus.Corpus.protocols
+
+let run_table n seed =
+  let corpus = Corpus.generate ~seed () in
+  let table =
+    match n with
+    | 1 -> Some (Experiments.table1 corpus)
+    | 2 -> Some (Experiments.table2 corpus)
+    | 3 -> Some (Experiments.table3 corpus)
+    | 4 -> Some (Experiments.table4 corpus)
+    | 5 -> Some (Experiments.table5 corpus)
+    | 6 -> Some (Experiments.table6 corpus)
+    | 7 -> Some (Experiments.table7 corpus)
+    | _ -> None
+  in
+  match table with
+  | Some t -> Table.print t
+  | None ->
+    if n = 0 then
+      List.iter
+        (fun t ->
+          Table.print t;
+          print_newline ())
+        (Experiments.all corpus)
+    else prerr_endline "tables are numbered 1-7 (0 = all)"
+
+let parse_files files =
+  let units =
+    List.map
+      (fun path ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        (path, Prelude.text ^ src))
+      files
+  in
+  Frontend.of_strings units
+
+let run_metal metal_paths files verbose seed =
+  let total =
+    match files with
+    | [] ->
+      (* no files: run over the builtin corpus *)
+      let corpus = Corpus.generate ~seed () in
+      List.fold_left
+        (fun acc (p : Corpus.protocol) ->
+          Printf.printf "=== %s ===\n" p.Corpus.name;
+          acc + run_metal_on metal_paths p.Corpus.tus verbose)
+        0 corpus.Corpus.protocols
+    | files -> run_metal_on metal_paths (parse_files files) verbose
+  in
+  if total = 0 then print_endline "no violations found"
+
+let run_fix files out_dir =
+  if files = [] then begin
+    prerr_endline "--fix needs source files";
+    exit 2
+  end;
+  let tus = parse_files files in
+  (* the CLI's default spec: void/no-arg functions are handlers *)
+  let spec =
+    {
+      Flash_api.p_name = "<cli>";
+      p_handlers =
+        List.concat_map
+          (fun tu ->
+            List.filter_map
+              (fun (f : Ast.func) ->
+                if Ctype.equal f.Ast.f_ret Ctype.Void && f.Ast.f_params = []
+                then
+                  Some
+                    {
+                      Flash_api.h_name = f.Ast.f_name;
+                      h_kind = Flash_api.Hw_handler;
+                      h_lane_allowance = [| 1; 1; 1; 1 |];
+                      h_no_stack = false;
+                    }
+                else None)
+              (Ast.functions tu))
+          tus;
+      p_free_funcs = [];
+      p_use_funcs = [];
+      p_cond_free_funcs = [];
+    }
+  in
+  let fixed = Fixer.fix_all ~spec tus in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  List.iter
+    (fun tu ->
+      let path = Filename.concat out_dir (Filename.basename tu.Ast.tu_file) in
+      let oc = open_out path in
+      output_string oc (Pp.tunit_to_string tu);
+      close_out oc;
+      Printf.printf "patched %s\n" path)
+    fixed
+
+let main checker_names files table list_flag seed verbose metal_paths fix
+    out_dir =
+  if list_flag then list_checkers ()
+  else if fix then run_fix files out_dir
+  else
+    match (table, metal_paths, files) with
+    | Some n, _, _ -> run_table n seed
+    | None, (_ :: _ as metal), files -> run_metal metal files verbose seed
+    | None, [], [] -> run_corpus checker_names seed verbose
+    | None, [], files -> run_on_files checker_names files verbose
+
+let checker_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "c"; "checker" ] ~docv:"NAME"
+        ~doc:"Run only the named checker (repeatable). See --list.")
+
+let files_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files.")
+
+let table_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "t"; "table" ] ~docv:"N"
+        ~doc:"Regenerate paper table $(docv) (1-7; 0 for all).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available checkers.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0xF1A54
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Corpus generation seed.")
+
+let metal_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "m"; "metal" ] ~docv:"FILE"
+        ~doc:"Compile and run a checker written in metal syntax \
+              (repeatable).")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Print every diagnostic (with paths).")
+
+let fix_arg =
+  Arg.(
+    value & flag
+    & info [ "fix" ]
+        ~doc:"Apply the automatic repairs (hooks, races, leaks) and write \
+              the patched sources to the output directory.")
+
+let out_arg =
+  Arg.(
+    value & opt string "fixed"
+    & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory for --fix.")
+
+let cmd =
+  let doc =
+    "metal checkers for FLASH protocol code (ASPLOS 2000 reproduction)"
+  in
+  Cmd.v
+    (Cmd.info "mcheck" ~doc)
+    Term.(
+      const main $ checker_arg $ files_arg $ table_arg $ list_arg $ seed_arg
+      $ verbose_arg $ metal_arg $ fix_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,115 @@
+(** Whole-program call graph over a set of translation units.
+
+    This is the linking half of the paper's inter-procedural framework: the
+    local pass (the metal engine) annotates functions, then a global pass
+    links per-function flow graphs by call edges and traverses them.  Calls
+    through function pointers are not resolved (the paper's lanes checker is
+    conservative and sound only "for straight-line code without function
+    pointers"). *)
+
+
+
+type call_site = { cs_callee : string; cs_loc : Loc.t }
+
+type t = {
+  funcs : (string, Ast.func) Hashtbl.t;
+  calls : (string, call_site list) Hashtbl.t;  (** caller -> sites *)
+  callers : (string, string list) Hashtbl.t;  (** callee -> callers *)
+}
+
+(* Call sites of [f], in syntactic order. *)
+let call_sites_of_func (f : Ast.func) : call_site list =
+  let sites = ref [] in
+  let visit_expr e =
+    Ast.iter_expr
+      (fun e ->
+        match e.Ast.edesc with
+        | Ast.Call ({ edesc = Ast.Ident name; _ }, _) ->
+          sites := { cs_callee = name; cs_loc = e.Ast.eloc } :: !sites
+        | _ -> ())
+      e
+  in
+  List.iter (fun s -> Ast.iter_stmt_exprs visit_expr s) f.Ast.f_body;
+  List.rev !sites
+
+let build (tus : Ast.tunit list) : t =
+  let t =
+    {
+      funcs = Hashtbl.create 128;
+      calls = Hashtbl.create 128;
+      callers = Hashtbl.create 128;
+    }
+  in
+  List.iter
+    (fun tu ->
+      List.iter
+        (function
+          | Ast.Gfunc f ->
+            Hashtbl.replace t.funcs f.Ast.f_name f;
+            let sites = call_sites_of_func f in
+            Hashtbl.replace t.calls f.Ast.f_name sites;
+            List.iter
+              (fun site ->
+                let existing =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt t.callers site.cs_callee)
+                in
+                if not (List.mem f.Ast.f_name existing) then
+                  Hashtbl.replace t.callers site.cs_callee
+                    (f.Ast.f_name :: existing))
+              sites
+          | _ -> ())
+        tu.Ast.tu_globals)
+    tus;
+  t
+
+let find_func t name = Hashtbl.find_opt t.funcs name
+
+let callees t name : call_site list =
+  Option.value ~default:[] (Hashtbl.find_opt t.calls name)
+
+let callers t name : string list =
+  Option.value ~default:[] (Hashtbl.find_opt t.callers name)
+
+let functions t : Ast.func list =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.funcs []
+  |> List.sort (fun a b -> String.compare a.Ast.f_name b.Ast.f_name)
+
+(** All functions transitively reachable from [roots] (including roots that
+    exist in the program). *)
+let reachable_from t (roots : string list) : string list =
+  let seen = Hashtbl.create 64 in
+  let rec go name =
+    if (not (Hashtbl.mem seen name)) && Hashtbl.mem t.funcs name then begin
+      Hashtbl.replace seen name ();
+      List.iter (fun site -> go site.cs_callee) (callees t name)
+    end
+  in
+  List.iter go roots;
+  Hashtbl.fold (fun name () acc -> name :: acc) seen []
+  |> List.sort String.compare
+
+(** Strongly-recursive functions: names that can reach themselves. *)
+let recursive_functions t : string list =
+  let names = List.map (fun f -> f.Ast.f_name) (functions t) in
+  List.filter
+    (fun name ->
+      let seen = Hashtbl.create 16 in
+      let found = ref false in
+      let rec go n =
+        if not !found then
+          List.iter
+            (fun site ->
+              if String.equal site.cs_callee name then found := true
+              else if
+                (not (Hashtbl.mem seen site.cs_callee))
+                && Hashtbl.mem t.funcs site.cs_callee
+              then begin
+                Hashtbl.replace seen site.cs_callee ();
+                go site.cs_callee
+              end)
+            (callees t n)
+      in
+      go name;
+      !found)
+    names

@@ -1,0 +1,37 @@
+(** Protocol-size metrics: the paper's Table 1.
+
+    For a protocol (a set of translation units plus their source text), we
+    report lines of code, the number of unique exit paths across all
+    functions, and the average/maximum path length. *)
+
+
+
+type protocol_metrics = {
+  name : string;
+  loc : int;
+  n_paths : int;
+  avg_path_length : int;  (** rounded, as in the paper *)
+  max_path_length : int;
+}
+
+(** Measure one protocol.  [sources] are the raw source strings (for LOC);
+    [tus] the parsed units (for path statistics). *)
+let measure ~name ~(sources : string list) ~(tus : Ast.tunit list) :
+    protocol_metrics =
+  let loc =
+    List.fold_left (fun acc src -> acc + Frontend.loc_count src) 0 sources
+  in
+  let stats =
+    List.concat_map
+      (fun tu ->
+        List.map (fun f -> Paths.analyze (Cfg.build f)) (Ast.functions tu))
+      tus
+  in
+  let agg = Paths.aggregate stats in
+  {
+    name;
+    loc;
+    n_paths = agg.Paths.paths;
+    avg_path_length = int_of_float (Float.round agg.Paths.avg_length);
+    max_path_length = agg.Paths.max_path_length;
+  }

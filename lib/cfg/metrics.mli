@@ -1,0 +1,15 @@
+(** Protocol-size metrics: the paper's Table 1. *)
+
+type protocol_metrics = {
+  name : string;
+  loc : int;
+  n_paths : int;
+  avg_path_length : int;  (** rounded, as in the paper *)
+  max_path_length : int;
+}
+
+val measure :
+  name:string ->
+  sources:string list ->
+  tus:Ast.tunit list ->
+  protocol_metrics

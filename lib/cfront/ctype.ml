@@ -1,0 +1,128 @@
+(** C types for the Clite subset.
+
+    The type language covers what FLASH-style protocol code needs: the
+    integer and floating families, pointers, fixed-size arrays, named
+    struct/union/enum types, and function types.  Typedef names are kept as
+    [Named] references until {!Typecheck} resolves them against the
+    translation unit's typedef table. *)
+
+type t =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Uchar
+  | Ushort
+  | Uint
+  | Ulong
+  | Float
+  | Double
+  | Ptr of t
+  | Array of t * int option  (** element type, optional static length *)
+  | Struct of string
+  | Union of string
+  | Enum of string
+  | Func of t * t list  (** return type, parameter types *)
+  | Named of string  (** unresolved typedef reference *)
+
+let rec pp ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | Char -> Format.pp_print_string ppf "char"
+  | Short -> Format.pp_print_string ppf "short"
+  | Int -> Format.pp_print_string ppf "int"
+  | Long -> Format.pp_print_string ppf "long"
+  | Uchar -> Format.pp_print_string ppf "unsigned char"
+  | Ushort -> Format.pp_print_string ppf "unsigned short"
+  | Uint -> Format.pp_print_string ppf "unsigned"
+  | Ulong -> Format.pp_print_string ppf "unsigned long"
+  | Float -> Format.pp_print_string ppf "float"
+  | Double -> Format.pp_print_string ppf "double"
+  | Ptr t -> Format.fprintf ppf "%a *" pp t
+  | Array (t, None) -> Format.fprintf ppf "%a []" pp t
+  | Array (t, Some n) -> Format.fprintf ppf "%a [%d]" pp t n
+  | Struct s -> Format.fprintf ppf "struct %s" s
+  | Union s -> Format.fprintf ppf "union %s" s
+  | Enum s -> Format.fprintf ppf "enum %s" s
+  | Func (r, args) ->
+    Format.fprintf ppf "%a (*)(%a)" pp r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp)
+      args
+  | Named s -> Format.pp_print_string ppf s
+
+let to_string t = Format.asprintf "%a" pp t
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void
+  | Char, Char
+  | Short, Short
+  | Int, Int
+  | Long, Long
+  | Uchar, Uchar
+  | Ushort, Ushort
+  | Uint, Uint
+  | Ulong, Ulong
+  | Float, Float
+  | Double, Double ->
+    true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, la), Array (b, lb) -> equal a b && la = lb
+  | Struct a, Struct b | Union a, Union b | Enum a, Enum b | Named a, Named b
+    ->
+    String.equal a b
+  | Func (ra, aa), Func (rb, ab) ->
+    equal ra rb
+    && List.length aa = List.length ab
+    && List.for_all2 equal aa ab
+  | _ -> false
+
+let is_floating = function Float | Double -> true | _ -> false
+
+let is_integer = function
+  | Char | Short | Int | Long | Uchar | Ushort | Uint | Ulong | Enum _ -> true
+  | _ -> false
+
+let is_unsigned = function Uchar | Ushort | Uint | Ulong -> true | _ -> false
+
+let is_pointer = function Ptr _ | Array _ -> true | _ -> false
+
+let is_scalar t = is_integer t || is_pointer t
+
+(* Widths follow a conventional ILP32 model (the MIPS target FLASH used). *)
+let rec sizeof = function
+  | Void -> 0
+  | Char | Uchar -> 1
+  | Short | Ushort -> 2
+  | Int | Uint | Long | Ulong | Float | Enum _ -> 4
+  | Double -> 8
+  | Ptr _ | Func _ -> 4
+  | Array (t, Some n) -> n * sizeof t
+  | Array (t, None) -> sizeof t
+  | Struct _ | Union _ | Named _ -> 4 (* resolved properly by Typecheck *)
+
+(* The usual arithmetic conversions, simplified: float wins, then width,
+   then unsignedness. *)
+let join a b =
+  if equal a b then a
+  else
+    match (a, b) with
+    | Double, _ | _, Double -> Double
+    | Float, _ | _, Float -> Float
+    | (Ptr _ as p), _ | _, (Ptr _ as p) -> p
+    | _ ->
+      let rank = function
+        | Char | Uchar -> 1
+        | Short | Ushort -> 2
+        | Int | Uint | Enum _ -> 3
+        | Long | Ulong -> 4
+        | _ -> 3
+      in
+      let ra = rank a and rb = rank b in
+      let unsigned = is_unsigned a || is_unsigned b in
+      let r = max ra rb in
+      if r <= 3 then if unsigned then Uint else Int
+      else if unsigned then Ulong
+      else Long

@@ -1,0 +1,42 @@
+(** C types for the Clite subset.
+
+    Covers what FLASH-style protocol code needs: the integer and floating
+    families, pointers, fixed-size arrays, named struct/union/enum types,
+    and function types.  Typedef names stay [Named] until {!Typecheck}
+    resolves them. *)
+
+type t =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Uchar
+  | Ushort
+  | Uint
+  | Ulong
+  | Float
+  | Double
+  | Ptr of t
+  | Array of t * int option  (** element type, optional static length *)
+  | Struct of string
+  | Union of string
+  | Enum of string
+  | Func of t * t list  (** return type, parameter types *)
+  | Named of string  (** unresolved typedef reference *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val is_floating : t -> bool
+val is_integer : t -> bool
+val is_unsigned : t -> bool
+val is_pointer : t -> bool
+val is_scalar : t -> bool
+
+val sizeof : t -> int
+(** conventional ILP32 widths (the MIPS target FLASH used) *)
+
+val join : t -> t -> t
+(** the usual arithmetic conversions, simplified *)

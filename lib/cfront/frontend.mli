@@ -1,0 +1,15 @@
+(** Convenience drivers: parse and type-annotate Clite programs. *)
+
+val of_string : ?file:string -> string -> Ast.tunit
+(** parse and annotate one source string
+    @raise Parser.Error / Lexer.Error on malformed input *)
+
+val of_file : string -> Ast.tunit
+
+val of_strings : (string * string) list -> Ast.tunit list
+(** parse several (file name, source) pairs as one program: typedefs from
+    earlier units are visible in later ones, and type annotation sees all
+    globals *)
+
+val loc_count : string -> int
+(** non-blank source lines — the paper's LOC metric *)

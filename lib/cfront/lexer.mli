@@ -1,0 +1,20 @@
+(** Hand-written lexer for Clite.
+
+    Both comment styles, character/string escapes, decimal/octal/hex
+    integer literals with [u]/[l] suffixes, floating literals.
+    Preprocessor lines are skipped wholesale: the corpus is generated
+    post-expansion, with macros as ordinary calls, mirroring what xg++
+    saw after cpp. *)
+
+exception Error of string * Loc.t
+
+type t
+
+val create : ?file:string -> string -> t
+
+val next : t -> Token.t * Loc.t
+(** the next token with the location of its first character;
+    @raise Error on malformed input *)
+
+val tokens : ?file:string -> string -> (Token.t * Loc.t) list
+(** the whole input, ending with [EOF] *)

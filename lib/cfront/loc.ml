@@ -1,0 +1,33 @@
+(** Source locations for Clite programs.
+
+    Every AST node carries a [Loc.t] so that checkers can report errors that
+    point back into the protocol source, exactly as xg++ did. *)
+
+type t = {
+  file : string;  (** source file name, or ["<string>"] for inline input *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+let none = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let is_none t = t.line = 0
+
+let pp ppf t =
+  if is_none t then Format.fprintf ppf "<no location>"
+  else Format.fprintf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Order by file, then line, then column: used to sort diagnostics into a
+   stable, source-order presentation. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let equal a b = compare a b = 0

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for Clite.
+
+    Covers the C subset FLASH-style protocol code uses: global variables,
+    typedefs, struct/union/enum definitions, prototypes and function
+    definitions; all C statements including [switch] and [goto]; the full
+    expression grammar with standard precedence.  Typedef names are
+    tracked so declarations can be distinguished from expressions. *)
+
+exception Error of string * Loc.t
+
+val parse_string : ?file:string -> string -> Ast.tunit
+(** @raise Error with the offending location on malformed input *)
+
+val parse_string_with_typedefs :
+  ?file:string -> typedefs:string list -> string -> Ast.tunit
+(** parse with typedef names already in scope (multi-file programs that
+    share headers) *)
+
+val parse_expr_string : ?file:string -> string -> Ast.expr
+(** a single expression — used by {!Pattern} and in tests *)
+
+val parse_stmt_string : ?file:string -> string -> Ast.stmt

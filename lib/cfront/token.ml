@@ -1,0 +1,213 @@
+(** Tokens produced by the Clite lexer. *)
+
+type t =
+  (* literals and names *)
+  | INT of int64 * string
+  | FLOAT of float * string
+  | STRING of string
+  | CHAR of char
+  | IDENT of string
+  (* keywords *)
+  | KW_VOID
+  | KW_CHAR
+  | KW_SHORT
+  | KW_INT
+  | KW_LONG
+  | KW_UNSIGNED
+  | KW_SIGNED
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_STRUCT
+  | KW_UNION
+  | KW_ENUM
+  | KW_TYPEDEF
+  | KW_STATIC
+  | KW_EXTERN
+  | KW_CONST
+  | KW_VOLATILE
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_GOTO
+  | KW_SIZEOF
+  | KW_INLINE
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ARROW
+  | QUESTION
+  | COLON
+  | ELLIPSIS
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSPLUS
+  | MINUSMINUS
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LSHIFT
+  | RSHIFT
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQEQ
+  | BANGEQ
+  | AMPAMP
+  | PIPEPIPE
+  | ASSIGN
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PERCENTEQ
+  | AMPEQ
+  | PIPEEQ
+  | CARETEQ
+  | LSHIFTEQ
+  | RSHIFTEQ
+  | EOF
+
+let keyword_table : (string * t) list =
+  [
+    ("void", KW_VOID);
+    ("char", KW_CHAR);
+    ("short", KW_SHORT);
+    ("int", KW_INT);
+    ("long", KW_LONG);
+    ("unsigned", KW_UNSIGNED);
+    ("signed", KW_SIGNED);
+    ("float", KW_FLOAT);
+    ("double", KW_DOUBLE);
+    ("struct", KW_STRUCT);
+    ("union", KW_UNION);
+    ("enum", KW_ENUM);
+    ("typedef", KW_TYPEDEF);
+    ("static", KW_STATIC);
+    ("extern", KW_EXTERN);
+    ("const", KW_CONST);
+    ("volatile", KW_VOLATILE);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("do", KW_DO);
+    ("for", KW_FOR);
+    ("switch", KW_SWITCH);
+    ("case", KW_CASE);
+    ("default", KW_DEFAULT);
+    ("return", KW_RETURN);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("goto", KW_GOTO);
+    ("sizeof", KW_SIZEOF);
+    ("inline", KW_INLINE);
+  ]
+
+let of_ident s =
+  match List.assoc_opt s keyword_table with Some kw -> kw | None -> IDENT s
+
+let to_string = function
+  | INT (_, s) -> s
+  | FLOAT (_, s) -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "'%c'" c
+  | IDENT s -> s
+  | KW_VOID -> "void"
+  | KW_CHAR -> "char"
+  | KW_SHORT -> "short"
+  | KW_INT -> "int"
+  | KW_LONG -> "long"
+  | KW_UNSIGNED -> "unsigned"
+  | KW_SIGNED -> "signed"
+  | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double"
+  | KW_STRUCT -> "struct"
+  | KW_UNION -> "union"
+  | KW_ENUM -> "enum"
+  | KW_TYPEDEF -> "typedef"
+  | KW_STATIC -> "static"
+  | KW_EXTERN -> "extern"
+  | KW_CONST -> "const"
+  | KW_VOLATILE -> "volatile"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_SWITCH -> "switch"
+  | KW_CASE -> "case"
+  | KW_DEFAULT -> "default"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_GOTO -> "goto"
+  | KW_SIZEOF -> "sizeof"
+  | KW_INLINE -> "inline"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ARROW -> "->"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | ELLIPSIS -> "..."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LSHIFT -> "<<"
+  | RSHIFT -> ">>"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | EQEQ -> "=="
+  | BANGEQ -> "!="
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | ASSIGN -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PERCENTEQ -> "%="
+  | AMPEQ -> "&="
+  | PIPEEQ -> "|="
+  | CARETEQ -> "^="
+  | LSHIFTEQ -> "<<="
+  | RSHIFTEQ -> ">>="
+  | EOF -> "<eof>"

@@ -1,0 +1,30 @@
+(** Lightweight type annotation for Clite.
+
+    Resolves typedefs, records struct/union layouts and enum constants,
+    and fills the [ety] field of every expression in place.  Not a
+    conformance checker: unknown identifiers default to [Int] (protocol
+    code is full of macro-constants declared elsewhere).  What the
+    checkers rely on is that float-typed expressions and unsigned/scalar
+    classifications are computed reliably. *)
+
+type env
+
+val create_env : unit -> env
+
+val resolve : env -> Ctype.t -> Ctype.t
+(** resolve typedef names; unknown names default to [Int] *)
+
+val load_globals : env -> Ast.tunit -> unit
+(** register a unit's typedefs, struct layouts, enum constants, globals
+    and function signatures *)
+
+val annotate : ?env:env -> Ast.tunit -> env
+(** annotate a whole translation unit in place *)
+
+val annotate_program : Ast.tunit list -> env
+(** annotate several units as one program: all globals are loaded first so
+    cross-unit references resolve *)
+
+val type_of : Ast.expr -> Ctype.t
+(** the inferred type of an annotated expression; [Int] if never
+    annotated *)

@@ -1,0 +1,96 @@
+(** Shared helpers for the FLASH checkers. *)
+
+(** Count the static occurrences of calls to any of [names] in a program —
+    the "number of times the check was applied" metric of Tables 2/3/6. *)
+let count_calls (tus : Ast.tunit list) (names : string list) : int =
+  let count = ref 0 in
+  List.iter
+    (fun tu ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun s ->
+              Ast.iter_stmt_exprs
+                (fun e ->
+                  Ast.iter_expr
+                    (fun e ->
+                      match Ast.callee_name e with
+                      | Some n when List.mem n names -> incr count
+                      | _ -> ())
+                    e)
+                s)
+            f.Ast.f_body)
+        (Ast.functions tu))
+    tus;
+  !count
+
+(** The opcode constant of an NI_SEND's first argument, when literal. *)
+let ni_opcode (e : Ast.expr) : string option =
+  match e.Ast.edesc with
+  | Ast.Call ({ edesc = Ast.Ident n; _ }, first :: _)
+    when String.equal n Flash_api.ni_send -> (
+    match first.Ast.edesc with Ast.Ident op -> Some op | _ -> None)
+  | _ -> None
+
+(** Is [e] a call to one of the three send macros? *)
+let send_macro (e : Ast.expr) : string option =
+  match Ast.callee_name e with
+  | Some n when List.mem n Flash_api.send_macros -> Some n
+  | _ -> None
+
+(** The wait-flag argument of a send call: argument index 3 for
+    [PI_SEND]/[IO_SEND] and [NI_SEND] alike. *)
+let send_wait_flag (e : Ast.expr) : string option =
+  match e.Ast.edesc with
+  | Ast.Call ({ edesc = Ast.Ident n; _ }, args)
+    when List.mem n Flash_api.send_macros -> (
+    match List.nth_opt args 3 with
+    | Some { Ast.edesc = Ast.Ident flag; _ } -> Some flag
+    | _ -> None)
+  | _ -> None
+
+(** Pattern for an assignment of constant [value] to the message length
+    field: [HANDLER_GLOBALS(header.nh.len) = value]. *)
+let len_assign_pattern value =
+  Pattern.expr (Printf.sprintf "%s = %s" Flash_api.len_field value)
+
+(** Does the expression tree of [e] reference the handler-globals field
+    path [root.field...] (e.g. dirEntry)? *)
+let refs_handler_global (e : Ast.expr) ~(root : string) : bool =
+  let found = ref false in
+  Ast.iter_expr
+    (fun e ->
+      match e.Ast.edesc with
+      | Ast.Call ({ edesc = Ast.Ident hg; _ }, [ arg ])
+        when String.equal hg Flash_api.handler_globals ->
+        let rec base a =
+          match a.Ast.edesc with
+          | Ast.Field (inner, _) -> base inner
+          | Ast.Ident r -> Some r
+          | _ -> None
+        in
+        if base arg = Some root then found := true
+      | _ -> ())
+    e;
+  !found
+
+(** Number of local-variable declarations across a program (the Vars
+    column of Table 5). *)
+let count_local_vars (tus : Ast.tunit list) : int =
+  let count = ref 0 in
+  List.iter
+    (fun tu ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun s ->
+              Ast.iter_stmt
+                (fun s ->
+                  match s.Ast.sdesc with
+                  | Ast.Sdecl _ -> incr count
+                  | _ -> ())
+                s)
+            f.Ast.f_body)
+        (Ast.functions tu))
+    tus;
+  !count

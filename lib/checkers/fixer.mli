@@ -1,0 +1,27 @@
+(** Automatic repair for checker findings — the "transform" half of MC.
+
+    Fixes the three most mechanical findings: missing simulator hooks,
+    unsynchronised buffer reads, and buffer leaks at returns.  Double
+    frees are deliberately NOT auto-fixed — the paper's Section 11 war
+    story is an implementor deleting the "obviously redundant" second
+    free and unbooting the machine. *)
+
+val map_stmt_list :
+  (Ast.stmt -> Ast.stmt list) -> Ast.stmt list -> Ast.stmt list
+(** generic statement-list rewriter, innermost blocks first (shared with
+    {!Optimizer}) *)
+
+val fix_hooks : spec:Flash_api.spec -> Ast.tunit -> Ast.tunit
+(** insert the mandated prologue/hook calls (Section 8) *)
+
+val fix_races : diags:Diag.t list -> Ast.tunit -> Ast.tunit
+(** insert [WAIT_FOR_DB_FULL] before each statement containing a read the
+    buffer-race checker flagged *)
+
+val fix_leaks :
+  spec:Flash_api.spec -> diags:Diag.t list -> Ast.tunit -> Ast.tunit
+(** insert [FREE_DB()] before the returns on paths the buffer-management
+    checker reported as leaking *)
+
+val fix_all : spec:Flash_api.spec -> Ast.tunit list -> Ast.tunit list
+(** run the relevant checkers, apply every supported fix once *)

@@ -1,0 +1,16 @@
+(** The network-send deadlock checker — Section 7, the paper's
+    inter-procedural extension: per-handler lane allowances against the
+    worst-case send burst on any path, with the fixed-point rule for
+    loops and recursion and inter-procedural back traces. *)
+
+val name : string
+val metal_loc : int
+
+val run :
+  ?fixed_point:bool ->
+  spec:Flash_api.spec ->
+  Ast.tunit list ->
+  Diag.t list
+(** [~fixed_point:false] disables the cycle rule (the ablation) *)
+
+val applied : Ast.tunit list -> int

@@ -1,0 +1,7 @@
+(** The no-floating-point checker — the paper's separate 7-line extension
+    (Table 7): the protocol processor has no FPU. *)
+
+val name : string
+val metal_loc : int
+val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
+val applied : Ast.tunit list -> int

@@ -1,0 +1,84 @@
+(** The eight FLASH checkers, with the metadata Table 7 reports. *)
+
+type checker = {
+  name : string;
+  description : string;
+  metal_loc : int;  (** size of the paper's metal extension (Table 7) *)
+  run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list;
+  applied : Ast.tunit list -> int;
+}
+
+let all : checker list =
+  [
+    {
+      name = Buffer_mgmt.name;
+      description = "buffer allocation/free discipline (Section 6)";
+      metal_loc = Buffer_mgmt.metal_loc;
+      run = Buffer_mgmt.run;
+      applied = Buffer_mgmt.applied;
+    };
+    {
+      name = Msg_length.name;
+      description = "message length vs has-data consistency (Section 5)";
+      metal_loc = Msg_length.metal_loc;
+      run = Msg_length.run;
+      applied = Msg_length.applied;
+    };
+    {
+      name = Lane_checker.name;
+      description = "per-lane send allowances, inter-procedural (Section 7)";
+      metal_loc = Lane_checker.metal_loc;
+      run = (fun ~spec tus -> Lane_checker.run ~spec tus);
+      applied = Lane_checker.applied;
+    };
+    {
+      name = Buffer_race.name;
+      description = "data-buffer fill synchronisation (Section 4)";
+      metal_loc = Buffer_race.metal_loc;
+      run = Buffer_race.run;
+      applied = Buffer_race.applied;
+    };
+    {
+      name = Alloc_check.name;
+      description = "allocation failure checked before use (Section 9)";
+      metal_loc = Alloc_check.metal_loc;
+      run = Alloc_check.run;
+      applied = Alloc_check.applied;
+    };
+    {
+      name = Dir_entry.name;
+      description = "directory entry load/writeback discipline (Section 9)";
+      metal_loc = Dir_entry.metal_loc;
+      run = (fun ~spec tus -> Dir_entry.run ~spec tus);
+      applied = Dir_entry.applied;
+    };
+    {
+      name = Send_wait.name;
+      description = "synchronous send/wait pairing (Section 9)";
+      metal_loc = Send_wait.metal_loc;
+      run = Send_wait.run;
+      applied = Send_wait.applied;
+    };
+    {
+      name = Exec_restrict.name;
+      description = "handler execution restrictions and hooks (Section 8)";
+      metal_loc = Exec_restrict.metal_loc;
+      run = Exec_restrict.run;
+      applied = Exec_restrict.applied;
+    };
+    {
+      name = No_float.name;
+      description = "no floating point in protocol code (Section 8)";
+      metal_loc = No_float.metal_loc;
+      run = No_float.run;
+      applied = No_float.applied;
+    };
+  ]
+
+let find name = List.find_opt (fun c -> String.equal c.name name) all
+
+let names = List.map (fun c -> c.name) all
+
+(** Run every checker on one protocol. *)
+let run_all ~spec (tus : Ast.tunit list) : (string * Diag.t list) list =
+  List.map (fun c -> (c.name, c.run ~spec tus)) all

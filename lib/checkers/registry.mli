@@ -1,0 +1,15 @@
+(** The nine FLASH checkers, with the metadata Table 7 reports. *)
+
+type checker = {
+  name : string;
+  description : string;
+  metal_loc : int;  (** size of the paper's metal extension (Table 7) *)
+  run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list;
+  applied : Ast.tunit list -> int;
+      (** the "number of times the check was applied" metric *)
+}
+
+val all : checker list
+val find : string -> checker option
+val names : string list
+val run_all : spec:Flash_api.spec -> Ast.tunit list -> (string * Diag.t list) list

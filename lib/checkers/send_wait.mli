@@ -1,0 +1,10 @@
+(** The send/wait pairing checker — Section 9: every send with [W_WAIT]
+    is followed by the matching interface wait, with no second
+    synchronous send in between. *)
+
+val name : string
+val metal_loc : int
+val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
+
+val applied : Ast.tunit list -> int
+(** synchronous sends plus interface waits — Table 6's Applied column *)

@@ -1,0 +1,63 @@
+(** Diagnostics emitted by checkers. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  checker : string;  (** checker name, e.g. ["wait_for_db"] *)
+  severity : severity;
+  loc : Loc.t;  (** primary source location *)
+  message : string;
+  func : string;  (** enclosing function *)
+  trace : Loc.t list;
+      (** the execution path that reached the error, entry first — the
+          paper's "back trace" *)
+}
+
+let make ?(severity = Error) ?(trace = []) ~checker ~loc ~func message =
+  { checker; severity; loc; message; func; trace }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf t =
+  Format.fprintf ppf "%a: %s: [%s] %s (in %s)" Loc.pp t.loc
+    (severity_string t.severity)
+    t.checker t.message t.func
+
+let pp_with_trace ppf t =
+  pp ppf t;
+  match t.trace with
+  | [] -> ()
+  | trace ->
+    Format.fprintf ppf "@\n  path:";
+    List.iter (fun loc -> Format.fprintf ppf "@\n    %a" Loc.pp loc) trace
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Presentation order: source order, then severity, then message, so runs
+   are reproducible. *)
+let compare a b =
+  let c = Loc.compare a.loc b.loc in
+  if c <> 0 then c
+  else
+    let c = compare a.severity b.severity in
+    if c <> 0 then c else String.compare a.message b.message
+
+(** Sort and drop exact duplicates (the same invariant violation is often
+    reachable along many paths; the paper reports each site once). *)
+let normalize (ds : t list) : t list =
+  let sorted = List.sort compare ds in
+  let rec dedup = function
+    | a :: b :: rest ->
+      if Loc.equal a.loc b.loc && String.equal a.message b.message
+         && String.equal a.checker b.checker
+      then dedup (a :: rest)
+      else a :: dedup (b :: rest)
+    | short -> short
+  in
+  dedup sorted
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds

@@ -1,0 +1,39 @@
+(** Diagnostics emitted by checkers. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  checker : string;  (** checker name, e.g. ["wait_for_db"] *)
+  severity : severity;
+  loc : Loc.t;  (** primary source location *)
+  message : string;
+  func : string;  (** enclosing function *)
+  trace : Loc.t list;
+      (** the execution path that reached the error, entry first — the
+          paper's "back trace" *)
+}
+
+val make :
+  ?severity:severity ->
+  ?trace:Loc.t list ->
+  checker:string ->
+  loc:Loc.t ->
+  func:string ->
+  string ->
+  t
+
+val severity_string : severity -> string
+val pp : Format.formatter -> t -> unit
+val pp_with_trace : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** source order, then severity, then message — a stable presentation
+    order *)
+
+val normalize : t list -> t list
+(** sort and drop duplicates: the same violation is often reachable along
+    many paths, but is reported once per site *)
+
+val errors : t list -> t list
+val warnings : t list -> t list

@@ -1,0 +1,176 @@
+(** The path-sensitive checking engine — the xg++ analogue.
+
+    [run sm func] applies the state machine [sm] down every execution path
+    of [func]'s control-flow graph.  Traversal is depth-first; a
+    [(node, state)] pair already visited is not re-explored, which keeps
+    the engine linear in (nodes x distinct states) while still
+    distinguishing every state the machine can be in at every program
+    point — the same trick xg++ used to make exhaustive path checking
+    tractable in the presence of loops.
+
+    Within a node, sub-expressions are offered to the rules in evaluation
+    order, so a pattern for [FREE_BUF()] fires before the pattern for the
+    enclosing send in [NI_SEND(FREE_BUF(), ...)]. *)
+
+type stats = {
+  mutable nodes_visited : int;
+  mutable events_matched : int;
+  mutable paths_stopped : int;
+}
+
+let fresh_stats () =
+  { nodes_visited = 0; events_matched = 0; paths_stopped = 0 }
+
+(* Sub-expressions of [e] in evaluation (post-) order, including [e]. *)
+let subexprs_post (e : Ast.expr) : Ast.expr list =
+  let acc = ref [] in
+  let rec post e =
+    (match e.Ast.edesc with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+    | Ast.Ident _ | Ast.Sizeof_type _ ->
+      ()
+    | Ast.Call (f, args) ->
+      post f;
+      List.iter post args
+    | Ast.Unop (_, a)
+    | Ast.Cast (_, a)
+    | Ast.Field (a, _)
+    | Ast.Arrow (a, _)
+    | Ast.Sizeof_expr a ->
+      post a
+    | Ast.Binop (_, a, b)
+    | Ast.Assign (a, b)
+    | Ast.Op_assign (_, a, b)
+    | Ast.Index (a, b)
+    | Ast.Comma (a, b) ->
+      post a;
+      post b
+    | Ast.Cond (a, b, c) ->
+      post a;
+      post b;
+      post c);
+    acc := e :: !acc
+  in
+  post e;
+  List.rev !acc
+
+(* The expressions a CFG node exposes to the state machine. *)
+let node_exprs ~observe_branches (node : Cfg.node) : Ast.expr list =
+  match node.Cfg.kind with
+  | Cfg.Stmt { Ast.sdesc = Ast.Sexpr e; _ } -> [ e ]
+  | Cfg.Stmt { Ast.sdesc = Ast.Sdecl d; _ } -> (
+    match d.Ast.v_init with Some e -> [ e ] | None -> [])
+  | Cfg.Branch e | Cfg.Switch e -> if observe_branches then [ e ] else []
+  | Cfg.Return (Some e) -> [ e ]
+  | Cfg.Stmt _ | Cfg.Return None | Cfg.Entry | Cfg.Exit | Cfg.Join -> []
+
+type 'state exit_hook = Sm.action_ctx -> 'state -> unit
+
+(** Run one state machine over one function.  [at_exit] is invoked once per
+    distinct state in which a path reaches the function exit. *)
+let run ?(stats = fresh_stats ()) ?(at_exit : 'state exit_hook option)
+    (sm : 'state Sm.t) (func : Ast.func) : Diag.t list =
+  match sm.Sm.start func with
+  | None -> []
+  | Some start_state ->
+    let cfg = Cfg.build func in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    let visited : (int * 'state, unit) Hashtbl.t = Hashtbl.create 256 in
+    let exit_states : ('state, unit) Hashtbl.t = Hashtbl.create 8 in
+    (* Process all events of [node] starting from [state]; returns the
+       resulting state, or [None] when a rule stopped the path. *)
+    let step (node : Cfg.node) (state : 'state) (trace : Loc.t list) :
+        'state option =
+      let exprs = node_exprs ~observe_branches:sm.Sm.observe_branches node in
+      let events = List.concat_map subexprs_post exprs in
+      let rec consume state = function
+        | [] -> Some state
+        | event :: rest -> (
+          let rules = sm.Sm.rules state @ sm.Sm.all in
+          let fired =
+            List.find_map
+              (fun (r : 'state Sm.rule) ->
+                match Pattern.match_expr r.Sm.pattern event with
+                | Some bindings -> Some (r, bindings)
+                | None -> None)
+              rules
+          in
+          match fired with
+          | None -> consume state rest
+          | Some (r, bindings) -> (
+            stats.events_matched <- stats.events_matched + 1;
+            let ctx =
+              {
+                Sm.func;
+                matched = event;
+                loc = event.Ast.eloc;
+                bindings;
+                trace = List.rev trace;
+                emit;
+              }
+            in
+            match r.Sm.action ctx with
+            | Sm.Stay -> consume state rest
+            | Sm.Goto next -> consume next rest
+            | Sm.Stop ->
+              stats.paths_stopped <- stats.paths_stopped + 1;
+              None))
+      in
+      consume state events
+    in
+    let rec visit (id : int) (state : 'state) (trace : Loc.t list) =
+      if not (Hashtbl.mem visited (id, state)) then begin
+        Hashtbl.replace visited (id, state) ();
+        stats.nodes_visited <- stats.nodes_visited + 1;
+        let node = Cfg.node cfg id in
+        let trace = node.Cfg.loc :: trace in
+        match step node state trace with
+        | None -> ()
+        | Some state ->
+          if id = cfg.Cfg.exit then begin
+            if not (Hashtbl.mem exit_states state) then begin
+              Hashtbl.replace exit_states state ();
+              match at_exit with
+              | Some hook ->
+                let ctx =
+                  {
+                    Sm.func;
+                    matched = Ast.ident "return";
+                    loc = node.Cfg.loc;
+                    bindings = Binding.empty;
+                    trace = List.rev trace;
+                    emit;
+                  }
+                in
+                hook ctx state
+              | None -> ()
+            end
+          end
+          else
+            List.iter
+              (fun (label, succ) ->
+                let state =
+                  match (sm.Sm.branch, node.Cfg.kind, label) with
+                  | Some refine, Cfg.Branch cond, Cfg.True ->
+                    refine state cond true
+                  | Some refine, Cfg.Branch cond, Cfg.False ->
+                    refine state cond false
+                  | _ -> state
+                in
+                visit succ state trace)
+              node.Cfg.succs
+      end
+    in
+    visit cfg.Cfg.entry start_state [];
+    Diag.normalize !diags
+
+(** Run a state machine over every function of a translation unit. *)
+let run_unit ?stats ?at_exit (sm : 'state Sm.t) (tu : Ast.tunit) :
+    Diag.t list =
+  List.concat_map (fun f -> run ?stats ?at_exit sm f) (Ast.functions tu)
+
+(** Run a state machine over a whole program. *)
+let run_program ?stats ?at_exit (sm : 'state Sm.t) (tus : Ast.tunit list) :
+    Diag.t list =
+  List.concat_map (fun tu -> run_unit ?stats ?at_exit sm tu) tus

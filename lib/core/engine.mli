@@ -1,0 +1,48 @@
+(** The path-sensitive checking engine — the xg++ analogue.
+
+    [run sm func] applies the state machine down every execution path of
+    the function's control-flow graph.  Traversal is depth-first; a
+    [(node, state)] pair already visited is not re-explored, which keeps
+    the engine linear in (nodes x distinct states) while still
+    distinguishing every state the machine can be in at every program
+    point — the trick that made exhaustive path checking tractable for
+    xg++ in the presence of loops.
+
+    Within a node, sub-expressions are offered to the rules in evaluation
+    order; the first matching rule (state rules before [all] rules)
+    fires. *)
+
+type stats = {
+  mutable nodes_visited : int;
+  mutable events_matched : int;
+  mutable paths_stopped : int;
+}
+
+val fresh_stats : unit -> stats
+
+type 'state exit_hook = Sm.action_ctx -> 'state -> unit
+(** called once per distinct state in which a path reaches the function
+    exit; used for "must do X before returning" rules *)
+
+val run :
+  ?stats:stats ->
+  ?at_exit:'state exit_hook ->
+  'state Sm.t ->
+  Ast.func ->
+  Diag.t list
+(** check one function; diagnostics come back sorted and deduplicated *)
+
+val run_unit :
+  ?stats:stats -> ?at_exit:'state exit_hook -> 'state Sm.t -> Ast.tunit ->
+  Diag.t list
+
+val run_program :
+  ?stats:stats ->
+  ?at_exit:'state exit_hook ->
+  'state Sm.t ->
+  Ast.tunit list ->
+  Diag.t list
+
+val subexprs_post : Ast.expr -> Ast.expr list
+(** sub-expressions in evaluation (post-) order, including the root —
+    the event order rules see *)

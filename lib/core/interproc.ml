@@ -1,0 +1,263 @@
+(** Inter-procedural analysis framework — the xg++ global-analysis analogue.
+
+    The paper's flow is: a local pass walks each function and annotates
+    events (e.g. "this call site sends on lane 2"), emitting per-function
+    flow graphs; a global pass links the graphs through call edges and does
+    a depth-first traversal computing a path property (e.g. maximum sends
+    per lane), with fixed-point detection for cycles that do not change the
+    abstract state.
+
+    Here the client supplies an abstract domain [S] (a bounded join
+    semilattice with a sequencing operator) and an event function mapping
+    each CFG node of each function to an effect.  [summarize] computes, per
+    function, the join over all paths of the sequential composition of
+    effects, where call sites splice in the callee's summary.  Cycles in
+    the call graph are cut exactly as the paper describes: a recursive
+    call whose effect so far is the identity is a fixed point and
+    contributes nothing; otherwise [on_cycle] is told about the potential
+    unbounded repetition. *)
+
+module type DOMAIN = sig
+  type t
+
+  val zero : t
+  (** identity for {!seq} — "no effect" *)
+
+  val seq : t -> t -> t
+  (** sequential composition along a path *)
+
+  val join : t -> t -> t
+  (** least upper bound across alternative paths *)
+
+  val equal : t -> t -> bool
+
+  val loop_safe : t -> bool
+  (** is repeating this effect a fixed point? (the paper's "cycles that do
+      not send" rule; e.g. for the lanes domain, a loop body whose net
+      effect does not grow the send count) *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A traced effect: the domain value plus the event sites that produced
+    it, so clients can print the paper's inter-procedural "back traces". *)
+module type CLIENT = sig
+  module D : DOMAIN
+
+  val event : Ast.func -> Cfg.node -> D.t
+  (** local effect of one CFG node (identity for most nodes) *)
+end
+
+module Make (C : CLIENT) = struct
+  module D = C.D
+
+  type site = { site_func : string; site_loc : Loc.t; site_effect : D.t }
+
+  (** A summary is the worst-case effect plus the witness path achieving
+      it (for diagnostics). *)
+  type summary = { effect_ : D.t; witness : site list }
+
+  let zero_summary = { effect_ = D.zero; witness = [] }
+
+  let seq_summary a b =
+    { effect_ = D.seq a.effect_ b.effect_; witness = a.witness @ b.witness }
+
+  (* join keeps the witness of whichever side "wins"; when the two sides
+     are equal the first is kept, making results deterministic *)
+  let join_summary a b =
+    let joined = D.join a.effect_ b.effect_ in
+    if D.equal joined a.effect_ then { effect_ = joined; witness = a.witness }
+    else if D.equal joined b.effect_ then
+      { effect_ = joined; witness = b.witness }
+    else { effect_ = joined; witness = a.witness @ b.witness }
+
+  type ctx = {
+    callgraph : Callgraph.t;
+    mutable summaries : (string * summary) list;
+    mutable in_progress : string list;  (** call stack for cycle detection *)
+    mutable cycle_warnings : (string * Loc.t) list;
+        (** function, call-site loc of a recursive cycle *)
+    mutable loop_warnings : (string * Loc.t) list;
+        (** function, loop-head loc of an intra-procedural loop whose body
+            has a non-identity effect (not a fixed point) *)
+  }
+
+  let create callgraph =
+    {
+      callgraph;
+      summaries = [];
+      in_progress = [];
+      cycle_warnings = [];
+      loop_warnings = [];
+    }
+
+  (* Effects of the call sites inside one expression, left to right. *)
+  let rec call_effects ctx (func : Ast.func) (e : Ast.expr) : summary =
+    let sub =
+      match e.Ast.edesc with
+      | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+      | Ast.Ident _ | Ast.Sizeof_type _ ->
+        zero_summary
+      | Ast.Call (f, args) ->
+        List.fold_left
+          (fun acc a -> seq_summary acc (call_effects ctx func a))
+          (call_effects ctx func f)
+          args
+      | Ast.Unop (_, a)
+      | Ast.Cast (_, a)
+      | Ast.Field (a, _)
+      | Ast.Arrow (a, _)
+      | Ast.Sizeof_expr a ->
+        call_effects ctx func a
+      | Ast.Binop (_, a, b)
+      | Ast.Assign (a, b)
+      | Ast.Op_assign (_, a, b)
+      | Ast.Index (a, b)
+      | Ast.Comma (a, b) ->
+        seq_summary (call_effects ctx func a) (call_effects ctx func b)
+      | Ast.Cond (a, b, c) ->
+        seq_summary
+          (call_effects ctx func a)
+          (join_summary (call_effects ctx func b) (call_effects ctx func c))
+    in
+    match e.Ast.edesc with
+    | Ast.Call ({ edesc = Ast.Ident callee; _ }, _) -> (
+      match summarize_name ctx ~loc:e.Ast.eloc callee with
+      | Some callee_summary -> seq_summary sub callee_summary
+      | None -> sub)
+    | _ -> sub
+
+  (* Summary of one CFG node: the client's local event plus effects of any
+     calls it contains. *)
+  and node_summary ctx (func : Ast.func) (node : Cfg.node) : summary =
+    let local = C.event func node in
+    let local_summary =
+      if D.equal local D.zero then zero_summary
+      else
+        {
+          effect_ = local;
+          witness =
+            [ { site_func = func.Ast.f_name; site_loc = node.Cfg.loc;
+                site_effect = local } ];
+        }
+    in
+    let calls =
+      match node.Cfg.kind with
+      | Cfg.Stmt { Ast.sdesc = Ast.Sexpr e; _ }
+      | Cfg.Branch e | Cfg.Switch e | Cfg.Return (Some e) ->
+        call_effects ctx func e
+      | Cfg.Stmt { Ast.sdesc = Ast.Sdecl { Ast.v_init = Some e; _ }; _ } ->
+        call_effects ctx func e
+      | _ -> zero_summary
+    in
+    seq_summary calls local_summary
+
+  (* Worst-case path summary of a whole function: DP over the acyclic
+     CFG.  Loop bodies (back-edge regions) with a non-identity effect are
+     *not* a fixed point; the paper warns in the intra-procedural case too,
+     which we surface through [cycle_warnings]. *)
+  and func_summary ctx (func : Ast.func) : summary =
+    let cfg = Cfg.build func in
+    let backs = Cfg.back_edges cfg in
+    let is_back a b = List.exists (fun (x, y) -> x = a && y = b) backs in
+    let memo : (int, summary) Hashtbl.t = Hashtbl.create 64 in
+    let rec solve id =
+      match Hashtbl.find_opt memo id with
+      | Some s -> s
+      | None ->
+        let node = Cfg.node cfg id in
+        let own = node_summary ctx func node in
+        let fwd =
+          List.filter (fun (_, s) -> not (is_back id s)) node.Cfg.succs
+        in
+        let rest =
+          match fwd with
+          | [] -> zero_summary
+          | (_, first) :: others ->
+            List.fold_left
+              (fun acc (_, s) -> join_summary acc (solve s))
+              (solve first) others
+        in
+        let s = seq_summary own rest in
+        Hashtbl.replace memo id s;
+        s
+    in
+    (* the paper's fixed-point rule: a cycle whose body has no effect can
+       be ignored; a cycle that *does* have an effect may repeat it an
+       unbounded number of times, so flag it *)
+    let reachable_from start =
+      let seen = Hashtbl.create 32 in
+      let rec go id =
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.replace seen id ();
+          List.iter (fun (_, s) -> go s) (Cfg.succs cfg id)
+        end
+      in
+      go start;
+      seen
+    in
+    List.iter
+      (fun (src, head) ->
+        let from_head = reachable_from head in
+        (* body = nodes reachable from head that can reach src; test the
+           second half by checking src's reachability from each candidate *)
+        let body =
+          Hashtbl.fold
+            (fun id () acc ->
+              if id = src || Hashtbl.mem (reachable_from id) src then
+                id :: acc
+              else acc)
+            from_head []
+        in
+        let body_effect =
+          List.fold_left
+            (fun acc id ->
+              D.seq acc (node_summary ctx func (Cfg.node cfg id)).effect_)
+            D.zero body
+        in
+        if not (D.loop_safe body_effect) then
+          ctx.loop_warnings <-
+            (func.Ast.f_name, (Cfg.node cfg head).Cfg.loc)
+            :: ctx.loop_warnings)
+      backs;
+    solve cfg.Cfg.entry
+
+  and summarize_name ctx ~loc (name : string) : summary option =
+    match Callgraph.find_func ctx.callgraph name with
+    | None -> None
+    | Some func ->
+      if List.mem name ctx.in_progress then begin
+        (* recursive cycle: fixed point iff the recursion adds nothing,
+           which we approximate by treating the recursive call as zero
+           and warning so the client can decide (the paper: "if there
+           were sends, warn of a possible error") *)
+        ctx.cycle_warnings <- (name, loc) :: ctx.cycle_warnings;
+        Some zero_summary
+      end
+      else begin
+        match List.assoc_opt name ctx.summaries with
+        | Some s -> Some s
+        | None ->
+          ctx.in_progress <- name :: ctx.in_progress;
+          let s = func_summary ctx func in
+          ctx.in_progress <- List.tl ctx.in_progress;
+          ctx.summaries <- (name, s) :: ctx.summaries;
+          Some s
+      end
+
+  (** Worst-case effect of running [root], splicing in callees
+      transitively.  Returns [None] if [root] is not defined. *)
+  let summarize ctx (root : string) : summary option =
+    summarize_name ctx ~loc:Loc.none root
+
+  (** Recursive call-graph cycles encountered (treated as fixed points);
+      a client should warn when the involved function's final summary has
+      a non-identity effect. *)
+  let cycles ctx = ctx.cycle_warnings
+
+  (** Intra-procedural loops whose body has a non-identity effect. *)
+  let effectful_loops ctx = ctx.loop_warnings
+
+  (** Final summary of [name], if it was computed. *)
+  let summary_of ctx name = List.assoc_opt name ctx.summaries
+end

@@ -1,0 +1,64 @@
+(** Inter-procedural analysis framework — the xg++ global-analysis
+    analogue behind the lanes checker (Section 7).
+
+    The client supplies an abstract domain (a join semilattice with a
+    sequencing operator and a loop-safety predicate) and a function giving
+    the local effect of each CFG node; the framework computes per-function
+    worst-case path summaries, splicing callee summaries in at call sites,
+    with the paper's fixed-point rule for cycles. *)
+
+module type DOMAIN = sig
+  type t
+
+  val zero : t
+  (** identity for {!seq} — "no effect" *)
+
+  val seq : t -> t -> t
+  (** sequential composition along a path *)
+
+  val join : t -> t -> t
+  (** least upper bound across alternative paths *)
+
+  val equal : t -> t -> bool
+
+  val loop_safe : t -> bool
+  (** is repeating this effect a fixed point? (the paper's "cycles that
+      do not send" rule) *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module type CLIENT = sig
+  module D : DOMAIN
+
+  val event : Ast.func -> Cfg.node -> D.t
+  (** local effect of one CFG node (identity for most nodes) *)
+end
+
+module Make (C : CLIENT) : sig
+  module D : DOMAIN with type t = C.D.t
+
+  type site = { site_func : string; site_loc : Loc.t; site_effect : D.t }
+
+  (** worst-case effect plus the witness path achieving it (for the
+      paper's inter-procedural back traces) *)
+  type summary = { effect_ : D.t; witness : site list }
+
+  type ctx
+
+  val create : Callgraph.t -> ctx
+
+  val summarize : ctx -> string -> summary option
+  (** worst-case effect of running the named function, callees spliced in
+      transitively; [None] when the function is not defined *)
+
+  val summary_of : ctx -> string -> summary option
+  (** a previously computed summary, if any *)
+
+  val cycles : ctx -> (string * Loc.t) list
+  (** recursive call-graph cycles encountered (treated as fixed points);
+      warn when the involved function's summary is not loop-safe *)
+
+  val effectful_loops : ctx -> (string * Loc.t) list
+  (** intra-procedural loops whose body is not a fixed point *)
+end

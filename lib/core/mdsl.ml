@@ -1,0 +1,452 @@
+(** A parser for the metal concrete syntax, as published.
+
+    The paper writes checkers in metal, "a language for writing MC
+    extensions" whose state-machine part is "syntactically similar to a
+    yacc specification".  This module accepts the syntax the paper's
+    Figures 2 and 3 use — verbatim — and compiles it to a runnable
+    {!Sm.t}:
+
+    {v
+      { #include "flash-includes.h" }
+      sm wait_for_db {
+        decl { scalar } addr, buf;
+
+        pat send_data = { PI_SEND(F_DATA, keep, swap, wait, dec, null) }
+                      | { NI_SEND(type, F_DATA, keep, wait, dec, null) } ;
+
+        start:
+          { WAIT_FOR_DB_FULL(addr); } ==> stop
+        | { MISCBUS_READ_DB(addr, buf); } ==>
+            { err("Buffer not synchronized"); } ;
+      }
+    v}
+
+    Supported:
+    - an optional leading [{ ... }] prelude block (includes; skipped — our
+      front end inlines the prelude into the checked sources);
+    - [decl { kind } names;] wildcard declarations with the kinds
+      [scalar], [unsigned], [float], [const] and [any];
+    - [pat name = alternatives;] named patterns;
+    - state sections [name: rule | rule | ... ;] with rules of the form
+      [pattern ==> target], where the target is an optional state name
+      (or [stop]) followed by an optional [{ err("..."); }] action —
+      exactly the paper's "transition to the (optional) state ... and
+      then execute the (optional) action";
+    - the special [all] state whose rules apply in every state.
+
+    The first ordinary state defined is the start state, as in metal. *)
+
+exception Parse_error of string
+
+type target = { goto : string option; err : string option }
+
+type rule = { rule_pattern : Pattern.t; target : target }
+
+type t = {
+  sm_name : string;
+  decls : Pattern.decl list;
+  named_patterns : (string * Pattern.t) list;
+  states : (string * rule list) list;  (** in declaration order *)
+  all_rules : rule list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Code of string  (** the inside of a balanced [{ ... }] block *)
+  | Colon
+  | Semi
+  | Bar
+  | Comma
+  | Equals
+  | Arrow  (** [==>] *)
+  | Eof
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error msg) in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment *)
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail "unterminated comment in metal source"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' then begin
+      (* balanced code block; braces inside strings are not expected in
+         metal patterns *)
+      let depth = ref 1 in
+      let start = !i + 1 in
+      incr i;
+      while !depth > 0 && !i < n do
+        (match src.[!i] with
+        | '{' -> incr depth
+        | '}' -> decr depth
+        | _ -> ());
+        incr i
+      done;
+      if !depth > 0 then fail "unbalanced { in metal source";
+      toks := Code (String.trim (String.sub src start (!i - 1 - start))) :: !toks
+    end
+    else if c = '=' && !i + 2 < n && src.[!i + 1] = '=' && src.[!i + 2] = '>'
+    then begin
+      toks := Arrow :: !toks;
+      i := !i + 3
+    end
+    else if c = '=' then begin
+      toks := Equals :: !toks;
+      incr i
+    end
+    else if c = ':' then begin
+      toks := Colon :: !toks;
+      incr i
+    end
+    else if c = ';' then begin
+      toks := Semi :: !toks;
+      incr i
+    end
+    else if c = '|' then begin
+      toks := Bar :: !toks;
+      incr i
+    end
+    else if c = ',' then begin
+      toks := Comma :: !toks;
+      incr i
+    end
+    else if is_ident c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      toks := Ident (String.sub src start (!i - start)) :: !toks
+    end
+    else fail (Printf.sprintf "unexpected character %C in metal source" c)
+  done;
+  List.rev (Eof :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { mutable toks : token list }
+
+let peek p = match p.toks with t :: _ -> t | [] -> Eof
+let advance p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let expect p tok what =
+  if peek p = tok then advance p
+  else raise (Parse_error (Printf.sprintf "expected %s" what))
+
+let expect_ident p what =
+  match peek p with
+  | Ident s ->
+    advance p;
+    s
+  | _ -> raise (Parse_error (Printf.sprintf "expected %s" what))
+
+let kind_of_string = function
+  | "scalar" -> Pattern.Scalar
+  | "unsigned" -> Pattern.Unsigned_int
+  | "float" | "double" -> Pattern.Floating
+  | "const" -> Pattern.Constant
+  | "any" -> Pattern.Any
+  | k -> raise (Parse_error ("unknown wildcard kind " ^ k))
+
+(* the err("...") action inside a code block *)
+let parse_action (code : string) : string option =
+  let code = String.trim code in
+  if code = "" then None
+  else
+    (* accept   err("message");   possibly with surrounding whitespace *)
+    let open_paren =
+      try Some (String.index code '(') with Not_found -> None
+    in
+    match open_paren with
+    | Some op when String.length code >= 3 && String.sub code 0 3 = "err" ->
+      let rest = String.sub code (op + 1) (String.length code - op - 1) in
+      let q1 = try Some (String.index rest '"') with Not_found -> None in
+      (match q1 with
+      | Some q1 -> (
+        match String.index_from_opt rest (q1 + 1) '"' with
+        | Some q2 -> Some (String.sub rest (q1 + 1) (q2 - q1 - 1))
+        | None -> raise (Parse_error "unterminated string in err()"))
+      | None -> raise (Parse_error "err() needs a string literal"))
+    | _ ->
+      raise
+        (Parse_error
+           ("unsupported action (only err(\"...\") is supported): " ^ code))
+
+(* a code block used as a pattern: strip a trailing ';' and parse as a
+   Clite expression with the declared wildcards *)
+let code_to_pattern ~decls (code : string) : Pattern.t =
+  let code = String.trim code in
+  let code =
+    if String.length code > 0 && code.[String.length code - 1] = ';' then
+      String.sub code 0 (String.length code - 1)
+    else code
+  in
+  Pattern.expr ~decls code
+
+(* pattern alternation: {code} | {code} | name ... *)
+let rec parse_pattern_alt p ~decls ~named : Pattern.t =
+  let one () =
+    match peek p with
+    | Code code ->
+      advance p;
+      code_to_pattern ~decls code
+    | Ident name -> (
+      advance p;
+      match List.assoc_opt name named with
+      | Some pat -> pat
+      | None -> raise (Parse_error ("unknown pattern name " ^ name)))
+    | _ -> raise (Parse_error "expected a pattern ({ code } or a name)")
+  in
+  let first = one () in
+  if peek p = Bar then begin
+    advance p;
+    Pattern.alt [ first; parse_pattern_alt p ~decls ~named ]
+  end
+  else first
+
+(* the right-hand side of ==> : optional state, optional action *)
+let parse_target p : target =
+  let goto =
+    match peek p with
+    | Ident s ->
+      advance p;
+      Some s
+    | _ -> None
+  in
+  let err =
+    match peek p with
+    | Code code ->
+      advance p;
+      parse_action code
+    | _ -> None
+  in
+  if goto = None && err = None then
+    raise (Parse_error "==> needs a state, an action, or both");
+  { goto; err }
+
+let parse (src : string) : t =
+  (* Phase 1 is textual: strip comments, skip an optional prelude block,
+     find "sm <name> { ... }" by brace matching.  Phase 2 tokenises the
+     body, where every remaining { ... } is a pattern or an action. *)
+  let n = String.length src in
+  let no_comments = Bytes.of_string src in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && src.[!i] = '/' && src.[!i + 1] = '*' then begin
+      let j = ref (!i + 2) in
+      while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do
+        incr j
+      done;
+      if !j + 1 >= n then raise (Parse_error "unterminated comment");
+      for k = !i to !j + 1 do
+        if src.[k] <> '\n' then Bytes.set no_comments k ' '
+      done;
+      i := !j + 2
+    end
+    else incr i
+  done;
+  let src = Bytes.to_string no_comments in
+  let pos = ref 0 in
+  let skip_ws () =
+    while
+      !pos < n
+      && (src.[!pos] = ' ' || src.[!pos] = '\t' || src.[!pos] = '\n'
+        || src.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let match_brace start =
+    (* start points at '{'; returns the index just past the matching '}' *)
+    let depth = ref 0 in
+    let j = ref start in
+    let finish = ref (-1) in
+    while !finish < 0 && !j < n do
+      (match src.[!j] with
+      | '{' -> incr depth
+      | '}' ->
+        decr depth;
+        if !depth = 0 then finish := !j + 1
+      | _ -> ());
+      incr j
+    done;
+    if !finish < 0 then raise (Parse_error "unbalanced braces");
+    !finish
+  in
+  skip_ws ();
+  (* optional prelude block *)
+  if !pos < n && src.[!pos] = '{' then pos := match_brace !pos;
+  skip_ws ();
+  if not (!pos + 2 <= n && String.sub src !pos 2 = "sm") then
+    raise (Parse_error "expected 'sm'");
+  pos := !pos + 2;
+  skip_ws ();
+  let name_start = !pos in
+  while
+    !pos < n
+    &&
+    let c = src.[!pos] in
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  do
+    incr pos
+  done;
+  let sm_name = String.sub src name_start (!pos - name_start) in
+  if sm_name = "" then raise (Parse_error "expected the state machine name");
+  skip_ws ();
+  if !pos >= n || src.[!pos] <> '{' then
+    raise (Parse_error "expected '{' after the state machine name");
+  let body_end = match_brace !pos in
+  let body = String.sub src (!pos + 1) (body_end - !pos - 2) in
+  (* phase 2: token stream over the body *)
+  let p = { toks = tokenize body } in
+  let decls = ref [] in
+  let named = ref [] in
+  let states : (string * rule list) list ref = ref [] in
+  let all_rules = ref [] in
+  let parse_rules () : rule list =
+    let rec rules acc =
+      let pat = parse_pattern_alt p ~decls:!decls ~named:!named in
+      expect p Arrow "'==>'";
+      let target = parse_target p in
+      let acc = { rule_pattern = pat; target } :: acc in
+      if peek p = Bar then begin
+        advance p;
+        rules acc
+      end
+      else begin
+        expect p Semi "';' after the state's rules";
+        List.rev acc
+      end
+    in
+    rules []
+  in
+  let rec toplevel () =
+    match peek p with
+    | Eof -> ()
+    | Ident "decl" ->
+      advance p;
+      let kind =
+        match peek p with
+        | Code k ->
+          advance p;
+          kind_of_string (String.trim k)
+        | _ -> raise (Parse_error "decl needs a '{ kind }'")
+      in
+      let rec names () =
+        let name = expect_ident p "a wildcard name" in
+        decls := (name, kind) :: !decls;
+        if peek p = Comma then begin
+          advance p;
+          names ()
+        end
+      in
+      names ();
+      expect p Semi "';' after decl";
+      toplevel ()
+    | Ident "pat" ->
+      advance p;
+      let name = expect_ident p "a pattern name" in
+      expect p Equals "'='";
+      let pat = parse_pattern_alt p ~decls:!decls ~named:!named in
+      expect p Semi "';' after pat";
+      named := (name, pat) :: !named;
+      toplevel ()
+    | Ident state_name ->
+      advance p;
+      expect p Colon "':' after the state name";
+      let rules = parse_rules () in
+      if state_name = "all" then all_rules := !all_rules @ rules
+      else states := (state_name, rules) :: !states;
+      toplevel ()
+    | _ -> raise (Parse_error "expected decl, pat, or a state definition")
+  in
+  toplevel ();
+  {
+    sm_name;
+    decls = List.rev !decls;
+    named_patterns = List.rev !named;
+    states = List.rev !states;
+    all_rules = !all_rules;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to a runnable state machine                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile a parsed metal checker into an engine-ready state machine.
+    States are their metal names; execution starts in the first state
+    defined, as in metal; [==> stop] abandons the path. *)
+let to_sm (t : t) : string Sm.t =
+  (* a checker may consist only of [all:] rules (like the Section 11
+     refcount objection); give it a vacuous start state *)
+  let t =
+    if t.states = [] && t.all_rules <> [] then
+      { t with states = [ ("start", []) ] }
+    else t
+  in
+  let start_state =
+    match t.states with
+    | (first, _) :: _ -> first
+    | [] -> raise (Parse_error (t.sm_name ^ " defines no states"))
+  in
+  let compile_rule (r : rule) : string Sm.rule =
+    Sm.rule r.rule_pattern (fun ctx ->
+        (match r.target.err with
+        | Some msg -> Sm.err ~checker:t.sm_name ctx "%s" msg
+        | None -> ());
+        match r.target.goto with
+        | Some "stop" -> Sm.Stop
+        | Some state -> Sm.Goto state
+        | None -> Sm.Stay)
+  in
+  let compiled_states =
+    List.map (fun (name, rules) -> (name, List.map compile_rule rules))
+      t.states
+  in
+  let all = List.map compile_rule t.all_rules in
+  Sm.make ~name:t.sm_name
+    ~start:(fun _ -> Some start_state)
+    ~rules:(fun state ->
+      Option.value ~default:[] (List.assoc_opt state compiled_states))
+    ~all
+    ~state_to_string:(fun s -> s)
+    ()
+
+(** Parse a metal source string and return the runnable checker. *)
+let load (src : string) : string Sm.t = to_sm (parse src)
+
+(** Load a .metal file from disk. *)
+let load_file (path : string) : string Sm.t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  load src

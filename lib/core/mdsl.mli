@@ -1,0 +1,32 @@
+(** A parser for the metal concrete syntax, as published.
+
+    Accepts checkers written in the syntax of the paper's Figures 2 and 3
+    — prelude block, [decl { kind } names;], [pat name = ...;], state
+    sections with [pattern ==> target] rules, the [all] state and the
+    [stop] target — and compiles them to engine-ready state machines.
+    The files under [metal/] are the paper's figures verbatim. *)
+
+exception Parse_error of string
+
+type target = { goto : string option; err : string option }
+type rule = { rule_pattern : Pattern.t; target : target }
+
+type t = {
+  sm_name : string;
+  decls : Pattern.decl list;
+  named_patterns : (string * Pattern.t) list;
+  states : (string * rule list) list;  (** in declaration order *)
+  all_rules : rule list;
+}
+
+val parse : string -> t
+(** @raise Parse_error on malformed metal source *)
+
+val to_sm : t -> string Sm.t
+(** compile to a runnable machine; states are their metal names and
+    execution starts in the first state defined, as in metal *)
+
+val load : string -> string Sm.t
+(** [to_sm (parse src)] *)
+
+val load_file : string -> string Sm.t

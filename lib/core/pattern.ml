@@ -1,0 +1,198 @@
+(** Source-code patterns, metal style.
+
+    A pattern is written in the base language (Clite) with some identifiers
+    declared as typed wildcards, mirroring metal's
+
+    {v
+      decl { scalar } addr, buf;
+      ...
+      { WAIT_FOR_DB_FULL(addr); }
+    v}
+
+    which here reads
+
+    {[
+      let addr = ("addr", Pattern.Scalar) in
+      Pattern.expr ~decls:[ addr ] "WAIT_FOR_DB_FULL(addr)"
+    ]}
+
+    Patterns match abstract-syntax subtrees structurally; wildcards match
+    any expression whose inferred type satisfies the wildcard's kind, and
+    repeated wildcards must match structurally equal expressions.
+    Disjunction ([|] in metal) is {!alt}; named patterns ([pat x = ...])
+    are plain OCaml [let]s. *)
+
+type wildcard_kind =
+  | Any  (** matches any expression *)
+  | Scalar  (** integers and pointers — metal's [scalar] *)
+  | Unsigned_int  (** metal's [unsigned] *)
+  | Floating  (** float/double-typed expressions *)
+  | Constant  (** literal constants only *)
+
+type decl = string * wildcard_kind
+
+type t =
+  | Alt of t list  (** ordered disjunction *)
+  | Expr of Ast.expr * decl list
+      (** pattern expression, with the wildcards declared for it *)
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [expr ~decls src] parses [src] as a Clite expression and treats each
+    identifier named in [decls] as a wildcard.
+    @raise Parse_error if [src] is not a valid expression. *)
+let expr ?(decls : decl list = []) (src : string) : t =
+  match Parser.parse_expr_string ~file:"<pattern>" src with
+  | e -> Expr (e, decls)
+  | exception Parser.Error (msg, _) ->
+    raise (Parse_error (Printf.sprintf "bad pattern %S: %s" src msg))
+  | exception Lexer.Error (msg, _) ->
+    raise (Parse_error (Printf.sprintf "bad pattern %S: %s" src msg))
+
+(** Ordered disjunction of patterns — metal's [p1 | p2]. *)
+let alt (ps : t list) : t =
+  Alt
+    (List.concat_map (function Alt inner -> inner | p -> [ p ]) ps)
+
+(** [call name ~args] matches a call to [name] with exactly [args]
+    wildcards, each matching anything.  Convenience for the common
+    macro-call shape. *)
+let call name ~arity : t =
+  let args =
+    List.init arity (fun i -> Printf.sprintf "_w%d" i)
+  in
+  let src = Printf.sprintf "%s(%s)" name (String.concat ", " args) in
+  expr ~decls:(List.map (fun a -> (a, Any)) args) src
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let kind_admits (kind : wildcard_kind) (e : Ast.expr) : bool =
+  match kind with
+  | Any -> true
+  | Scalar -> (
+    match e.Ast.ety with
+    | Some t -> Ctype.is_scalar t
+    | None -> true (* unannotated code: be permissive, as xg++ was *))
+  | Unsigned_int -> (
+    match e.Ast.ety with
+    | Some t -> Ctype.is_unsigned t || Ctype.is_integer t
+    | None -> true)
+  | Floating -> (
+    match e.Ast.ety with Some t -> Ctype.is_floating t | None -> false)
+  | Constant -> (
+    match e.Ast.edesc with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Char_lit _ | Ast.Str_lit _ ->
+      true
+    | _ -> false)
+
+(* Match pattern expression [p] against concrete expression [e]. *)
+let rec match_e (decls : decl list) (p : Ast.expr) (e : Ast.expr)
+    (b : Binding.t) : Binding.t option =
+  match p.Ast.edesc with
+  | Ast.Ident name when List.mem_assoc name decls ->
+    let kind = List.assoc name decls in
+    if kind_admits kind e then Binding.add b name e else None
+  | _ -> (
+    match (p.Ast.edesc, e.Ast.edesc) with
+    | Ast.Int_lit (a, _), Ast.Int_lit (c, _) ->
+      if Int64.equal a c then Some b else None
+    | Ast.Float_lit (a, _), Ast.Float_lit (c, _) ->
+      if Float.equal a c then Some b else None
+    | Ast.Str_lit a, Ast.Str_lit c -> if String.equal a c then Some b else None
+    | Ast.Char_lit a, Ast.Char_lit c -> if Char.equal a c then Some b else None
+    | Ast.Ident a, Ast.Ident c -> if String.equal a c then Some b else None
+    | Ast.Call (pf, pargs), Ast.Call (ef, eargs) ->
+      if List.length pargs <> List.length eargs then None
+      else
+        Option.bind (match_e decls pf ef b) (fun b ->
+            match_list decls pargs eargs b)
+    | Ast.Unop (po, pa), Ast.Unop (eo, ea) ->
+      if po = eo then match_e decls pa ea b else None
+    | Ast.Binop (po, pa, pb), Ast.Binop (eo, ea, eb) ->
+      if po = eo then
+        Option.bind (match_e decls pa ea b) (fun b -> match_e decls pb eb b)
+      else None
+    | Ast.Assign (pl, pr), Ast.Assign (el, er) ->
+      Option.bind (match_e decls pl el b) (fun b -> match_e decls pr er b)
+    | Ast.Op_assign (po, pl, pr), Ast.Op_assign (eo, el, er) ->
+      if po = eo then
+        Option.bind (match_e decls pl el b) (fun b -> match_e decls pr er b)
+      else None
+    | Ast.Cond (pc, pt, pf), Ast.Cond (ec, et, ef) ->
+      Option.bind (match_e decls pc ec b) (fun b ->
+          Option.bind (match_e decls pt et b) (fun b -> match_e decls pf ef b))
+    | Ast.Cast (pt, pa), Ast.Cast (et, ea) ->
+      if Ctype.equal pt et then match_e decls pa ea b else None
+    | Ast.Field (pa, pf), Ast.Field (ea, ef)
+    | Ast.Arrow (pa, pf), Ast.Arrow (ea, ef) ->
+      if String.equal pf ef then match_e decls pa ea b else None
+    | Ast.Index (pa, pi), Ast.Index (ea, ei) ->
+      Option.bind (match_e decls pa ea b) (fun b -> match_e decls pi ei b)
+    | Ast.Comma (pa, pb), Ast.Comma (ea, eb) ->
+      Option.bind (match_e decls pa ea b) (fun b -> match_e decls pb eb b)
+    | Ast.Sizeof_expr pa, Ast.Sizeof_expr ea -> match_e decls pa ea b
+    | Ast.Sizeof_type pt, Ast.Sizeof_type et ->
+      if Ctype.equal pt et then Some b else None
+    | _ -> None)
+
+and match_list decls ps es b =
+  match (ps, es) with
+  | [], [] -> Some b
+  | p :: ps, e :: es ->
+    Option.bind (match_e decls p e b) (fun b -> match_list decls ps es b)
+  | _ -> None
+
+(** Match [t] against expression [e] at its root. *)
+let rec match_expr (t : t) (e : Ast.expr) : Binding.t option =
+  match t with
+  | Expr (p, decls) -> match_e decls p e Binding.empty
+  | Alt ps ->
+    List.fold_left
+      (fun acc p -> match acc with Some _ -> acc | None -> match_expr p e)
+      None ps
+
+(** All root-matches of [t] within [e] (including [e] itself), with the
+    matched sub-expression, in evaluation (post-) order. *)
+let find_all (t : t) (e : Ast.expr) : (Ast.expr * Binding.t) list =
+  let hits = ref [] in
+  let rec post e =
+    (match e.Ast.edesc with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+    | Ast.Ident _ | Ast.Sizeof_type _ ->
+      ()
+    | Ast.Call (f, args) ->
+      post f;
+      List.iter post args
+    | Ast.Unop (_, a) | Ast.Cast (_, a) | Ast.Field (a, _) | Ast.Arrow (a, _)
+    | Ast.Sizeof_expr a ->
+      post a
+    | Ast.Binop (_, a, b)
+    | Ast.Assign (a, b)
+    | Ast.Op_assign (_, a, b)
+    | Ast.Index (a, b)
+    | Ast.Comma (a, b) ->
+      post a;
+      post b
+    | Ast.Cond (a, b, c) ->
+      post a;
+      post b;
+      post c);
+    match match_expr t e with
+    | Some b -> hits := (e, b) :: !hits
+    | None -> ()
+  in
+  post e;
+  List.rev !hits
+
+(** First match of [t] anywhere within [e]. *)
+let find (t : t) (e : Ast.expr) : (Ast.expr * Binding.t) option =
+  match find_all t e with [] -> None | hit :: _ -> Some hit
+
+(** Does [t] match anywhere within [e]? *)
+let occurs (t : t) (e : Ast.expr) : bool = find t e <> None

@@ -1,0 +1,56 @@
+(** Source-code patterns, metal style.
+
+    A pattern is written in the base language (Clite) with some
+    identifiers declared as typed wildcards, mirroring metal's
+
+    {v
+      decl { scalar } addr, buf;
+      { WAIT_FOR_DB_FULL(addr); }
+    v}
+
+    which here reads
+
+    {[
+      Pattern.expr ~decls:[ ("addr", Pattern.Scalar) ] "WAIT_FOR_DB_FULL(addr)"
+    ]}
+
+    Patterns match abstract-syntax subtrees structurally; wildcards match
+    any expression whose inferred type satisfies the wildcard's kind, and
+    repeated wildcards must match structurally equal expressions. *)
+
+(** Typed wildcard kinds — metal's [decl { kind }]. *)
+type wildcard_kind =
+  | Any  (** matches any expression *)
+  | Scalar  (** integers and pointers — metal's [scalar] *)
+  | Unsigned_int  (** metal's [unsigned] *)
+  | Floating  (** float/double-typed expressions *)
+  | Constant  (** literal constants only *)
+
+type decl = string * wildcard_kind
+
+type t
+
+exception Parse_error of string
+
+val expr : ?decls:decl list -> string -> t
+(** [expr ~decls src] parses [src] as a Clite expression, treating each
+    identifier named in [decls] as a wildcard.
+    @raise Parse_error when [src] is not a valid expression. *)
+
+val alt : t list -> t
+(** ordered disjunction — metal's [p1 | p2] *)
+
+val call : string -> arity:int -> t
+(** [call name ~arity] matches any call to [name] with [arity] arguments. *)
+
+val match_expr : t -> Ast.expr -> Binding.t option
+(** match at the root of an expression *)
+
+val find_all : t -> Ast.expr -> (Ast.expr * Binding.t) list
+(** all root-matches within an expression (including itself), in
+    evaluation (post-) order *)
+
+val find : t -> Ast.expr -> (Ast.expr * Binding.t) option
+(** first match anywhere within an expression *)
+
+val occurs : t -> Ast.expr -> bool

@@ -1,0 +1,75 @@
+(** Metal state machines.
+
+    A checker is a state machine applied down every execution path of each
+    function.  States are ordinary OCaml values (typically a variant type);
+    rules pair a {!Pattern.t} with an action that inspects the match and
+    decides the transition.  The special [all] rules are implicitly active
+    in every state, mirroring metal's [all:] state. *)
+
+(** What the action asks the engine to do next on this path. *)
+type 'state outcome =
+  | Stay  (** remain in the current state *)
+  | Goto of 'state  (** transition *)
+  | Stop  (** stop checking this path — metal's [stop] state *)
+
+(** Context available to rule actions. *)
+type action_ctx = {
+  func : Ast.func;  (** function being checked *)
+  matched : Ast.expr;  (** the expression the pattern matched *)
+  loc : Loc.t;  (** its location *)
+  bindings : Binding.t;
+  trace : Loc.t list;  (** execution path from function entry, entry first *)
+  emit : Diag.t -> unit;  (** report a diagnostic *)
+}
+
+type 'state rule = {
+  pattern : Pattern.t;
+  action : action_ctx -> 'state outcome;
+}
+
+type 'state t = {
+  name : string;
+  start : Ast.func -> 'state option;
+      (** initial state; [None] skips the function entirely (e.g. a checker
+          that only applies to handlers) *)
+  rules : 'state -> 'state rule list;  (** rules active in a state *)
+  all : 'state rule list;  (** rules active in every state *)
+  state_to_string : 'state -> string;  (** for traces and debugging *)
+  observe_branches : bool;
+      (** when true, branch/switch conditions are also offered to rules *)
+  branch : ('state -> Ast.expr -> bool -> 'state) option;
+      (** refine the state when the engine follows the true/false edge of
+          a conditional — how checkers become sensitive to tests such as
+          [if (ALLOC_FAILED(buf))] or the paper's 0/1-returning
+          conditional-free routines *)
+}
+
+let rule pattern action = { pattern; action }
+
+(** A rule that reports an error and stays in the current state — the
+    common [==> { err("...") }] shape. *)
+let err_rule ~checker pattern message =
+  rule pattern (fun ctx ->
+      ctx.emit
+        (Diag.make ~checker ~loc:ctx.loc ~func:ctx.func.Ast.f_name
+           ~trace:ctx.trace message);
+      Stay)
+
+(** A rule that unconditionally transitions — the [==> state] shape. *)
+let goto_rule pattern state = rule pattern (fun _ -> Goto state)
+
+(** A rule that stops checking the current path — the [==> stop] shape. *)
+let stop_rule pattern = rule pattern (fun _ -> Stop)
+
+let make ?(all = []) ?(observe_branches = true) ?branch
+    ?(state_to_string = fun _ -> "<state>") ~name ~start ~rules () =
+  { name; start; rules; all; state_to_string; observe_branches; branch }
+
+(** Helper for [emit] inside actions. *)
+let err ?severity ~checker (ctx : action_ctx) fmt =
+  Format.kasprintf
+    (fun message ->
+      ctx.emit
+        (Diag.make ?severity ~checker ~loc:ctx.loc ~func:ctx.func.Ast.f_name
+           ~trace:ctx.trace message))
+    fmt

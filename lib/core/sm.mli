@@ -1,0 +1,76 @@
+(** Metal state machines.
+
+    A checker is a state machine applied down every execution path of each
+    function (by {!Engine}).  States are ordinary OCaml values — typically
+    a variant type; rules pair a {!Pattern.t} with an action that inspects
+    the match and decides the transition.  The [all] rules are implicitly
+    active in every state, mirroring metal's [all:] state. *)
+
+(** What an action asks the engine to do next on this path. *)
+type 'state outcome =
+  | Stay  (** remain in the current state *)
+  | Goto of 'state  (** transition *)
+  | Stop  (** stop checking this path — metal's [stop] state *)
+
+(** Context available to rule actions. *)
+type action_ctx = {
+  func : Ast.func;  (** function being checked *)
+  matched : Ast.expr;  (** the expression the pattern matched *)
+  loc : Loc.t;  (** its location *)
+  bindings : Binding.t;
+  trace : Loc.t list;  (** execution path from function entry, entry first *)
+  emit : Diag.t -> unit;  (** report a diagnostic *)
+}
+
+type 'state rule = {
+  pattern : Pattern.t;
+  action : action_ctx -> 'state outcome;
+}
+
+type 'state t = {
+  name : string;
+  start : Ast.func -> 'state option;
+      (** initial state; [None] skips the function entirely (e.g. a
+          checker that only applies to handlers) *)
+  rules : 'state -> 'state rule list;  (** rules active in a state *)
+  all : 'state rule list;  (** rules active in every state *)
+  state_to_string : 'state -> string;
+  observe_branches : bool;
+      (** when true (the default), branch and switch conditions are also
+          offered to rules *)
+  branch : ('state -> Ast.expr -> bool -> 'state) option;
+      (** refine the state when the engine follows the true/false edge of
+          a conditional — how checkers become sensitive to tests such as
+          [if (ALLOC_FAILED(buf))] or the paper's 0/1-returning
+          conditional-free routines *)
+}
+
+val make :
+  ?all:'state rule list ->
+  ?observe_branches:bool ->
+  ?branch:('state -> Ast.expr -> bool -> 'state) ->
+  ?state_to_string:('state -> string) ->
+  name:string ->
+  start:(Ast.func -> 'state option) ->
+  rules:('state -> 'state rule list) ->
+  unit ->
+  'state t
+
+val rule : Pattern.t -> (action_ctx -> 'state outcome) -> 'state rule
+
+val err_rule : checker:string -> Pattern.t -> string -> 'state rule
+(** report an error and stay — the common [==> { err("...") }] shape *)
+
+val goto_rule : Pattern.t -> 'state -> 'state rule
+(** unconditional transition — the [==> state] shape *)
+
+val stop_rule : Pattern.t -> 'state rule
+(** abandon the path — the [==> stop] shape *)
+
+val err :
+  ?severity:Diag.severity ->
+  checker:string ->
+  action_ctx ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** emit a diagnostic at the matched location from inside an action *)

@@ -1,0 +1,560 @@
+(** Directory organisations of the five FLASH protocols.
+
+    The protocols the paper checks differ mainly in the data structure
+    used to record sharing information (Section 2.1): a bit vector
+    (bitvector / coarsevector), dynamically allocated pointer lists
+    (dyn ptr), an SCI-style distributed linked list, COMA attraction-memory
+    tags, and a remote-access cache (RAC).  All five are implemented here
+    behind one interface so the simulator and the examples can drive any of
+    them; the sharing-set semantics is the common denominator the
+    coherence engine needs. *)
+
+module type S = sig
+  type t
+
+  val create : n_nodes:int -> n_lines:int -> t
+  val name : string
+
+  val add_sharer : t -> line:int -> node:int -> unit
+  val remove_sharer : t -> line:int -> node:int -> unit
+  val sharers : t -> line:int -> int list
+  val is_sharer : t -> line:int -> node:int -> bool
+
+  val set_dirty : t -> line:int -> owner:int -> unit
+  val clear_dirty : t -> line:int -> unit
+  val is_dirty : t -> line:int -> bool
+  val owner : t -> line:int -> int option
+
+  val clear : t -> line:int -> unit
+
+  val well_formed : t -> bool
+  (** internal-consistency invariant, exercised by property tests *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Bit vector                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Bitvector : S = struct
+  type entry = { mutable bits : int; mutable dirty : bool; mutable own : int }
+  type t = { entries : entry array; n_nodes : int }
+
+  let name = "bitvector"
+
+  let create ~n_nodes ~n_lines =
+    {
+      entries =
+        Array.init n_lines (fun _ -> { bits = 0; dirty = false; own = -1 });
+      n_nodes;
+    }
+
+  let entry t line = t.entries.(line)
+  let add_sharer t ~line ~node =
+    (entry t line).bits <- (entry t line).bits lor (1 lsl node)
+
+  let remove_sharer t ~line ~node =
+    (entry t line).bits <- (entry t line).bits land lnot (1 lsl node)
+
+  let is_sharer t ~line ~node = (entry t line).bits land (1 lsl node) <> 0
+
+  let sharers t ~line =
+    List.filter (fun node -> is_sharer t ~line ~node)
+      (List.init t.n_nodes Fun.id)
+
+  let set_dirty t ~line ~owner =
+    let e = entry t line in
+    e.dirty <- true;
+    e.own <- owner
+
+  let clear_dirty t ~line =
+    let e = entry t line in
+    e.dirty <- false;
+    e.own <- -1
+
+  let is_dirty t ~line = (entry t line).dirty
+  let owner t ~line = if is_dirty t ~line then Some (entry t line).own else None
+
+  let clear t ~line =
+    let e = entry t line in
+    e.bits <- 0;
+    e.dirty <- false;
+    e.own <- -1
+
+  let well_formed t =
+    Array.for_all
+      (fun e -> (not e.dirty) || (e.own >= 0 && e.own < t.n_nodes))
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic pointer allocation                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Dyn_ptr : S = struct
+  (* a shared pool of links; each directory entry holds a head index *)
+  type link = { l_node : int; mutable l_next : int }
+
+  type entry = { mutable head : int; mutable dirty : bool; mutable own : int }
+
+  type t = {
+    entries : entry array;
+    pool : (int, link) Hashtbl.t;
+    mutable next_link : int;
+    n_nodes : int;
+  }
+
+  let name = "dyn_ptr"
+
+  let create ~n_nodes ~n_lines =
+    {
+      entries =
+        Array.init n_lines (fun _ -> { head = -1; dirty = false; own = -1 });
+      pool = Hashtbl.create 256;
+      next_link = 0;
+      n_nodes;
+    }
+
+  let entry t line = t.entries.(line)
+
+  let rec mem_list t idx node =
+    if idx < 0 then false
+    else
+      let link = Hashtbl.find t.pool idx in
+      link.l_node = node || mem_list t link.l_next node
+
+  let is_sharer t ~line ~node = mem_list t (entry t line).head node
+
+  let add_sharer t ~line ~node =
+    if not (is_sharer t ~line ~node) then begin
+      let idx = t.next_link in
+      t.next_link <- t.next_link + 1;
+      Hashtbl.replace t.pool idx { l_node = node; l_next = (entry t line).head };
+      (entry t line).head <- idx
+    end
+
+  let remove_sharer t ~line ~node =
+    let e = entry t line in
+    let rec unlink prev idx =
+      if idx >= 0 then begin
+        let link = Hashtbl.find t.pool idx in
+        if link.l_node = node then begin
+          (match prev with
+          | None -> e.head <- link.l_next
+          | Some p -> p.l_next <- link.l_next);
+          Hashtbl.remove t.pool idx
+        end
+        else unlink (Some link) link.l_next
+      end
+    in
+    unlink None e.head
+
+  let sharers t ~line =
+    let rec collect idx acc =
+      if idx < 0 then List.rev acc
+      else
+        let link = Hashtbl.find t.pool idx in
+        collect link.l_next (link.l_node :: acc)
+    in
+    List.sort compare (collect (entry t line).head [])
+
+  let set_dirty t ~line ~owner =
+    let e = entry t line in
+    e.dirty <- true;
+    e.own <- owner
+
+  let clear_dirty t ~line =
+    let e = entry t line in
+    e.dirty <- false;
+    e.own <- -1
+
+  let is_dirty t ~line = (entry t line).dirty
+  let owner t ~line = if is_dirty t ~line then Some (entry t line).own else None
+
+  let clear t ~line =
+    let e = entry t line in
+    List.iter (fun node -> remove_sharer t ~line ~node) (sharers t ~line);
+    e.dirty <- false;
+    e.own <- -1
+
+  let well_formed t =
+    Array.for_all
+      (fun e ->
+        ((not e.dirty) || (e.own >= 0 && e.own < t.n_nodes))
+        && (e.head < 0 || Hashtbl.mem t.pool e.head))
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* SCI-style distributed linked list                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Sci : S = struct
+  (* SCI chains sharers in a distributed doubly-linked list whose head
+     lives at the home node.  We model each node's forward/backward line
+     pointers centrally: [fwd.(n)] is the next sharer after n, [back.(n)]
+     the previous one (or the home sentinel [-2] when n is the head);
+     [-1] means "not on the list". *)
+  let off_list = -1
+  let home_sentinel = -2
+
+  type entry = {
+    mutable head : int;
+    mutable dirty : bool;
+    fwd : int array;
+    back : int array;
+  }
+
+  type t = { entries : entry array; n_nodes : int }
+
+  let name = "sci"
+
+  let create ~n_nodes ~n_lines =
+    {
+      entries =
+        Array.init n_lines (fun _ ->
+            {
+              head = off_list;
+              dirty = false;
+              fwd = Array.make n_nodes off_list;
+              back = Array.make n_nodes off_list;
+            });
+      n_nodes;
+    }
+
+  let entry t line = t.entries.(line)
+
+  let is_sharer t ~line ~node =
+    let e = entry t line in
+    e.back.(node) <> off_list
+
+  let add_sharer t ~line ~node =
+    let e = entry t line in
+    if not (is_sharer t ~line ~node) then begin
+      (* newest sharer prepends and becomes head, as in SCI *)
+      let old = e.head in
+      e.fwd.(node) <- old;
+      e.back.(node) <- home_sentinel;
+      if old >= 0 then e.back.(old) <- node;
+      e.head <- node
+    end
+
+  let remove_sharer t ~line ~node =
+    let e = entry t line in
+    if is_sharer t ~line ~node then begin
+      let next = e.fwd.(node) in
+      let prev = e.back.(node) in
+      if prev = home_sentinel then e.head <- next
+      else if prev >= 0 then e.fwd.(prev) <- next;
+      if next >= 0 then e.back.(next) <- prev;
+      e.fwd.(node) <- off_list;
+      e.back.(node) <- off_list
+    end
+
+  let sharers t ~line =
+    let e = entry t line in
+    let rec walk node acc steps =
+      if node < 0 || steps > t.n_nodes then List.rev acc
+      else walk e.fwd.(node) (node :: acc) (steps + 1)
+    in
+    List.sort compare (walk e.head [] 0)
+
+  let set_dirty t ~line ~owner =
+    let e = entry t line in
+    e.dirty <- true;
+    (* the dirty owner sits at the head of the chain *)
+    if e.head <> owner then begin
+      remove_sharer t ~line ~node:owner;
+      add_sharer t ~line ~node:owner
+    end
+
+  let clear_dirty t ~line = (entry t line).dirty <- false
+  let is_dirty t ~line = (entry t line).dirty
+
+  let owner t ~line =
+    let e = entry t line in
+    if e.dirty && e.head >= 0 then Some e.head else None
+
+  let clear t ~line =
+    let e = entry t line in
+    Array.fill e.fwd 0 t.n_nodes off_list;
+    Array.fill e.back 0 t.n_nodes off_list;
+    e.head <- off_list;
+    e.dirty <- false
+
+  let well_formed t =
+    Array.for_all
+      (fun e ->
+        (* the chain from head terminates and links are mutually
+           consistent *)
+        let rec ok node steps =
+          if node < 0 then true
+          else if steps > t.n_nodes then false
+          else
+            let next = e.fwd.(node) in
+            (next < 0 || e.back.(next) = node) && ok next (steps + 1)
+        in
+        (e.head < 0 || e.back.(e.head) = home_sentinel) && ok e.head 0)
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* COMA attraction memory                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Coma : S = struct
+  (* each line has a master copy that migrates; sharing is tracked by
+     per-node presence tags, with the master bit standing in for dirty
+     ownership *)
+  type entry = {
+    tags : bool array;
+    mutable master : int;  (** node holding the master copy *)
+    mutable exclusive : bool;
+  }
+
+  type t = { entries : entry array; n_nodes : int }
+
+  let name = "coma"
+
+  let create ~n_nodes ~n_lines =
+    {
+      entries =
+        Array.init n_lines (fun _ ->
+            { tags = Array.make n_nodes false; master = -1; exclusive = false });
+      n_nodes;
+    }
+
+  let entry t line = t.entries.(line)
+
+  let add_sharer t ~line ~node =
+    let e = entry t line in
+    e.tags.(node) <- true;
+    if e.master < 0 then e.master <- node
+
+  let remove_sharer t ~line ~node =
+    let e = entry t line in
+    e.tags.(node) <- false;
+    if e.master = node then begin
+      (* the master copy migrates to another holder, if any *)
+      e.master <- -1;
+      Array.iteri (fun i present -> if present && e.master < 0 then e.master <- i) e.tags;
+      if e.master < 0 then e.exclusive <- false
+    end
+
+  let is_sharer t ~line ~node = (entry t line).tags.(node)
+
+  let sharers t ~line =
+    let e = entry t line in
+    List.filter (fun node -> e.tags.(node)) (List.init t.n_nodes Fun.id)
+
+  let set_dirty t ~line ~owner =
+    let e = entry t line in
+    Array.fill e.tags 0 t.n_nodes false;
+    e.tags.(owner) <- true;
+    e.master <- owner;
+    e.exclusive <- true
+
+  let clear_dirty t ~line = (entry t line).exclusive <- false
+  let is_dirty t ~line = (entry t line).exclusive
+
+  let owner t ~line =
+    let e = entry t line in
+    if e.exclusive && e.master >= 0 then Some e.master else None
+
+  let clear t ~line =
+    let e = entry t line in
+    Array.fill e.tags 0 t.n_nodes false;
+    e.master <- -1;
+    e.exclusive <- false
+
+  let well_formed t =
+    Array.for_all
+      (fun e ->
+        (e.master < 0 && not (Array.exists Fun.id e.tags))
+        || (e.master >= 0 && e.tags.(e.master)))
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Remote access cache                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Rac : S = struct
+  (* a bitvector directory augmented with a small remote-access cache of
+     recently used remote lines; the RAC state machine is what made the
+     rac protocol's handlers the largest in Table 1 *)
+  type rac_state = R_invalid | R_shared | R_dirty
+
+  type entry = {
+    mutable bits : int;
+    mutable dirty : bool;
+    mutable own : int;
+    rac : rac_state array;  (** per-node cached state of this line *)
+  }
+
+  type t = { entries : entry array; n_nodes : int }
+
+  let name = "rac"
+
+  let create ~n_nodes ~n_lines =
+    {
+      entries =
+        Array.init n_lines (fun _ ->
+            {
+              bits = 0;
+              dirty = false;
+              own = -1;
+              rac = Array.make n_nodes R_invalid;
+            });
+      n_nodes;
+    }
+
+  let entry t line = t.entries.(line)
+
+  let add_sharer t ~line ~node =
+    let e = entry t line in
+    e.bits <- e.bits lor (1 lsl node);
+    if e.rac.(node) <> R_dirty then e.rac.(node) <- R_shared
+
+  let remove_sharer t ~line ~node =
+    let e = entry t line in
+    e.bits <- e.bits land lnot (1 lsl node);
+    e.rac.(node) <- R_invalid;
+    if e.dirty && e.own = node then begin
+      e.dirty <- false;
+      e.own <- -1
+    end
+
+  let is_sharer t ~line ~node = (entry t line).bits land (1 lsl node) <> 0
+
+  let sharers t ~line =
+    List.filter (fun node -> is_sharer t ~line ~node)
+      (List.init t.n_nodes Fun.id)
+
+  let set_dirty t ~line ~owner =
+    let e = entry t line in
+    (* exclusive ownership: everyone else's RAC entry is invalidated *)
+    Array.fill e.rac 0 t.n_nodes R_invalid;
+    e.bits <- 1 lsl owner;
+    e.dirty <- true;
+    e.own <- owner;
+    e.rac.(owner) <- R_dirty
+
+  let clear_dirty t ~line =
+    let e = entry t line in
+    (if e.own >= 0 then e.rac.(e.own) <- R_shared);
+    e.dirty <- false;
+    e.own <- -1
+
+  let is_dirty t ~line = (entry t line).dirty
+  let owner t ~line = if is_dirty t ~line then Some (entry t line).own else None
+
+  let clear t ~line =
+    let e = entry t line in
+    e.bits <- 0;
+    e.dirty <- false;
+    e.own <- -1;
+    Array.fill e.rac 0 t.n_nodes R_invalid
+
+  let well_formed t =
+    Array.for_all
+      (fun e ->
+        (not e.dirty)
+        || (e.own >= 0 && e.own < t.n_nodes && e.rac.(e.own) = R_dirty))
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Coarse vector                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Coarsevector : S = struct
+  (* the bitvector's big-machine variant (the paper calls the protocol
+     "bitvector/coarsevector"): each bit stands for a *group* of nodes,
+     so invalidations over-approximate the sharer set.  [sharers] returns
+     every node in a marked group, which is exactly the conservative set
+     the protocol must invalidate. *)
+  let group_size = 2
+
+  type entry = { mutable bits : int; mutable dirty : bool; mutable own : int }
+
+  type t = { entries : entry array; n_nodes : int }
+
+  let name = "coarsevector"
+
+  let create ~n_nodes ~n_lines =
+    {
+      entries =
+        Array.init n_lines (fun _ -> { bits = 0; dirty = false; own = -1 });
+      n_nodes;
+    }
+
+  let entry t line = t.entries.(line)
+  let group node = node / group_size
+
+  let add_sharer t ~line ~node =
+    (entry t line).bits <- (entry t line).bits lor (1 lsl group node)
+
+  let remove_sharer t ~line ~node =
+    (* without per-node state the directory cannot know whether another
+       node of the group still shares the line, so the bit stays set: the
+       sharer set is an over-approximation and the protocol tolerates the
+       resulting spurious invalidations.  Bits are reclaimed wholesale by
+       [clear]. *)
+    ignore (t, line, node)
+
+  let is_sharer t ~line ~node =
+    (entry t line).bits land (1 lsl group node) <> 0
+
+  let sharers t ~line =
+    List.filter (fun node -> is_sharer t ~line ~node)
+      (List.init t.n_nodes Fun.id)
+
+  let set_dirty t ~line ~owner =
+    let e = entry t line in
+    e.dirty <- true;
+    e.own <- owner
+
+  let clear_dirty t ~line =
+    let e = entry t line in
+    e.dirty <- false;
+    e.own <- -1
+
+  let is_dirty t ~line = (entry t line).dirty
+  let owner t ~line = if is_dirty t ~line then Some (entry t line).own else None
+
+  let clear t ~line =
+    let e = entry t line in
+    e.bits <- 0;
+    e.dirty <- false;
+    e.own <- -1
+
+  let well_formed t =
+    Array.for_all
+      (fun e -> (not e.dirty) || (e.own >= 0 && e.own < t.n_nodes))
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type packed = (module S)
+
+let of_protocol : string -> packed option = function
+  | "bitvector" -> Some (module Bitvector)
+  | "coarsevector" -> Some (module Coarsevector)
+  | "dyn_ptr" -> Some (module Dyn_ptr)
+  | "sci" -> Some (module Sci)
+  | "coma" -> Some (module Coma)
+  | "rac" -> Some (module Rac)
+  | _ -> None
+
+let all : packed list =
+  [
+    (module Bitvector);
+    (module Coarsevector);
+    (module Dyn_ptr);
+    (module Sci);
+    (module Coma);
+    (module Rac);
+  ]

@@ -1,0 +1,200 @@
+(** The FLASH protocol-code vocabulary.
+
+    FLASH protocol handlers are written against a fixed set of macros that
+    drive the MAGIC node controller: waiting for and reading data buffers,
+    sending messages on the processor/network/IO interfaces, loading and
+    writing back directory entries, and calling back into the FlashLite
+    simulator.  This module is the single source of truth for those names
+    and constants — the corpus generator emits them, the checkers match on
+    them, and the interpreter gives them semantics. *)
+
+(* ------------------------------------------------------------------ *)
+(* Message lengths and data flags (Section 5)                          *)
+(* ------------------------------------------------------------------ *)
+
+let len_nodata = "LEN_NODATA"
+let len_word = "LEN_WORD"
+let len_cacheline = "LEN_CACHELINE"
+let f_data = "F_DATA"
+let f_nodata = "F_NODATA"
+
+(* The length field of the outgoing message header, as written in
+    protocol source. *)
+let len_field = "HANDLER_GLOBALS(header.nh.len)"
+
+(* ------------------------------------------------------------------ *)
+(* Data buffers (Sections 4 and 6)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let wait_for_db_full = "WAIT_FOR_DB_FULL"
+let miscbus_read_db = "MISCBUS_READ_DB"
+let miscbus_read_db_old = "MISCBUS_READ_DB_OLD"  (* deprecated equivalent *)
+let miscbus_write_db = "MISCBUS_WRITE_DB"
+let allocate_db = "ALLOCATE_DB"
+let free_db = "FREE_DB"
+let alloc_failed = "ALLOC_FAILED"  (* tests an allocation for failure *)
+let db_inc_refcount = "DB_INC_REFCOUNT"
+    (* the "never used" manual refcount bump from the paper's Section 11
+        anecdote; checkers aggressively object to it *)
+
+(** Checker annotations (Section 6): reserved assertion functions. *)
+let ann_has_buffer = "has_buffer"
+let ann_no_free_needed = "no_free_needed"
+
+(* ------------------------------------------------------------------ *)
+(* Sends and lanes (Sections 5 and 7)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pi_send = "PI_SEND"  (* processor interface *)
+let io_send = "IO_SEND"  (* I/O interface *)
+let ni_send = "NI_SEND"  (* network interface; first arg is message type *)
+
+let send_macros = [ pi_send; io_send; ni_send ]
+
+let n_lanes = 4
+
+(** Network output lanes.  PI and IO each own a lane; network sends use
+    the request or reply lane depending on the message class. *)
+let lane_pi = 0
+
+let lane_io = 1
+let lane_net_request = 2
+let lane_net_reply = 3
+
+(** Suspend until there is space for one more message on [lane] —
+    mandatory before exceeding the handler's lane allowance. *)
+let wait_for_output_space = "WAIT_FOR_OUTPUT_SPACE"
+
+(* ------------------------------------------------------------------ *)
+(* Send-wait discipline (Section 9)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let w_wait = "W_WAIT"  (* send will be followed by an explicit wait *)
+let w_nowait = "W_NOWAIT"
+let wait_for_pi_reply = "WAIT_FOR_PI_REPLY"
+let wait_for_io_reply = "WAIT_FOR_IO_REPLY"
+
+(* ------------------------------------------------------------------ *)
+(* Directory entries (Section 9)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load_dir_entry = "LOAD_DIR_ENTRY"
+let writeback_dir_entry = "WRITEBACK_DIR_ENTRY"
+
+(* Directory-entry fields live in handler globals and are written as
+    [HANDLER_GLOBALS(dirEntry.<field>)]. *)
+let dir_entry_prefix = "dirEntry"
+
+(* Computing a directory-entry address by hand instead of calling this is
+    the "abstraction error" the paper's directory checker flags. *)
+let dir_addr_macro = "DIR_ADDR"
+
+(* ------------------------------------------------------------------ *)
+(* Handler structure and simulator hooks (Section 8)                   *)
+(* ------------------------------------------------------------------ *)
+
+let handler_globals = "HANDLER_GLOBALS"
+let handler_defs = "HANDLER_DEFS"
+let handler_prologue = "HANDLER_PROLOGUE"
+let sim_handler_hook = "SIM_HANDLER_HOOK"
+let sim_swhandler_hook = "SIM_SWHANDLER_HOOK"
+let sim_procedure_hook = "SIM_PROCEDURE_HOOK"
+let no_stack = "NO_STACK"
+let set_stackptr = "SET_STACKPTR"
+
+(* Macros that still parse but must no longer be used. *)
+let deprecated_macros = [ miscbus_read_db_old; "OLD_SEND"; "DB_CONTENTS" ]
+
+(* ------------------------------------------------------------------ *)
+(* Message opcodes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Network message types, shared by every protocol.  Replies travel on
+    the reply lane; requests on the request lane. *)
+let msg_opcodes_request =
+  [
+    "MSG_GET";
+    "MSG_GETX";
+    "MSG_UNCACHED_READ";
+    "MSG_UNCACHED_WRITE";
+    "MSG_INVAL";
+    "MSG_INTERVENTION";
+    "MSG_WB";
+    "MSG_IO_READ";
+    "MSG_IO_WRITE";
+  ]
+
+let msg_opcodes_reply =
+  [
+    "MSG_PUT";
+    "MSG_PUTX";
+    "MSG_NAK";
+    "MSG_INVAL_ACK";
+    "MSG_UNCACHED_REPLY";
+    "MSG_WB_ACK";
+    "MSG_INTERVENTION_REPLY";
+    "MSG_IO_REPLY";
+  ]
+
+let msg_nak = "MSG_NAK"
+
+let is_reply_opcode op = List.mem op msg_opcodes_reply
+
+(** Lane used by a send: PI/IO sends have their own lanes; NI sends use
+    the request or reply network lane according to the opcode (the paper:
+    lanes are virtual message slots assigned per handler when the protocol
+    is designed). *)
+let lane_of_send ~macro ~opcode =
+  if String.equal macro pi_send then Some lane_pi
+  else if String.equal macro io_send then Some lane_io
+  else if String.equal macro ni_send then
+    match opcode with
+    | Some op when is_reply_opcode op -> Some lane_net_reply
+    | Some _ -> Some lane_net_request
+    | None -> Some lane_net_request
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Protocol specifications                                             *)
+(* ------------------------------------------------------------------ *)
+
+type handler_kind =
+  | Hw_handler  (** dispatched by hardware: begins execution with a buffer *)
+  | Sw_handler  (** software-scheduled: begins without a buffer *)
+  | Procedure  (** ordinary subroutine *)
+
+type handler_spec = {
+  h_name : string;
+  h_kind : handler_kind;
+  h_lane_allowance : int array;  (** max sends allowed per lane *)
+  h_no_stack : bool;
+}
+
+(** The protocol-writer-supplied information the paper's checkers consume:
+    which routines are handlers (extracted "from the protocol
+    specification"), their lane allowances, and the buffer-discipline
+    tables for subroutines. *)
+type spec = {
+  p_name : string;
+  p_handlers : handler_spec list;
+  p_free_funcs : string list;
+      (** routines that expect the current buffer and free it *)
+  p_use_funcs : string list;
+      (** routines that expect the current buffer without freeing it *)
+  p_cond_free_funcs : string list;
+      (** routines returning 0/1 according to whether they freed the
+          buffer — the paper's twelve-line fixed-point refinement *)
+}
+
+let find_handler spec name =
+  List.find_opt (fun h -> String.equal h.h_name name) spec.p_handlers
+
+let handler_kind spec name =
+  match find_handler spec name with
+  | Some h -> h.h_kind
+  | None -> Procedure
+
+let is_handler spec name =
+  match handler_kind spec name with
+  | Hw_handler | Sw_handler -> true
+  | Procedure -> false

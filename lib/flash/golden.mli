@@ -1,0 +1,23 @@
+(** An executable bitvector coherence protocol, hand-written in Clite.
+
+    Two variants: [Clean] (correct) and [Buggy], which seeds four of the
+    paper's bug classes on the same rare corner paths the checkers find
+    them on statically (double free on the dirty-remote path, a
+    length/data mismatch on the queue-full uncached corner, an
+    unsynchronised first-byte read, and a buffer leak in the invalidation
+    handler).  {!Sim} executes these handlers; the static-vs-dynamic
+    comparison checks the same source. *)
+
+type variant = Clean | Buggy
+
+val source : variant -> string
+(** the complete Clite source (prelude included) *)
+
+val program : variant -> Ast.tunit list
+(** parsed and type-annotated *)
+
+val handler_map : (string * string) list
+(** which handler runs for each incoming network opcode *)
+
+val spec : Flash_api.spec
+(** protocol spec for static-checking the golden handlers *)

@@ -1,0 +1,129 @@
+(** The shared declarations prepended to every generated protocol file.
+
+    Real FLASH protocol sources pull these from common headers
+    ("flash-includes.h" in the paper's Figure 2); we inline them because
+    the corpus is generated post-preprocessing, exactly what xg++ saw.
+    The MAGIC macros are declared as function prototypes so that the
+    type checker knows their shapes. *)
+
+let text =
+  {|/* ---- flash-includes: shared protocol declarations (generated) ---- */
+typedef unsigned long u32;
+typedef long s32;
+
+enum msg_length { LEN_NODATA = 0, LEN_WORD = 1, LEN_CACHELINE = 16 };
+enum data_flag { F_NODATA = 0, F_DATA = 1 };
+enum wait_flag { W_NOWAIT = 0, W_WAIT = 1 };
+
+enum opcode {
+  MSG_GET = 1,
+  MSG_GETX = 2,
+  MSG_PUT = 3,
+  MSG_PUTX = 4,
+  MSG_NAK = 5,
+  MSG_INVAL = 6,
+  MSG_INVAL_ACK = 7,
+  MSG_WB = 8,
+  MSG_WB_ACK = 9,
+  MSG_INTERVENTION = 10,
+  MSG_INTERVENTION_REPLY = 11,
+  MSG_UNCACHED_READ = 12,
+  MSG_UNCACHED_WRITE = 13,
+  MSG_UNCACHED_REPLY = 14,
+  MSG_IO_READ = 15,
+  MSG_IO_WRITE = 16,
+  MSG_IO_REPLY = 17
+};
+
+struct net_header {
+  int len;
+  int type;
+  long address;
+  int src;
+  int dest;
+  int misc;
+};
+
+struct msg_header {
+  struct net_header nh;
+};
+
+struct dir_entry_s {
+  int pending;
+  int dirty;
+  int io;
+  long vector;
+  int owner;
+  int head;
+  int tags;
+  int state;
+  int master;
+  long fwd;
+  long back;
+};
+
+/* handler globals (selected by HANDLER_GLOBALS) */
+struct msg_header header;
+struct dir_entry_s dirEntry;
+long protoStats[64];
+long nodeId;
+long numNodes;
+
+/* ---- MAGIC interface ---- */
+long HANDLER_GLOBALS(long field);
+void HANDLER_DEFS(void);
+void HANDLER_PROLOGUE(void);
+void NO_STACK(void);
+void SET_STACKPTR(void);
+void SIM_HANDLER_HOOK(void);
+void SIM_SWHANDLER_HOOK(void);
+void SIM_PROCEDURE_HOOK(void);
+
+void WAIT_FOR_DB_FULL(long addr);
+long MISCBUS_READ_DB(long addr, int off);
+long MISCBUS_READ_DB_OLD(long addr, int off);
+void MISCBUS_WRITE_DB(long addr, int off, long value);
+long ALLOCATE_DB(void);
+int ALLOC_FAILED(long buf);
+void FREE_DB(void);
+void DB_INC_REFCOUNT(void);
+
+void PI_SEND(int flag, int keep, int swap, int wait, int dec, int null);
+void IO_SEND(int flag, int keep, int swap, int wait, int dec, int null);
+void NI_SEND(int type, int flag, int keep, int wait, int dec, int null);
+void WAIT_FOR_OUTPUT_SPACE(int lane);
+void WAIT_FOR_PI_REPLY(void);
+void WAIT_FOR_IO_REPLY(void);
+
+long DIR_ADDR(long address);
+void LOAD_DIR_ENTRY(long dirAddr);
+void WRITEBACK_DIR_ENTRY(long dirAddr);
+
+/* checker annotations */
+void has_buffer(void);
+void no_free_needed(void);
+
+/* protocol-specific directory state encodings */
+enum rac_state { RAC_INVALID = 0, RAC_SHARED = 1, RAC_DIRTY = 2 };
+enum coma_state { COMA_INVALID = 0, COMA_SHARED = 1, COMA_EXCL = 2 };
+
+/* pointer-list support (dyn_ptr, sci) */
+long ALLOC_LINK(long node);
+long LINK_INSERT(long head, long link);
+long LINK_NEXT(long p);
+long LIST_CLEAR(long head);
+
+/* miscellaneous runtime services */
+int OUTPUT_QUEUE_FULL(int lane);
+void FATAL_ERROR(void);
+void BACKOUT_REQUEST(long src);
+long protoDebug;
+
+/* debug support */
+void DEBUG_PRINT(char *fmt, long value);
+/* ---- end flash-includes ---- */
+|}
+
+(** Number of source lines the prelude contributes to each file (excluded
+    from protocol LOC, like the paper excluding header files). *)
+let loc = Frontend.loc_count text

@@ -1,0 +1,648 @@
+(** Per-protocol shapes and seeded-fault placement for the synthetic corpus.
+
+    The numbers here are calibrated against the paper's Tables 1–7: routine
+    counts and code sizes land in the published ballpark (Table 1/5), and
+    every error, minor violation, and false positive from Tables 2–4, 6 and
+    Sections 7–8 is seeded at the corresponding kind of site (uncached
+    handlers, eager-mode handlers, queue-full paths, debug code, ...). *)
+
+(** Handler styles, mapping onto the paper's three handler classes. *)
+type hstyle =
+  | Dir  (** directory-consulting *)
+  | Reply of int  (** reply-receive; argument = buffer reads performed *)
+  | Interv of [ `PI | `IO ]  (** intervention *)
+  | Unc of bool  (** uncached access; [true] = write *)
+  | Wb  (** writeback *)
+  | Inval  (** invalidation multicast *)
+  | Pass  (** pass-thru *)
+  | Len_var  (** run-time-flag send (the coma FP shape) *)
+
+(** The shared base handler set — protocols inherit these names from a
+    common legacy, which is why the paper saw the same bug replicated in
+    dyn_ptr, rac and bitvector. *)
+let base_handlers : (string * hstyle) list =
+  [
+    ("PILocalGet", Dir);
+    ("PILocalGetX", Dir);
+    ("PILocalPut", Wb);
+    ("PILocalWB", Wb);
+    ("PIRemoteGet", Pass);
+    ("PIRemoteGetX", Pass);
+    ("PIUncachedRead", Unc false);
+    ("PIUncachedWrite", Unc true);
+    ("NILocalGet", Dir);
+    ("NILocalGetX", Dir);
+    ("NILocalUpgrade", Dir);
+    ("NIRemotePut", Reply 2);
+    ("NIRemotePutX", Reply 2);
+    ("NIUncachedReply", Reply 2);
+    ("NIIntervention", Interv `PI);
+    ("NIInterventionReply", Dir);
+    ("NIInval", Inval);
+    ("NIInvalAck", Dir);
+    ("NILocalWB", Wb);
+    ("NIWBAck", Pass);
+    ("NIUncachedRead", Unc false);
+    ("NIUncachedWrite", Unc true);
+    ("IOLocalRead", Interv `IO);
+    ("IOLocalWrite", Interv `IO);
+    ("IORemoteRead", Pass);
+    ("IOReadReply", Reply 2);
+    ("IOWrite", Unc true);
+    ("IOWBAck", Pass);
+    ("NIInterventionX", Interv `PI);
+    ("IOFlushLine", Interv `IO);
+  ]
+
+let variant_suffixes = [ "Eager"; "Cohr"; "Retry"; "Fast" ]
+
+type config = {
+  flavor : Skeletons.flavor;
+  n_hw : int;  (** hardware handlers, base + variants *)
+  n_sw : int;
+  n_sw_alloc : int;  (** software handlers that allocate a buffer *)
+  n_proc : int;  (** ordinary subroutines *)
+  n_realloc : int;  (** Dir handlers that re-allocate for the reply *)
+  n_interv : int;  (** intervention handlers (for send-wait volume) *)
+  reply_reads : int;  (** buffer reads in a reply handler (0 or 2) *)
+  n_use_helpers : int;  (** buffer-peeking subroutines (2 reads each) *)
+  n_dir_helpers : int;  (** subroutines that modify dirEntry for the caller *)
+  n_list_walk : int;  (** loop-only subroutines (lanes fixed point food) *)
+  dir_extra : int;  (** extra directory reads per Dir handler *)
+  pad : int * int;  (** straight-line padding range per routine *)
+  branches : int * int;  (** extra path-doubling branches per handler *)
+  long_handler_pad : int;  (** padding for the protocol's longest handler *)
+  proc_switch_cases : int;  (** switch arms in utility routines (0 = none) *)
+  bugs : (string * Skeletons.bug) list;  (** function -> seeded fault *)
+  annot_useful : string list;  (** handlers given a no_free_needed() path *)
+  free_helper_users : string list;
+      (** Dir handlers whose NAK path calls SendNakAndFree() *)
+  manifest : Manifest.entry list;
+}
+
+let e = Manifest.entry
+
+(* Shorthand checker names (must match Registry). *)
+let c_race = "wait_for_db"
+let c_len = "msg_length"
+let c_buf = "buffer_mgmt"
+let c_lanes = "lanes"
+let c_exec = "exec_restrict"
+let c_alloc = "alloc_check"
+let c_dir = "dir_entry"
+let c_sw = "send_wait"
+
+let bitvector : config =
+  let p = "bitvector" in
+  {
+    flavor = Skeletons.Bitvector;
+    n_hw = 82;
+    n_sw = 8;
+    n_sw_alloc = 8;
+    n_proc = 78;
+    n_realloc = 9;
+    n_interv = 16;
+    reply_reads = 2;
+    n_use_helpers = 1;
+    n_dir_helpers = 1;
+    n_list_walk = 4;
+    dir_extra = 1;
+    pad = (24, 50);
+    branches = (0, 2);
+    long_handler_pad = 470;
+    proc_switch_cases = 0;
+    bugs =
+      [
+        (* Table 2: four buffer races in rare corner cases *)
+        ("NIRemotePut", Skeletons.Race_read);
+        ("NIRemotePutX", Skeletons.Race_read);
+        ("NIUncachedReply", Skeletons.Race_read);
+        ("IOReadReply", Skeletons.Race_read);
+        (* Table 3: one uncached-read bug, one eager-mode bug, one
+           violation harmless on hardware but wrong in simulation *)
+        ("NIUncachedRead", Skeletons.Len_data_mismatch);
+        ("NILocalGetEager", Skeletons.Len_data_mismatch);
+        ("NIUncachedWrite", Skeletons.Len_data_mismatch);
+        (* Table 4: two double frees (one shared with dyn_ptr/rac via the
+           common heritage), one stub violation, one data-dependent FP *)
+        ("NILocalUpgrade", Skeletons.Double_free);
+        ("NIInterventionReplyEager", Skeletons.Double_free);
+        ("NIDebugDrain", Skeletons.Buf_minor);
+        ("NILocalWBFast", Skeletons.Buf_data_fp);
+        (* Section 7: the typo lane overrun *)
+        ("NILocalGetXFast", Skeletons.Lane_overrun);
+        (* Table 5: two missing simulator hooks *)
+        ("PIRemoteGetEager", Skeletons.Hook_omission);
+        ("IOWBAckFast", Skeletons.Hook_omission);
+        (* Table 6: one real directory bug, two abstraction errors, and
+           the speculative-NAK path the checker must prune *)
+        ("NIInvalAck", Skeletons.Dir_no_writeback);
+        ("PILocalGetCohr", Skeletons.Dir_abstraction_fp);
+        ("NIUncachedReadFast", Skeletons.Dir_abstraction_fp);
+        ("NILocalGetCohr", Skeletons.Dir_spec_nak);
+        ("MarkLinePending", Skeletons.Dir_spec_backout_fp);
+        (* Table 6: two hand-rolled waits *)
+        ("NIInterventionEager", Skeletons.Sendwait_barrier_fp);
+        ("IOLocalReadFast", Skeletons.Sendwait_barrier_fp);
+      ];
+    annot_useful = [];
+    free_helper_users = [ "NILocalGet"; "NIInterventionReply" ];
+    manifest =
+      [
+        e ~checker:c_race ~protocol:p ~func:"NIRemotePut" ~kind:Manifest.Bug
+          "first-byte read without synchronisation";
+        e ~checker:c_race ~protocol:p ~func:"NIRemotePutX" ~kind:Manifest.Bug
+          "first-byte read without synchronisation";
+        e ~checker:c_race ~protocol:p ~func:"NIUncachedReply"
+          ~kind:Manifest.Bug "corner-path read without synchronisation";
+        e ~checker:c_race ~protocol:p ~func:"IOReadReply" ~kind:Manifest.Bug
+          "I/O reply read without synchronisation";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedRead" ~kind:Manifest.Bug
+          "uncached read: stale LEN_NODATA on data send";
+        e ~checker:c_len ~protocol:p ~func:"NILocalGetEager"
+          ~kind:Manifest.Bug "eager-mode handler (simulation only)";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedWrite"
+          ~kind:Manifest.Bug
+          "harmless on hardware (implementation detail) but breaks \
+           simulation";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalUpgrade" ~kind:Manifest.Bug
+          "double free inherited from the common parent source";
+        e ~checker:c_buf ~protocol:p ~func:"NIInterventionReplyEager"
+          ~kind:Manifest.Bug "double free";
+        e ~checker:c_buf ~protocol:p ~func:"NIDebugDrain" ~kind:Manifest.Minor
+          "violation in a legacy stub nobody can diagnose";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalWBFast"
+          ~kind:Manifest.False_positive
+          "data-dependent free the checker cannot prune";
+        e ~checker:c_lanes ~protocol:p ~func:"NILocalGetXFast"
+          ~kind:Manifest.Bug "typo: one reply send beyond the lane allowance";
+        e ~checker:c_exec ~protocol:p ~func:"PIRemoteGetEager"
+          ~kind:Manifest.Bug "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"IOWBAckFast" ~kind:Manifest.Bug
+          "simulator hook omitted";
+        e ~checker:c_dir ~protocol:p ~func:"NIInvalAck" ~kind:Manifest.Bug
+          "modified directory entry never written back";
+        e ~checker:c_dir ~protocol:p ~func:"PILocalGetCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NIUncachedReadFast"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLinePending"
+          ~kind:Manifest.False_positive
+          "subroutine relies on the caller's writeback";
+        e ~checker:c_sw ~protocol:p ~func:"NIInterventionEager"
+          ~kind:Manifest.False_positive
+          "abstraction barrier broken: hand-rolled wait loop";
+        e ~checker:c_sw ~protocol:p ~func:"IOLocalReadFast"
+          ~kind:Manifest.False_positive
+          "abstraction barrier broken: hand-rolled wait loop";
+      ];
+  }
+
+let dyn_ptr : config =
+  let p = "dyn_ptr" in
+  {
+    flavor = Skeletons.Dyn_ptr;
+    n_hw = 126;
+    n_sw = 8;
+    n_sw_alloc = 8;
+    n_proc = 93;
+    n_realloc = 11;
+    n_interv = 19;
+    reply_reads = 2;
+    n_use_helpers = 4;
+    n_dir_helpers = 4;
+    n_list_walk = 14;
+    dir_extra = 2;
+    pad = (26, 88);
+    branches = (3, 4);
+    long_handler_pad = 330;
+    proc_switch_cases = 0;
+    bugs =
+      [
+        (* Table 3: six uncached bugs plus one eager-mode bug *)
+        ("NIUncachedRead", Skeletons.Len_data_mismatch);
+        ("NIUncachedWrite", Skeletons.Len_data_mismatch);
+        ("PIUncachedRead", Skeletons.Len_data_mismatch);
+        ("PIUncachedWrite", Skeletons.Len_data_mismatch);
+        ("NIUncachedReadRetry", Skeletons.Len_data_mismatch);
+        ("NIUncachedWriteRetry", Skeletons.Len_data_mismatch);
+        ("NILocalGetEager", Skeletons.Len_data_mismatch);
+        (* Table 4 *)
+        ("NILocalUpgrade", Skeletons.Double_free);
+        ("NILocalGetRetry", Skeletons.Double_free);
+        ("NIDebugDrain", Skeletons.Buf_minor);
+        ("IOStubFlush", Skeletons.Buf_minor);
+        ("NILocalWBFast", Skeletons.Buf_annot_fp);
+        ("PILocalPutFast", Skeletons.Buf_data_fp);
+        (* Section 7: hardware-bug workaround inserted by a non-author *)
+        ("PILocalGetXRetry", Skeletons.Lane_overrun);
+        (* Table 5 *)
+        ("PIRemoteGetEager", Skeletons.Hook_omission);
+        ("NIWBAckRetry", Skeletons.Hook_omission);
+        ("IORemoteReadCohr", Skeletons.Hook_omission);
+        ("SWRetryQueue", Skeletons.Hook_omission);
+        (* Table 6 *)
+        ("SWReplyQueue", Skeletons.Alloc_unchecked_fp);
+        ("SWRefill", Skeletons.Alloc_unchecked_fp);
+        ("NILocalGetXCohr", Skeletons.Dir_spec_backout_fp);
+        ("PILocalGetCohr", Skeletons.Dir_abstraction_fp);
+        ("PILocalGetXCohr", Skeletons.Dir_abstraction_fp);
+        ("NILocalGetFast", Skeletons.Dir_abstraction_fp);
+        ("NIUncachedReadFast", Skeletons.Dir_abstraction_fp);
+        ("NIUncachedWriteFast", Skeletons.Dir_abstraction_fp);
+        ("NIInvalAckCohr", Skeletons.Dir_abstraction_fp);
+        ("NILocalWBCohr2", Skeletons.Dir_abstraction_fp);
+        ("NIInterventionReplyCohr", Skeletons.Dir_abstraction_fp);
+        ("NIInterventionEager", Skeletons.Sendwait_barrier_fp);
+        ("IOLocalReadFast", Skeletons.Sendwait_barrier_fp);
+        ("NILocalGetXEager", Skeletons.Dir_spec_nak);
+      ];
+    annot_useful = [ "NILocalWBCohr"; "PILocalPutCohr"; "PILocalWBCohr" ];
+    free_helper_users = [ "NILocalGet"; "NILocalGetX"; "NIInvalAck" ];
+    manifest =
+      [
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedRead" ~kind:Manifest.Bug
+          "uncached read: dirty-remote + queue-full corner";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedWrite"
+          ~kind:Manifest.Bug "uncached write corner";
+        e ~checker:c_len ~protocol:p ~func:"PIUncachedRead" ~kind:Manifest.Bug
+          "uncached read corner";
+        e ~checker:c_len ~protocol:p ~func:"PIUncachedWrite"
+          ~kind:Manifest.Bug "uncached write corner";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedReadRetry"
+          ~kind:Manifest.Bug "uncached retry corner";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedWriteRetry"
+          ~kind:Manifest.Bug "uncached retry corner";
+        e ~checker:c_len ~protocol:p ~func:"NILocalGetEager"
+          ~kind:Manifest.Bug "eager-mode handler (simulation only)";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalUpgrade" ~kind:Manifest.Bug
+          "double free inherited from the common parent source";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalGetRetry"
+          ~kind:Manifest.Bug "very rare double free";
+        e ~checker:c_buf ~protocol:p ~func:"NIDebugDrain" ~kind:Manifest.Minor
+          "violation in unreachable handler";
+        e ~checker:c_buf ~protocol:p ~func:"IOStubFlush" ~kind:Manifest.Minor
+          "violation in unreachable handler";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalWBFast" ~count:2
+          ~kind:Manifest.False_positive
+          "if/else twice on one condition: two impossible paths";
+        e ~checker:c_buf ~protocol:p ~func:"PILocalPutFast"
+          ~kind:Manifest.False_positive "data-dependent free";
+        e ~checker:c_lanes ~protocol:p ~func:"PILocalGetXRetry"
+          ~kind:Manifest.Bug
+          "hardware-bug workaround exceeds the lane allowance";
+        e ~checker:c_exec ~protocol:p ~func:"PIRemoteGetEager"
+          ~kind:Manifest.Bug "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"NIWBAckRetry" ~kind:Manifest.Bug
+          "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"IORemoteReadCohr"
+          ~kind:Manifest.Bug "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"SWRetryQueue" ~kind:Manifest.Bug
+          "software-handler hook omitted";
+        e ~checker:c_alloc ~protocol:p ~func:"SWReplyQueue"
+          ~kind:Manifest.False_positive
+          "debug print of the buffer before the failure check";
+        e ~checker:c_alloc ~protocol:p ~func:"SWRefill"
+          ~kind:Manifest.False_positive
+          "debug print of the buffer before the failure check";
+        e ~checker:c_dir ~protocol:p ~func:"NILocalGetXCohr"
+          ~kind:Manifest.False_positive
+          "speculative modification backed out without a NAK";
+        e ~checker:c_dir ~protocol:p ~func:"PILocalGetCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"PILocalGetXCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NILocalGetFast"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NIUncachedReadFast"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NIUncachedWriteFast"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NIInvalAckCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NILocalWBCohr2"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NIInterventionReplyCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLinePending"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLineBusy"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"SetOwnerHint"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"ClearPendingBit"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_sw ~protocol:p ~func:"NIInterventionEager"
+          ~kind:Manifest.False_positive "hand-rolled wait loop";
+        e ~checker:c_sw ~protocol:p ~func:"IOLocalReadFast"
+          ~kind:Manifest.False_positive "hand-rolled wait loop";
+      ];
+  }
+
+let sci : config =
+  let p = "sci" in
+  {
+    flavor = Skeletons.Sci;
+    n_hw = 123;
+    n_sw = 8;
+    n_sw_alloc = 5;
+    n_proc = 83;
+    n_realloc = 0;
+    n_interv = 5;
+    reply_reads = 0;
+    n_use_helpers = 0;
+    n_dir_helpers = 0;
+    n_list_walk = 12;
+    dir_extra = 0;
+    pad = (16, 34);
+    branches = (1, 3);
+    long_handler_pad = 270;
+    proc_switch_cases = 0;
+    bugs =
+      [
+        ("NIRemotePut", Skeletons.No_bug) (* keeps its 2 reads *);
+        ("NIInterventionReplyCohr", Skeletons.Double_free);
+        ("NILocalUpgradeCohr", Skeletons.Double_free);
+        ("NIInvalAckCohr", Skeletons.Buffer_leak);
+        ("NIDebugDrain", Skeletons.Buf_minor);
+        ("IOStubFlush", Skeletons.Buf_minor);
+        ("NILocalWBFast", Skeletons.Buf_annot_fp);
+        ("PILocalPutFast", Skeletons.Buf_annot_fp);
+        ("PILocalWBFast", Skeletons.Buf_annot_fp);
+        ("NILocalWBRetry", Skeletons.Buf_annot_fp);
+        ("PILocalPutRetry", Skeletons.Buf_data_fp);
+        ("PILocalWBRetry", Skeletons.Buf_data_fp);
+        ("IORemoteReadCohr", Skeletons.Hook_unimplemented);
+        ("IOWBAckCohr", Skeletons.Hook_unimplemented);
+        ("PIRemoteGetXCohr", Skeletons.Hook_unimplemented);
+        ("PILocalGetCohr", Skeletons.Dir_abstraction_fp);
+        ("NILocalGetEager", Skeletons.Dir_spec_nak);
+      ];
+    annot_useful =
+      [
+        "NILocalWBCohr";
+        "PILocalPutCohr";
+        "PILocalWBCohr";
+        "NILocalWBEager";
+        "PILocalPutEager";
+        "PILocalWBEager";
+        "NILocalWBCohr2";
+        "PILocalPutCohr2";
+        "PILocalWBCohr2";
+        "NILocalWBFast2";
+      ];
+    free_helper_users = [ "NILocalGet" ];
+    manifest =
+      [
+        e ~checker:c_buf ~protocol:p ~func:"NIInterventionReplyCohr"
+          ~kind:Manifest.Bug "double free in partially implemented code";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalUpgradeCohr"
+          ~kind:Manifest.Bug "double free in partially implemented code";
+        e ~checker:c_buf ~protocol:p ~func:"NIInvalAckCohr"
+          ~kind:Manifest.Bug "leak in partially implemented code";
+        e ~checker:c_buf ~protocol:p ~func:"NIDebugDrain" ~kind:Manifest.Minor
+          "abstraction violation";
+        e ~checker:c_buf ~protocol:p ~func:"IOStubFlush" ~kind:Manifest.Minor
+          "abstraction violation";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalWBFast" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"PILocalPutFast" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"PILocalWBFast" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalWBRetry" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"PILocalPutRetry"
+          ~kind:Manifest.False_positive "data-dependent free";
+        e ~checker:c_buf ~protocol:p ~func:"PILocalWBRetry"
+          ~kind:Manifest.False_positive "data-dependent free";
+        e ~checker:c_exec ~protocol:p ~func:"IORemoteReadCohr"
+          ~kind:Manifest.Minor "unimplemented routine (fatal if called)";
+        e ~checker:c_exec ~protocol:p ~func:"IOWBAckCohr"
+          ~kind:Manifest.Minor "unimplemented routine (fatal if called)";
+        e ~checker:c_exec ~protocol:p ~func:"PIRemoteGetXCohr"
+          ~kind:Manifest.Minor "unimplemented routine (fatal if called)";
+        e ~checker:c_dir ~protocol:p ~func:"PILocalGetCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+      ];
+  }
+
+let coma : config =
+  let p = "coma" in
+  {
+    flavor = Skeletons.Coma;
+    n_hw = 121;
+    n_sw = 8;
+    n_sw_alloc = 8;
+    n_proc = 64;
+    n_realloc = 24;
+    n_interv = 3;
+    reply_reads = 0;
+    n_use_helpers = 0;
+    n_dir_helpers = 5;
+    n_list_walk = 2;
+    dir_extra = 4;
+    pad = (34, 96);
+    branches = (1, 3);
+    long_handler_pad = 190;
+    proc_switch_cases = 0;
+    bugs =
+      [
+        ("NISharingTransfer", Skeletons.Len_var_fp);
+        ("PIRemoteGetEager", Skeletons.Hook_omission);
+        ("NIWBAckCohr", Skeletons.Hook_omission);
+        ("IORemoteReadFast", Skeletons.Hook_omission);
+        ("NILocalGetEager", Skeletons.Dir_spec_nak);
+      ];
+    annot_useful = [];
+    free_helper_users = [ "NILocalGet"; "NILocalGetX" ];
+    manifest =
+      [
+        e ~checker:c_len ~protocol:p ~func:"NISharingTransfer" ~count:2
+          ~kind:Manifest.False_positive
+          "send flavour chosen by a run-time variable: two impossible \
+           paths flagged in the same function";
+        e ~checker:c_exec ~protocol:p ~func:"PIRemoteGetEager"
+          ~kind:Manifest.Bug "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"NIWBAckCohr" ~kind:Manifest.Bug
+          "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"IORemoteReadFast"
+          ~kind:Manifest.Bug "simulator hook omitted";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLinePending"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLineBusy"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"SetOwnerHint"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"ClearPendingBit"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"SetMasterHint"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+      ];
+  }
+
+let rac : config =
+  let p = "rac" in
+  {
+    flavor = Skeletons.Rac;
+    n_hw = 138;
+    n_sw = 8;
+    n_sw_alloc = 8;
+    n_proc = 54;
+    n_realloc = 12;
+    n_interv = 17;
+    reply_reads = 2;
+    n_use_helpers = 1;
+    n_dir_helpers = 4;
+    n_list_walk = 3;
+    dir_extra = 3;
+    pad = (22, 78);
+    branches = (2, 3);
+    long_handler_pad = 420;
+    proc_switch_cases = 0;
+    bugs =
+      [
+        ("NIUncachedRead", Skeletons.Len_data_mismatch);
+        ("NIUncachedWrite", Skeletons.Len_data_mismatch);
+        ("PIUncachedRead", Skeletons.Len_data_mismatch);
+        ("PIUncachedWrite", Skeletons.Len_data_mismatch);
+        ("NIUncachedReadRetry", Skeletons.Len_data_mismatch);
+        ("NIUncachedWriteRetry", Skeletons.Len_data_mismatch);
+        ("NILocalGetEager", Skeletons.Len_data_mismatch);
+        ("IOWrite", Skeletons.Len_data_mismatch);
+        ("NILocalUpgrade", Skeletons.Double_free);
+        ("NIInvalAckFast", Skeletons.Double_free);
+        ("NILocalWBFast", Skeletons.Buf_annot_fp);
+        ("PILocalPutFast", Skeletons.Buf_annot_fp);
+        ("PIRemoteGetEager", Skeletons.Hook_omission);
+        ("IOWBAckRetry", Skeletons.Hook_omission);
+        ("NILocalGetXCohr", Skeletons.Dir_spec_backout_fp);
+        ("NIInterventionReplyFast", Skeletons.Dir_spec_backout_fp);
+        ("PILocalGetCohr", Skeletons.Dir_abstraction_fp);
+        ("NILocalGetFast", Skeletons.Dir_abstraction_fp);
+        ("NIUncachedReadFast", Skeletons.Dir_abstraction_fp);
+        ("NIInterventionEager", Skeletons.Sendwait_barrier_fp);
+        ("IOLocalReadFast", Skeletons.Sendwait_barrier_fp);
+      ];
+    annot_useful = [ "NILocalWBCohr"; "PILocalPutCohr" ];
+    free_helper_users = [ "NILocalGet"; "NIInvalAck" ];
+    manifest =
+      [
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedRead" ~kind:Manifest.Bug
+          "uncached read corner";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedWrite"
+          ~kind:Manifest.Bug "uncached write corner";
+        e ~checker:c_len ~protocol:p ~func:"PIUncachedRead" ~kind:Manifest.Bug
+          "uncached read corner";
+        e ~checker:c_len ~protocol:p ~func:"PIUncachedWrite"
+          ~kind:Manifest.Bug "uncached write corner";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedReadRetry"
+          ~kind:Manifest.Bug "uncached retry corner";
+        e ~checker:c_len ~protocol:p ~func:"NIUncachedWriteRetry"
+          ~kind:Manifest.Bug "uncached retry corner";
+        e ~checker:c_len ~protocol:p ~func:"NILocalGetEager"
+          ~kind:Manifest.Bug "eager-mode handler (simulation only)";
+        e ~checker:c_len ~protocol:p ~func:"IOWrite" ~kind:Manifest.Bug
+          "rac-only bug";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalUpgrade" ~kind:Manifest.Bug
+          "double free inherited from the common parent source";
+        e ~checker:c_buf ~protocol:p ~func:"NIInvalAckFast" ~kind:Manifest.Bug
+          "double free";
+        e ~checker:c_buf ~protocol:p ~func:"NILocalWBFast" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"PILocalPutFast" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_exec ~protocol:p ~func:"PIRemoteGetEager"
+          ~kind:Manifest.Bug "simulator hook omitted";
+        e ~checker:c_exec ~protocol:p ~func:"IOWBAckRetry" ~kind:Manifest.Bug
+          "simulator hook omitted";
+        e ~checker:c_dir ~protocol:p ~func:"NILocalGetXCohr"
+          ~kind:Manifest.False_positive "speculative backout without a NAK";
+        e ~checker:c_dir ~protocol:p ~func:"NIInterventionReplyFast"
+          ~kind:Manifest.False_positive "speculative backout without a NAK";
+        e ~checker:c_dir ~protocol:p ~func:"PILocalGetCohr"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NILocalGetFast"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"NIUncachedReadFast"
+          ~kind:Manifest.False_positive "hand-computed directory address";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLinePending"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"MarkLineBusy"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"SetOwnerHint"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_dir ~protocol:p ~func:"ClearPendingBit"
+          ~kind:Manifest.False_positive "caller-writes-back subroutine";
+        e ~checker:c_sw ~protocol:p ~func:"NIInterventionEager"
+          ~kind:Manifest.False_positive "hand-rolled wait loop";
+        e ~checker:c_sw ~protocol:p ~func:"IOLocalReadFast"
+          ~kind:Manifest.False_positive "hand-rolled wait loop";
+      ];
+  }
+
+let common : config =
+  let p = "common" in
+  {
+    flavor = Skeletons.Common;
+    n_hw = 29;
+    n_sw = 4;
+    n_sw_alloc = 4;
+    n_proc = 29;
+    n_realloc = 0;
+    n_interv = 2;
+    reply_reads = 0;
+    n_use_helpers = 8;
+    n_dir_helpers = 0;
+    n_list_walk = 2;
+    dir_extra = 0;
+    pad = (90, 150);
+    branches = (2, 3);
+    long_handler_pad = 360;
+    proc_switch_cases = 26;
+    bugs =
+      [
+        ("SharedDebugDump", Skeletons.Race_read_debug_fp);
+        ("SharedStubDrain", Skeletons.Buf_minor);
+        ("SharedWBFlushA", Skeletons.Buf_annot_fp);
+        ("SharedWBFlushB", Skeletons.Buf_annot_fp);
+        ("SharedWBFlushC", Skeletons.Buf_annot_fp);
+        ("SharedWBFlushD", Skeletons.Buf_data_fp);
+        ("SharedInterventionA", Skeletons.Sendwait_barrier_fp);
+        ("SharedInterventionB", Skeletons.Sendwait_barrier_fp);
+      ];
+    annot_useful = [ "SharedWBKeepA"; "SharedWBKeepB"; "SharedWBKeepC" ];
+    free_helper_users = [ "SharedHomeGet" ];
+    manifest =
+      [
+        e ~checker:c_race ~protocol:p ~func:"SharedDebugDump"
+          ~kind:Manifest.False_positive
+          "debug code intentionally violates the invariant";
+        e ~checker:c_buf ~protocol:p ~func:"SharedStubDrain"
+          ~kind:Manifest.Minor "harmless violation";
+        e ~checker:c_buf ~protocol:p ~func:"SharedWBFlushA" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"SharedWBFlushB" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"SharedWBFlushC" ~count:2
+          ~kind:Manifest.False_positive "correlated branches";
+        e ~checker:c_buf ~protocol:p ~func:"SharedWBFlushD"
+          ~kind:Manifest.False_positive "data-dependent free";
+        e ~checker:c_sw ~protocol:p ~func:"SharedInterventionA"
+          ~kind:Manifest.False_positive "hand-rolled wait loop";
+        e ~checker:c_sw ~protocol:p ~func:"SharedInterventionB"
+          ~kind:Manifest.False_positive "hand-rolled wait loop";
+      ];
+  }
+
+let all : (string * config) list =
+  [
+    ("bitvector", bitvector);
+    ("dyn_ptr", dyn_ptr);
+    ("sci", sci);
+    ("coma", coma);
+    ("rac", rac);
+    ("common", common);
+  ]
+
+let find name = List.assoc_opt name all

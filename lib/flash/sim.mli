@@ -1,0 +1,53 @@
+(** The FlashLite substitute: a multi-node protocol simulator.
+
+    Drives processor reads, writes and uncached reads through the
+    {!Golden} handlers running on {!Interp} nodes, with a directory (any
+    of the {!Directory} organisations), per-node caches, main memory,
+    NAK/retry, random fill latency, reply-queue pressure and silent cache
+    evictions — the machinery that makes the paper's rare corner paths
+    reachable, occasionally.  Data integrity is checked against a write
+    oracle; machine-model faults are recorded with the transaction number
+    at which each class first manifested. *)
+
+type config = {
+  n_nodes : int;
+  n_lines : int;
+  transactions : int;
+  seed : int;
+  variant : Golden.variant;
+  directory : Directory.packed;
+      (** which directory organisation backs the home state; the handlers
+          see the same bit-vector view either way *)
+  fill_delay_pct : int;  (** chance an arriving body is still streaming *)
+  corner_flag_pct : int;  (** chance header.nh.misc is set (corner paths) *)
+  queue_pressure_pct : int;  (** chance the home reply lane looks full *)
+  evict_pct : int;  (** chance a cached line was silently replaced *)
+  write_pct : int;
+  uncached_pct : int;
+}
+
+val default_config : config
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable uncached : int;
+  mutable messages : int;
+  mutable naks : int;
+  mutable handler_runs : int;
+  mutable corruptions : int;
+  mutable stalled : int;
+}
+
+type result = {
+  config : config;
+  stats : stats;
+  faults : (string * Interp.fault) list;  (** handler name, fault *)
+  first_detection : (string * int) list;
+      (** fault class -> 1-based transaction index of first manifestation *)
+  leaked_buffers : int;
+  directory_ok : bool;  (** the directory's own invariant at the end *)
+}
+
+val run : config -> result
+val pp_result : Format.formatter -> result -> unit

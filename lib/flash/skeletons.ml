@@ -1,0 +1,726 @@
+(** Handler skeletons for the synthetic FLASH protocol corpus.
+
+    The paper distills every FLASH protocol into three handler classes
+    (Section 2.1): pass-thru handlers, directory-consulting handlers, and
+    intervention handlers.  Each generator below produces a realistic
+    member of one class — prologue hooks, header-field unpacking, directory
+    traffic in the protocol's own directory idiom, sends with the
+    length/data discipline, and buffer deallocation — with optional seeded
+    faults at the exact corner-case sites the paper describes (uncached
+    reads, eager mode, queue-full paths). *)
+
+open Cb
+
+type bug =
+  | No_bug
+  | Race_read  (** unsynchronised MISCBUS_READ_DB on a corner path *)
+  | Race_read_debug_fp  (** intentional unsynchronised read (debug code) *)
+  | Len_data_mismatch  (** LEN_NODATA inherited into an F_DATA send *)
+  | Len_var_fp  (** correlated branches: infeasible-path false positives *)
+  | Double_free
+  | Buffer_leak
+  | Buf_minor  (** buffer violation inside unimplemented code *)
+  | Buf_annot_useful  (** legitimate no_free_needed() special path *)
+  | Buf_annot_fp  (** if/else twice on one condition: 2 infeasible paths *)
+  | Buf_data_fp  (** data-dependent free: 1 infeasible leak report *)
+  | Lane_overrun  (** one reply-lane send beyond the allowance *)
+  | Hook_omission  (** simulator hook missing *)
+  | Hook_unimplemented  (** hook missing in a FATAL_ERROR stub *)
+  | Alloc_unchecked_fp  (** DEBUG_PRINT of the buffer before ALLOC_FAILED *)
+  | Dir_no_writeback  (** modified entry never written back: real bug *)
+  | Dir_spec_nak  (** speculative modify backed out with a NAK: pruned *)
+  | Dir_spec_backout_fp  (** speculative modify, no NAK: false positive *)
+  | Dir_abstraction_fp  (** directory address computed by hand *)
+  | Sendwait_barrier_fp  (** hand-rolled wait loop instead of the macro *)
+
+(** Directory idiom: how this protocol's handlers update sharing state.
+    This is what actually distinguishes the five protocols' source. *)
+type flavor = Bitvector | Dyn_ptr | Sci | Coma | Rac | Common
+
+let flavor_name = function
+  | Bitvector -> "bitvector"
+  | Dyn_ptr -> "dyn_ptr"
+  | Sci -> "sci"
+  | Coma -> "coma"
+  | Rac -> "rac"
+  | Common -> "common"
+
+type gctx = {
+  rng : Rng.t;
+  flavor : flavor;
+  mutable n_locals : int;
+  mutable locals : string list;  (** long-typed scratch locals, newest first *)
+}
+
+let gctx ~rng ~flavor = { rng; flavor; n_locals = 0; locals = [] }
+
+let fresh_local g =
+  let name = Printf.sprintf "tmp%d" g.n_locals in
+  g.n_locals <- g.n_locals + 1;
+  g.locals <- name :: g.locals;
+  name
+
+let pick_local g =
+  match g.locals with
+  | [] -> fresh_local g
+  | ls -> Rng.choose g.rng ls
+
+(* ------------------------------------------------------------------ *)
+(* Padding: realistic straight-line bookkeeping                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One straight-line statement: stat updates, bit fiddling on header
+   fields, scratch arithmetic.  Never branches, never touches buffers,
+   sends or the directory, so padding cannot perturb any checker. *)
+let pad_stmt g =
+  let v = pick_local g in
+  let w = pick_local g in
+  match Rng.int g.rng 8 with
+  | 0 ->
+    op_assign Ast.Add
+      (Ast.mk_expr (Ast.Index (id "protoStats", num (Rng.int g.rng 64))))
+      (num 1)
+  | 1 -> assign (id v) (id w <<: num (Rng.range g.rng 1 4))
+  | 2 -> assign (id v) (id w ^: hg "header.nh.misc")
+  | 3 -> assign (hg "header.nh.misc") (id v &: num 255)
+  | 4 -> assign (id v) ((id w >>: num 2) +: num (Rng.int g.rng 16))
+  | 5 -> assign (id v) (hg "header.nh.src" *: num 4)
+  | 6 -> op_assign Ast.Bor (id v) (num (1 lsl Rng.int g.rng 8))
+  | _ -> assign (id v) (id w -: num (Rng.range g.rng 1 9))
+
+let padding g n = List.init n (fun _ -> pad_stmt g)
+
+(* A small self-contained branch used to reach per-function path targets;
+   bodies are pure padding. *)
+let pad_branch g =
+  let v = pick_local g in
+  let body = padding g (Rng.range g.rng 1 4) in
+  if Rng.percent g.rng 30 then
+    sif_else
+      (id v >: num (Rng.range g.rng 10 100))
+      body
+      (padding g (Rng.range g.rng 1 3))
+  else sif (id v <>: num 0) body
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-specific directory updates                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Record [src] as a sharer, in this protocol's own idiom. *)
+let dir_add_sharer g ~src =
+  match g.flavor with
+  | Bitvector | Common ->
+    [ assign (hg "dirEntry.vector")
+        (hg "dirEntry.vector" |: (num 1 <<: id src)) ]
+  | Dyn_ptr ->
+    let link = fresh_local g in
+    [
+      assign (id link) (call "ALLOC_LINK" [ id src ]);
+      assign (hg "dirEntry.head")
+        (call "LINK_INSERT" [ hg "dirEntry.head"; id link ]);
+    ]
+  | Sci ->
+    [
+      assign (hg "dirEntry.fwd") (hg "dirEntry.head");
+      assign (hg "dirEntry.back") (num (-2));
+      assign (hg "dirEntry.head") (id src);
+    ]
+  | Coma ->
+    [
+      assign (hg "dirEntry.tags") (hg "dirEntry.tags" |: (num 1 <<: id src));
+      sif (hg "dirEntry.master" <: num 0)
+        [ assign (hg "dirEntry.master") (id src) ];
+    ]
+  | Rac ->
+    [
+      assign (hg "dirEntry.vector")
+        (hg "dirEntry.vector" |: (num 1 <<: id src));
+      assign (hg "dirEntry.state") (id "RAC_SHARED");
+    ]
+
+(** Transfer dirty ownership to [src]. *)
+let dir_set_dirty g ~src =
+  match g.flavor with
+  | Bitvector | Common ->
+    [
+      assign (hg "dirEntry.dirty") (num 1);
+      assign (hg "dirEntry.owner") (id src);
+      assign (hg "dirEntry.vector") (num 0);
+    ]
+  | Dyn_ptr ->
+    [
+      assign (hg "dirEntry.head") (call "LIST_CLEAR" [ hg "dirEntry.head" ]);
+      assign (hg "dirEntry.dirty") (num 1);
+      assign (hg "dirEntry.owner") (id src);
+    ]
+  | Sci ->
+    [
+      assign (hg "dirEntry.head") (id src);
+      assign (hg "dirEntry.dirty") (num 1);
+    ]
+  | Coma ->
+    [
+      assign (hg "dirEntry.tags") (num 1 <<: id src);
+      assign (hg "dirEntry.master") (id src);
+      assign (hg "dirEntry.state") (id "COMA_EXCL");
+    ]
+  | Rac ->
+    [
+      assign (hg "dirEntry.dirty") (num 1);
+      assign (hg "dirEntry.owner") (id src);
+      assign (hg "dirEntry.state") (id "RAC_DIRTY");
+    ]
+
+(* SCI keeps sharing state in a distributed list threaded through the
+   caches; most of its handlers never touch the home directory and work
+   on the chain pointers carried in the message header instead *)
+let remote_pending_test () = hg "header.nh.misc" &: num 1
+let remote_dirty_test () = hg "header.nh.misc" &: num 2
+
+let remote_chain_ops g ~src =
+  let v = pick_local g in
+  [
+    assign (id v) (call "LINK_NEXT" [ hg "header.nh.misc" ]);
+    assign (hg "header.nh.misc")
+      (call "LINK_INSERT" [ hg "header.nh.misc"; id src ]);
+  ]
+
+(* the dirty test each protocol uses *)
+let dir_dirty_test g =
+  match g.flavor with
+  | Bitvector | Common | Dyn_ptr -> hg "dirEntry.dirty"
+  | Sci -> hg "dirEntry.dirty" &&: (hg "dirEntry.head" >: num (-1))
+  | Coma -> hg "dirEntry.state" ==: id "COMA_EXCL"
+  | Rac -> hg "dirEntry.state" ==: id "RAC_DIRTY"
+
+(* ------------------------------------------------------------------ *)
+(* Prologue and common fragments                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prologue ~kind ~(bug : bug) =
+  let hook =
+    match (kind : Flash_api.handler_kind) with
+    | Flash_api.Hw_handler -> Flash_api.sim_handler_hook
+    | Flash_api.Sw_handler -> Flash_api.sim_swhandler_hook
+    | Flash_api.Procedure -> Flash_api.sim_procedure_hook
+  in
+  match (kind, bug) with
+  | Flash_api.Procedure, Hook_omission -> []
+  | Flash_api.Procedure, _ -> [ do_call hook [] ]
+  | _, (Hook_omission | Hook_unimplemented) ->
+    [ do_call Flash_api.handler_defs [] ]
+  | _, _ -> [ do_call Flash_api.handler_defs []; do_call hook [] ]
+
+(* unpack the header fields every handler starts from *)
+let unpack g =
+  let _ = g in
+  [
+    decl_long "addr";
+    decl_long "src";
+    assign (id "addr") (hg "header.nh.address");
+    assign (id "src") (hg "header.nh.src");
+  ]
+
+let load_dir_stmt (bug : bug) =
+  match bug with
+  | Dir_abstraction_fp ->
+    (* hand-computed entry address: the abstraction error *)
+    load_dir ((id "addr" >>: num 7) *: num 8 +: num 4096)
+  | _ -> load_dir (dir_addr (id "addr"))
+
+let nak_reply () =
+  [
+    type_assign Flash_api.msg_nak;
+    len_assign Flash_api.len_nodata;
+    ni_send ~opcode:Flash_api.msg_nak ~flag:Flash_api.f_nodata ();
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Handler classes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A directory-consulting handler: a request arrives at the home node;
+    the handler consults the directory, replies (data, forward, or NAK),
+    updates the entry, writes it back, and frees the incoming buffer. *)
+let dir_consult_body g ?(realloc = false) ?(dir_extra = 0) ?(use_dir = true)
+    ?(free_helper : string option) ~(bug : bug) ~pad ~branches () =
+  let _scratch = List.init 3 (fun _ -> fresh_local g) in
+  let pending_path =
+    let spec_modify =
+      match bug with
+      | Dir_spec_nak ->
+        (* speculative update, backed out by NAKing — the checker must
+           recognise the NAK constant and stay quiet *)
+        [ assign (hg "dirEntry.pending") (num 1) ]
+      | Dir_spec_backout_fp ->
+        (* same shape but without the NAK give-away: false positive *)
+        [ assign (hg "dirEntry.pending") (num 1);
+          do_call "BACKOUT_REQUEST" [ id "src" ] ]
+      | _ -> []
+    in
+    let reply =
+      match bug with
+      | Dir_spec_backout_fp -> [ free_db (); sreturn ]
+      | Lane_overrun ->
+        (* the workaround/typo: a second reply-lane send beyond the
+           handler's allowance *)
+        nak_reply ()
+        @ [
+            ni_send ~opcode:"MSG_WB_ACK" ~flag:Flash_api.f_nodata ();
+            free_db ();
+            sreturn;
+          ]
+      | Double_free ->
+        nak_reply () @ [ free_db (); free_db (); sreturn ]
+      | Buffer_leak -> nak_reply () @ [ sreturn ]
+      | _ -> (
+        match free_helper with
+        | Some helper ->
+          (* the NAK-and-free subroutine: the checker's free-funcs table
+             must treat this call as the deallocation *)
+          [ do_call helper []; sreturn ]
+        | None -> nak_reply () @ [ free_db (); sreturn ])
+    in
+    let test =
+      if use_dir then hg "dirEntry.pending" else remote_pending_test ()
+    in
+    [ sif test (spec_modify @ reply) ]
+  in
+  let dirty_path =
+    let update =
+      if use_dir then dir_set_dirty g ~src:"src"
+      else remote_chain_ops g ~src:"src"
+    in
+    let writeback =
+      match bug with
+      | Dir_no_writeback -> []
+      | _ when not use_dir -> []
+      | _ -> [ writeback_dir (dir_addr (id "addr")) ]
+    in
+    let test = if use_dir then dir_dirty_test g else remote_dirty_test () in
+    let forward =
+      if use_dir then assign (hg "header.nh.dest") (hg "dirEntry.owner")
+      else assign (hg "header.nh.dest") (hg "header.nh.misc" >>: num 8)
+    in
+    [
+      sif test
+        ([
+           forward;
+           len_assign Flash_api.len_nodata;
+           ni_send ~opcode:"MSG_INTERVENTION" ~flag:Flash_api.f_nodata ();
+         ]
+        @ update @ writeback
+        @ [ free_db (); sreturn ]);
+    ]
+  in
+  let main_path =
+    let add_sharer =
+      if use_dir then dir_add_sharer g ~src:"src"
+      else remote_chain_ops g ~src:"src"
+    in
+    let wb =
+      if use_dir then [ writeback_dir (dir_addr (id "addr")) ] else []
+    in
+    if realloc then
+      (* rare paths re-allocate a fresh buffer for the outgoing data: the
+         allocation-failure check is mandatory (Section 9) *)
+      let buf = fresh_local g in
+      add_sharer
+      @ wb
+      @ [
+          free_db ();
+          assign (id buf) (call Flash_api.allocate_db []);
+          sif (call Flash_api.alloc_failed [ id buf ]) [ sreturn ];
+          write_db (id buf) 0 (hg "header.nh.misc");
+          len_assign Flash_api.len_cacheline;
+          ni_send ~opcode:"MSG_PUT" ~flag:Flash_api.f_data ();
+          free_db ();
+        ]
+    else
+      add_sharer
+      @ wb
+      @ [
+          len_assign Flash_api.len_cacheline;
+          ni_send ~opcode:"MSG_PUT" ~flag:Flash_api.f_data ();
+          free_db ();
+        ]
+  in
+  let dir_read_stmts =
+    List.init dir_extra (fun i ->
+        let v = pick_local g in
+        let field =
+          match i mod 4 with
+          | 0 -> "dirEntry.vector"
+          | 1 -> "dirEntry.owner"
+          | 2 -> "dirEntry.state"
+          | _ -> "dirEntry.tags"
+        in
+        assign (id v) (hg field &: num 1023))
+  in
+  padding g (3 * pad / 4)
+  @ (if use_dir then [ load_dir_stmt bug ] else [])
+  @ (if use_dir then dir_read_stmts else [])
+  @ pending_path
+  @ List.init branches (fun _ -> pad_branch g)
+  @ padding g (pad - (3 * pad / 4))
+  @ dirty_path @ main_path
+
+(** A reply-receive handler: the requesting node gets its data back and
+    must synchronise with the hardware fill before reading the buffer.
+    This is where the Section 4 races live. *)
+let reply_receive_body g ~(bug : bug) ~pad ~branches ~reads =
+  let v = fresh_local g in
+  let corner =
+    match bug with
+    | Race_read ->
+      (* the real bitvector bugs: only the first byte is read, without
+         explicit synchronisation, on a rare corner path *)
+      [
+        sif (hg "header.nh.misc")
+          [ assign (id v) (read_db (id "addr") 0);
+            op_assign Ast.Add
+              (Ast.mk_expr (Ast.Index (id "protoStats", num 9)))
+              (id v) ];
+      ]
+    | Race_read_debug_fp ->
+      [
+        sif (id "protoDebug")
+          [ do_call "DEBUG_PRINT" [ str "early"; read_db (id "addr") 0 ] ];
+      ]
+    | _ -> []
+  in
+  padding g (3 * pad / 4)
+  @ corner
+  @ List.init branches (fun _ -> pad_branch g)
+  @ (if reads > 0 then
+       [ wait_db (id "addr"); assign (id v) (read_db (id "addr") 0) ]
+       @ List.init (reads - 1) (fun i ->
+             assign (id v) (id v +: read_db (id "addr") (4 * (i + 1))))
+       @ [ op_assign Ast.Add (hg "header.nh.misc") (id v) ]
+     else [ assign (id v) (hg "header.nh.misc" &: num 63) ])
+  @ padding g (pad - (3 * pad / 4))
+  @ [
+      len_assign Flash_api.len_cacheline;
+      pi_send ~flag:Flash_api.f_data ();
+      free_db ();
+    ]
+
+(** An intervention handler: ask the processor (or I/O system) for the
+    most recent copy, wait for its reply, then respond over the network.
+    Send/wait pairing errors deadlock the machine. *)
+let intervention_body g ~(bug : bug) ~pad ~branches ~iface =
+  let send_iface, wait_macro =
+    match iface with
+    | `PI -> (pi_send, Flash_api.wait_for_pi_reply)
+    | `IO -> (io_send, Flash_api.wait_for_io_reply)
+  in
+  let wait_part =
+    match bug with
+    | Sendwait_barrier_fp ->
+      (* breaking the abstraction barrier: a hand-rolled spin loop the
+         checker cannot see through *)
+      let v = pick_local g in
+      [ swhile (hg "header.nh.misc" ==: num 0)
+          [ assign (id v) (id v +: num 1) ] ]
+    | _ -> [ do_call wait_macro [] ]
+  in
+  padding g (3 * pad / 4)
+  @ [ send_iface ~wait:Flash_api.w_wait ~flag:Flash_api.f_nodata () ]
+  @ wait_part
+  @ List.init branches (fun _ -> pad_branch g)
+  @ padding g (pad - (3 * pad / 4))
+  @ [
+      sif_else (hg "header.nh.misc")
+        [
+          len_assign Flash_api.len_cacheline;
+          ni_send ~opcode:"MSG_INTERVENTION_REPLY" ~flag:Flash_api.f_data ();
+        ]
+        (nak_reply ());
+      free_db ();
+    ]
+
+(** An uncached-read/-write handler: the rare case where the paper found
+    most of the message-length bugs.  The buggy path needs the line dirty
+    in a remote cache *and* the local output queue full. *)
+let uncached_body g ?(use_dir = true) ~(bug : bug) ~pad ~branches ~write () =
+  let reply_op = "MSG_UNCACHED_REPLY" in
+  let queue_full_path =
+    let dirty_arm =
+      match bug with
+      | Len_data_mismatch ->
+        (* forgets that the length is still LEN_NODATA from the NAK
+           set-up above: data send with a zero length *)
+        [ ni_send ~opcode:reply_op ~flag:Flash_api.f_data () ]
+      | _ ->
+        [
+          len_assign Flash_api.len_word;
+          ni_send ~opcode:reply_op ~flag:Flash_api.f_data ();
+        ]
+    in
+    sif
+      (call "OUTPUT_QUEUE_FULL" [ num Flash_api.lane_net_reply ])
+      ([
+         len_assign Flash_api.len_nodata;
+         type_assign Flash_api.msg_nak;
+       ]
+      @ [
+          sif_else
+            (if use_dir then dir_dirty_test g else remote_dirty_test ())
+            dirty_arm
+            [ ni_send ~opcode:Flash_api.msg_nak ~flag:Flash_api.f_nodata () ];
+          free_db ();
+          sreturn;
+        ])
+  in
+  padding g (3 * pad / 4)
+  @ (if use_dir || bug = Dir_abstraction_fp then [ load_dir_stmt bug ]
+     else [])
+  @ [ queue_full_path ]
+  @ List.init branches (fun _ -> pad_branch g)
+  @ padding g (pad - (3 * pad / 4))
+  @ (if not use_dir then [ assign (hg "header.nh.misc") (num 0) ]
+     else if write then
+       [ assign (hg "dirEntry.io") (num 1);
+         writeback_dir (dir_addr (id "addr")) ]
+     else [ writeback_dir (dir_addr (id "addr")) ])
+  @ [
+      len_assign Flash_api.len_word;
+      ni_send ~opcode:reply_op ~flag:Flash_api.f_data ();
+      free_db ();
+    ]
+
+(** The coma-style handler that derives the send flavour from a variable:
+    correct at run time, but the two correlated branches create two
+    infeasible paths the checker flags (the paper's two coma FPs). *)
+let len_var_body g ~pad =
+  let have_data = fresh_local g in
+  [
+    load_dir_stmt No_bug;
+    assign (id have_data) (hg "dirEntry.tags" <>: num 0);
+    sif_else (id have_data)
+      [ len_assign Flash_api.len_cacheline ]
+      [ len_assign Flash_api.len_nodata ];
+  ]
+  @ padding g pad
+  @ [
+      sif_else (id have_data)
+        [ ni_send ~opcode:"MSG_PUT" ~flag:Flash_api.f_data () ]
+        [ ni_send ~opcode:Flash_api.msg_nak ~flag:Flash_api.f_nodata () ];
+      free_db ();
+    ]
+
+(** A pass-thru handler: one to three instructions, as in the paper. *)
+let passthru_body g ~(bug : bug) =
+  let _ = g in
+  match bug with
+  | Hook_unimplemented ->
+    [ do_call "FATAL_ERROR" []; free_db () ]
+  | Buf_minor ->
+    (* a legacy stub: technically a double free, but unreachable in the
+       production protocol *)
+    [ do_call "FATAL_ERROR" []; free_db (); free_db () ]
+  | _ ->
+    [
+      assign (hg "header.nh.dest") (hg "header.nh.misc");
+      ni_send ~opcode:"MSG_GET" ~flag:Flash_api.f_nodata ();
+      free_db ();
+    ]
+
+(** A writeback handler: the owner wrote the line back; update the
+    directory and acknowledge. *)
+let writeback_body g ?(use_dir = true) ~(bug : bug) ~pad ~branches () =
+  let annot_path =
+    match bug with
+    | Buf_annot_useful ->
+      (* the buffer is intentionally kept for a subsequent handler; the
+         annotation documents (and makes checkable) the special path *)
+      [
+        sif
+          (if use_dir then hg "dirEntry.io" else remote_pending_test ())
+          [ do_call Flash_api.ann_no_free_needed []; sreturn ];
+      ]
+    | Buf_annot_fp ->
+      (* if/else twice on one condition: two of the four static paths
+         cannot execute, and the checker flags both *)
+      let c = fresh_local g in
+      [
+        assign (id c) (hg "header.nh.misc" &: num 1);
+        sif_else (id c) [ free_db () ] (padding g 2);
+        sif (id c) [ sreturn ];
+      ]
+    | _ -> []
+  in
+  padding g (3 * pad / 4)
+  @ (if use_dir then [ load_dir_stmt bug ] else [])
+  @ annot_path
+  @ (if use_dir then
+       [
+         assign (hg "dirEntry.dirty") (num 0);
+         assign (hg "dirEntry.owner") (num (-1));
+       ]
+     else [ assign (hg "header.nh.misc") (hg "header.nh.misc" &: num (-3)) ])
+  @ List.init branches (fun _ -> pad_branch g)
+  @ padding g (pad - (3 * pad / 4))
+  @ (if use_dir then [ writeback_dir (dir_addr (id "addr")) ] else [])
+  @ [
+      len_assign Flash_api.len_nodata;
+      ni_send ~opcode:"MSG_WB_ACK" ~flag:Flash_api.f_nodata ();
+    ]
+  @ (match bug with
+    | Buf_data_fp ->
+      (* a data-dependent action decides whether the buffer is freed; the
+         checker cannot prune the leaking direction *)
+      [ sif (hg "header.nh.misc" &: num 8) [ free_db () ] ]
+    | _ -> [ free_db () ])
+
+(** An invalidation handler: multicast MSG_INVAL to every sharer.  The
+    per-sharer send sits in a loop, so it must be preceded by an explicit
+    output-space check — the pattern the lanes checker's fixed-point rule
+    has to accept. *)
+let inval_body g ?(use_dir = true) ~(bug : bug) ~pad ~branches () =
+  let _ = bug in
+  let node = fresh_local g in
+  padding g (3 * pad / 4)
+  @ (if use_dir then [ load_dir_stmt bug ] else [])
+  @ [
+      assign (id node) (num 0);
+      swhile
+        (id node <: id "numNodes")
+        [
+          sif
+            ((if use_dir then hg "dirEntry.vector" else hg "header.nh.misc")
+            &: (num 1 <<: id node))
+            [
+              do_call Flash_api.wait_for_output_space
+                [ num Flash_api.lane_net_request ];
+              assign (hg "header.nh.dest") (id node);
+              len_assign Flash_api.len_nodata;
+              ni_send ~opcode:"MSG_INVAL" ~flag:Flash_api.f_nodata ();
+            ];
+          assign (id node) (id node +: num 1);
+        ];
+    ]
+  @ List.init branches (fun _ -> pad_branch g)
+  @ padding g (pad - (3 * pad / 4))
+  @ (if use_dir then
+       [
+         assign (hg "dirEntry.vector") (num 0);
+         writeback_dir (dir_addr (id "addr"));
+       ]
+     else [ assign (hg "header.nh.misc") (num 0) ])
+  @ [
+      len_assign Flash_api.len_nodata;
+      ni_send ~opcode:"MSG_WB_ACK" ~flag:Flash_api.f_nodata ();
+      free_db ();
+    ]
+
+(** A software handler: scheduled by the protocol itself, it starts with
+    no buffer and must allocate (and check!) before sending data. *)
+let sw_body g ~(bug : bug) ~pad ~branches ~alloc =
+  if not alloc then
+    (* a software handler that only does bookkeeping: it owns no buffer
+       and must not send *)
+    padding g (3 * pad / 4)
+    @ List.init branches (fun _ -> pad_branch g)
+    @ padding g (pad - (3 * pad / 4))
+  else
+  let buf = fresh_local g in
+  let check =
+    match bug with
+    | Alloc_unchecked_fp ->
+      [
+        (* debug code peeks at the buffer before checking the flag: the
+           checker cannot know the peek is harmless *)
+        do_call "DEBUG_PRINT" [ str "db"; id buf ];
+        sif (call Flash_api.alloc_failed [ id buf ]) [ sreturn ];
+      ]
+    | _ -> [ sif (call Flash_api.alloc_failed [ id buf ]) [ sreturn ] ]
+  in
+  padding g (3 * pad / 4)
+  @ List.init branches (fun _ -> pad_branch g)
+  @ [ assign (id buf) (call Flash_api.allocate_db []) ]
+  @ check
+  @ [ write_db (id buf) 0 (hg "header.nh.misc") ]
+  @ padding g (pad - (3 * pad / 4))
+  @ [
+      len_assign Flash_api.len_word;
+      ni_send ~opcode:"MSG_UNCACHED_REPLY" ~flag:Flash_api.f_data ();
+      free_db ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Procedures                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type proc_style =
+  | P_stats  (** counter bookkeeping *)
+  | P_list_walk  (** pointer-list traversal (no sends): lanes fixed point *)
+  | P_dir_helper  (** modifies dirEntry, caller writes back: Table 6 FP *)
+  | P_free_helper  (** sends a NAK and frees the buffer: spec free_func *)
+  | P_use_helper  (** uses the buffer without freeing: spec use_func *)
+  | P_cond_free  (** returns 1 if it freed the buffer *)
+  | P_compute  (** pure arithmetic helper *)
+  | P_switch of int  (** dispatch utility with the given number of arms *)
+
+let proc_body g ~(style : proc_style) ~(bug : bug) ~pad =
+  match style with
+  | P_stats ->
+    padding g (max 2 pad)
+  | P_list_walk ->
+    let p = fresh_local g in
+    let n = fresh_local g in
+    [
+      assign (id p) (hg "dirEntry.head");
+      assign (id n) (num 0);
+      swhile
+        (id p <>: num 0)
+        [ assign (id n) (id n +: num 1);
+          assign (id p) (call "LINK_NEXT" [ id p ]) ];
+      assign (hg "header.nh.misc") (id n);
+    ]
+    @ padding g pad
+  | P_dir_helper ->
+    (* the subroutine convention behind 14 of the paper's directory
+       false positives: the caller is responsible for the writeback *)
+    padding g (3 * pad / 4)
+    @ [
+        assign (hg "dirEntry.pending") (num 1);
+        op_assign Ast.Bor (hg "dirEntry.vector") (num 1);
+      ]
+    @ padding g (pad - (3 * pad / 4))
+  | P_free_helper ->
+    padding g (3 * pad / 4)
+    @ nak_reply ()
+    @ (match bug with
+      | Double_free -> [ free_db (); free_db () ]
+      | _ -> [ free_db () ])
+    @ padding g (pad - (3 * pad / 4))
+  | P_use_helper ->
+    padding g (3 * pad / 4)
+    @ [
+        wait_db (id "addrArg");
+        assign (hg "header.nh.misc") (read_db (id "addrArg") 0);
+        assign (hg "header.nh.misc")
+          (hg "header.nh.misc" +: read_db (id "addrArg") 4);
+      ]
+    @ padding g (pad - (3 * pad / 4))
+  | P_cond_free ->
+    [
+      sif (hg "header.nh.misc" &: num 4)
+        [ free_db (); sreturn_e (num 1) ];
+    ]
+    @ padding g pad
+    @ [ sreturn_e (num 0) ]
+  | P_compute ->
+    let v = fresh_local g in
+    [ assign (id v) (id "x" *: num 8 +: num 64) ]
+    @ padding g pad
+    @ [ sreturn_e (id v >>: num 2) ]
+  | P_switch arms ->
+    (* the shared dispatch utilities that give the common code its high
+       path counts: every path runs the long shared prologue/epilogue and
+       exactly one (short) arm *)
+    let cases = List.init arms (fun i -> (num i, padding g 3)) in
+    padding g (pad / 2)
+    @ [ sswitch (id "x" &: num 31) cases (Some (padding g 2)) ]
+    @ padding g (pad / 2)

@@ -1,0 +1,55 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~title ~header rows = { title; header; rows; notes }
+
+let render (t : t) : string =
+  let all_rows = t.header :: t.rows in
+  let n_cols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all_rows
+  in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all_rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let extra = w - String.length cell in
+    (* numbers right-aligned, text left-aligned *)
+    let is_num =
+      cell <> ""
+      && String.for_all
+           (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '/')
+           cell
+    in
+    if is_num then String.make extra ' ' ^ cell
+    else cell ^ String.make extra ' '
+  in
+  let line row =
+    "  " ^ String.concat "  " (List.mapi pad row)
+  in
+  let sep =
+    "  "
+    ^ String.concat "  "
+        (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) t.rows;
+  List.iter
+    (fun note -> Buffer.add_string buf ("  note: " ^ note ^ "\n"))
+    t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  ?notes:string list -> title:string -> header:string list ->
+  string list list -> t
+
+val render : t -> string
+(** columns aligned; numeric cells right-aligned *)
+
+val print : t -> unit

@@ -1,0 +1,46 @@
+/* The paper's Figure 3, verbatim: catch inconsistencies between a
+ * message send's has-data parameter and the header's length field.
+ *
+ * Run with:  mcheck --metal metal/msglen_check.metal your_protocol.c
+ */
+{ #include "flash-includes.h" }
+sm msglen_check {
+  /* Named patterns specifying message length assignments
+   * zero and non-zero values. */
+  pat zero_assign =
+    { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA } ;
+  pat nonzero_assign =
+    { HANDLER_GLOBALS(header.nh.len) = LEN_WORD }
+  | { HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE } ;
+
+  /* Named patterns specifying sends that transmit data
+   * (these need a non-zero length field). */
+  decl { unsigned } keep, swap, wait, dec, null, type;
+  pat send_data =
+    { PI_SEND(F_DATA, keep, swap, wait, dec, null) }
+  | { IO_SEND(F_DATA, keep, swap, wait, dec, null) }
+  | { NI_SEND(type, F_DATA, keep, wait, dec, null) } ;
+
+  /* Named patterns for sends without data
+   * (these need a zero length field). */
+  pat send_nodata =
+    { PI_SEND(F_NODATA, keep, swap, wait, dec, null) }
+  | { IO_SEND(F_NODATA, keep, swap, wait, dec, null) }
+  | { NI_SEND(type, F_NODATA, keep, wait, dec, null) } ;
+
+  /* Start state. Note, rules in the special 'all'
+   * state are always run no matter what state the
+   * SM is in. We assume sends in this state are
+   * ok and ignore them. */
+  all:
+    zero_assign ==> zero_len
+  | nonzero_assign ==> nonzero_len ;
+
+  /* If we have a zero-length, cannot send data */
+  zero_len:
+    send_data ==> { err("data send, zero len"); } ;
+
+  /* If we have a non-zero length, must send data */
+  nonzero_len:
+    send_nodata ==> { err("nodata send, nonzero len"); } ;
+}

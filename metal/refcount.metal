@@ -1,0 +1,14 @@
+/* The Section 11 lesson, as a five-line checker.
+ *
+ * "A few lines above the diagnosed error, the buffer's reference count
+ *  had been manually double-incremented (for no apparent reason) using a
+ *  function that was 'never' used. ... After this incident, we added a
+ *  check in the extension that aggressively objects to occurrences of
+ *  this call."
+ */
+sm refcount_check {
+  all:
+    { DB_INC_REFCOUNT(); } ==>
+      { err("manual reference-count manipulation blinds the buffer checker"); }
+  ;
+}

@@ -1,0 +1,121 @@
+(** Lexer unit and property tests. *)
+
+let tokens_of src = List.map fst (Lexer.tokens src)
+
+let check_tokens name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = tokens_of src in
+      Alcotest.(check int)
+        (name ^ " token count")
+        (List.length expected) (List.length got);
+      List.iteri
+        (fun i (e, g) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s token %d" name i)
+            (Token.to_string e) (Token.to_string g))
+        (List.combine expected got))
+
+let t = Alcotest.test_case
+
+let cases =
+  [
+    check_tokens "empty" "" [ Token.EOF ];
+    check_tokens "identifier" "foo_bar42"
+      [ Token.IDENT "foo_bar42"; Token.EOF ];
+    check_tokens "keywords" "if else while return"
+      [ Token.KW_IF; Token.KW_ELSE; Token.KW_WHILE; Token.KW_RETURN;
+        Token.EOF ];
+    check_tokens "decimal int" "42" [ Token.INT (42L, "42"); Token.EOF ];
+    check_tokens "hex int" "0xff" [ Token.INT (255L, "0xff"); Token.EOF ];
+    check_tokens "suffixed int" "42UL" [ Token.INT (42L, "42UL"); Token.EOF ];
+    check_tokens "float" "3.5" [ Token.FLOAT (3.5, "3.5"); Token.EOF ];
+    check_tokens "float exponent" "1e3"
+      [ Token.FLOAT (1000.0, "1e3"); Token.EOF ];
+    check_tokens "float f-suffix" "2.0f"
+      [ Token.FLOAT (2.0, "2.0f"); Token.EOF ];
+    check_tokens "char literal" "'a'" [ Token.CHAR 'a'; Token.EOF ];
+    check_tokens "escaped char" "'\\n'" [ Token.CHAR '\n'; Token.EOF ];
+    check_tokens "string" "\"hi\"" [ Token.STRING "hi"; Token.EOF ];
+    check_tokens "string with escape" "\"a\\nb\""
+      [ Token.STRING "a\nb"; Token.EOF ];
+    check_tokens "arrow vs minus" "a->b - c"
+      [ Token.IDENT "a"; Token.ARROW; Token.IDENT "b"; Token.MINUS;
+        Token.IDENT "c"; Token.EOF ];
+    check_tokens "shift vs compare" "a << b < c"
+      [ Token.IDENT "a"; Token.LSHIFT; Token.IDENT "b"; Token.LT;
+        Token.IDENT "c"; Token.EOF ];
+    check_tokens "shift-assign" "a <<= 2"
+      [ Token.IDENT "a"; Token.LSHIFTEQ; Token.INT (2L, "2"); Token.EOF ];
+    check_tokens "increment" "a++ + ++b"
+      [ Token.IDENT "a"; Token.PLUSPLUS; Token.PLUS; Token.PLUSPLUS;
+        Token.IDENT "b"; Token.EOF ];
+    check_tokens "line comment" "a // comment\nb"
+      [ Token.IDENT "a"; Token.IDENT "b"; Token.EOF ];
+    check_tokens "block comment" "a /* x\ny */ b"
+      [ Token.IDENT "a"; Token.IDENT "b"; Token.EOF ];
+    check_tokens "preprocessor skipped" "#include <x.h>\nfoo"
+      [ Token.IDENT "foo"; Token.EOF ];
+    check_tokens "preprocessor continuation" "#define A \\\n 42\nfoo"
+      [ Token.IDENT "foo"; Token.EOF ];
+    check_tokens "ellipsis" "f(...)"
+      [ Token.IDENT "f"; Token.LPAREN; Token.ELLIPSIS; Token.RPAREN;
+        Token.EOF ];
+    t "line numbers advance" `Quick (fun () ->
+        let toks = Lexer.tokens "a\nb\n  c" in
+        let line_of tok =
+          let _, loc = List.find (fun (t, _) -> t = Token.IDENT tok) toks in
+          loc.Loc.line
+        in
+        Alcotest.(check int) "a line" 1 (line_of "a");
+        Alcotest.(check int) "b line" 2 (line_of "b");
+        Alcotest.(check int) "c line" 3 (line_of "c");
+        let _, c_loc =
+          List.find (fun (t, _) -> t = Token.IDENT "c") toks
+        in
+        Alcotest.(check int) "c col" 3 c_loc.Loc.col);
+    t "unterminated string raises" `Quick (fun () ->
+        Alcotest.check_raises "raises"
+          (Lexer.Error
+             ("unterminated string literal", Loc.make ~file:"<string>" ~line:1 ~col:6))
+          (fun () -> ignore (Lexer.tokens "\"oops")));
+    t "unexpected char raises" `Quick (fun () ->
+        match Lexer.tokens "a $ b" with
+        | exception Lexer.Error _ -> ()
+        | _ -> Alcotest.fail "expected a lexer error");
+  ]
+
+(* property: every decimal integer round-trips *)
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"lexer int literal roundtrip" ~count:200
+    QCheck.(int_bound 1_000_000_000)
+    (fun n ->
+      match tokens_of (string_of_int n) with
+      | [ Token.INT (v, _); Token.EOF ] -> Int64.to_int v = n
+      | _ -> false)
+
+(* property: identifiers survive arbitrary whitespace padding *)
+let prop_ident_ws =
+  let ident_gen =
+    QCheck.Gen.(
+      map2
+        (fun c rest -> String.make 1 c ^ rest)
+        (oneofl [ 'a'; 'z'; 'A'; '_' ])
+        (string_size ~gen:(oneofl [ 'a'; 'b'; '0'; '_' ]) (0 -- 8)))
+  in
+  QCheck.Test.make ~name:"lexer ident under whitespace" ~count:200
+    (QCheck.make ident_gen)
+    (fun id ->
+      match tokens_of ("  \t\n" ^ id ^ "   ") with
+      | [ Token.IDENT got; Token.EOF ] ->
+        (* keywords lex as keywords, anything else as itself *)
+        got = id
+      | [ _kw; Token.EOF ] -> List.mem_assoc id Token.keyword_table
+      | _ -> false)
+
+let suite =
+  ( "lexer",
+    cases
+    @ [
+        QCheck_alcotest.to_alcotest prop_int_roundtrip;
+        QCheck_alcotest.to_alcotest prop_ident_ws;
+      ] )

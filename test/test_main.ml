@@ -1,0 +1,28 @@
+(** Aggregated test runner: [dune runtest]. *)
+
+let () =
+  Alcotest.run "metal-flash"
+    [
+      Test_lexer.suite;
+      Test_parser.suite;
+      Test_ctype.suite;
+      Test_pp.suite;
+      Test_cfg.suite;
+      Test_pattern.suite;
+      Test_engine.suite;
+      Test_engine2.suite;
+      Test_interproc.suite;
+      Test_mdsl.suite;
+      Test_checkers.suite;
+      Test_checkers2.suite;
+      Test_fixer.suite;
+      Test_optimizer.suite;
+      Test_machine.suite;
+      Test_interp.suite;
+      Test_corpus.suite;
+      Test_sim.suite;
+      Test_sim2.suite;
+      Test_flashapi.suite;
+      Test_misc.suite;
+      Test_fuzz.suite;
+    ]

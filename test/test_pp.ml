@@ -1,0 +1,110 @@
+(** Printer shapes and checker-utility helpers. *)
+
+let t = Alcotest.test_case
+
+(* print a parsed unit and re-parse: structure must survive, and the
+   second print must be identical (fixpoint) *)
+let stable src =
+  let tu = Parser.parse_string ~file:"t.c" src in
+  let p1 = Pp.tunit_to_string tu in
+  let tu2 = Parser.parse_string ~file:"t.c" p1 in
+  let p2 = Pp.tunit_to_string tu2 in
+  String.equal p1 p2
+
+let check_stable name src =
+  t name `Quick (fun () ->
+      Alcotest.(check bool) name true (stable src))
+
+let printer_cases =
+  [
+    check_stable "do-while" "void f(void) { do { x = x + 1; } while (x < 4); }";
+    check_stable "for without init" "void f(void) { for (; i < 3; i++) x(); }";
+    check_stable "for without condition" "void f(void) { for (i = 0; ; i++) { if (i > 2) { break; } } }";
+    check_stable "bare for" "void f(void) { for (;;) { break; } }";
+    check_stable "switch with fallthrough"
+      "void f(void) { switch (x) { case 1: a(); case 2: b(); break; default: c(); } }";
+    check_stable "labels and gotos"
+      "void f(void) { top: if (x) { goto top; } goto out; out: y = 1; }";
+    check_stable "union definition" "union u { int a; long b; };";
+    check_stable "typedef pointer" "typedef long *lp;";
+    check_stable "global array initialiser-free" "long table[16];";
+    check_stable "static global" "static int counter;";
+    check_stable "chained assignment" "void f(void) { a = b = c = 0; }";
+    check_stable "nested ternary"
+      "void f(void) { x = a ? b : c ? d : e; }";
+    check_stable "char escapes"
+      "void f(void) { c = '\\n'; d = '\\\\'; s = \"a\\tb\"; }";
+    check_stable "comma in for-step"
+      "void f(void) { for (i = 0; i < 9; i = i + 1, j = j + 2) x(); }";
+    check_stable "casts and sizeof"
+      "void f(void) { x = (unsigned long)p + sizeof(int) + sizeof(x + 1); }";
+    t "pointer return type survives" `Quick (fun () ->
+        let tu = Parser.parse_string ~file:"t.c" "long *get(void) { return 0; }" in
+        let printed = Pp.tunit_to_string tu in
+        let tu2 = Parser.parse_string ~file:"t.c" printed in
+        match Ast.functions tu2 with
+        | [ f ] ->
+          Alcotest.(check bool) "ptr ret" true
+            (Ctype.equal f.Ast.f_ret (Ctype.Ptr Ctype.Long))
+        | _ -> Alcotest.fail "one function expected");
+    t "describe_kind labels nodes" `Quick (fun () ->
+        let tu =
+          Frontend.of_string ~file:"t.c" "void f(void) { if (x) { y(); } }"
+        in
+        let cfg = Cfg.build (List.hd (Ast.functions tu)) in
+        let kinds =
+          Array.to_list cfg.Cfg.nodes
+          |> List.map (fun n -> Cfg.describe_kind n.Cfg.kind)
+        in
+        Alcotest.(check bool) "has entry" true (List.mem "<entry>" kinds);
+        Alcotest.(check bool) "has a branch" true
+          (List.exists
+             (fun k -> String.length k >= 6 && String.sub k 0 6 = "branch")
+             kinds));
+  ]
+
+(* checker utility helpers *)
+let cutil_cases =
+  [
+    t "count_calls counts once per site" `Quick (fun () ->
+        let tu =
+          Frontend.of_string ~file:"t.c"
+            "void f(void) { if (a) { g(); } while (b) { g(); g(); } }"
+        in
+        Alcotest.(check int) "three sites" 3 (Cutil.count_calls [ tu ] [ "g" ]));
+    t "count_calls sees nested call arguments" `Quick (fun () ->
+        let tu =
+          Frontend.of_string ~file:"t.c" "void f(void) { g(g(g(1))); }"
+        in
+        Alcotest.(check int) "three" 3 (Cutil.count_calls [ tu ] [ "g" ]));
+    t "refs_handler_global roots correctly" `Quick (fun () ->
+        let e =
+          Parser.parse_expr_string
+            "HANDLER_GLOBALS(dirEntry.vector) + HANDLER_GLOBALS(header.nh.len)"
+        in
+        Alcotest.(check bool) "dirEntry" true
+          (Cutil.refs_handler_global e ~root:"dirEntry");
+        Alcotest.(check bool) "header" true
+          (Cutil.refs_handler_global e ~root:"header");
+        Alcotest.(check bool) "other" false
+          (Cutil.refs_handler_global e ~root:"protoStats"));
+    t "send_wait_flag extracts the 4th argument" `Quick (fun () ->
+        let e =
+          Parser.parse_expr_string "PI_SEND(F_NODATA, 0, 0, W_WAIT, 1, 0)"
+        in
+        Alcotest.(check (option string)) "wait" (Some "W_WAIT")
+          (Cutil.send_wait_flag e);
+        let e2 = Parser.parse_expr_string "NI_SEND(MSG_PUT, F_DATA, 0, W_NOWAIT, 1, 0)" in
+        Alcotest.(check (option string)) "nowait" (Some "W_NOWAIT")
+          (Cutil.send_wait_flag e2));
+    t "ni_opcode reads the first argument" `Quick (fun () ->
+        let e =
+          Parser.parse_expr_string "NI_SEND(MSG_INVAL, F_NODATA, 0, W_NOWAIT, 1, 0)"
+        in
+        Alcotest.(check (option string)) "opcode" (Some "MSG_INVAL")
+          (Cutil.ni_opcode e);
+        let e2 = Parser.parse_expr_string "PI_SEND(F_DATA, 0, 0, 0, 1, 0)" in
+        Alcotest.(check (option string)) "not NI" None (Cutil.ni_opcode e2));
+  ]
+
+let suite = ("pp + cutil", printer_cases @ cutil_cases)

@@ -169,6 +169,172 @@ let print_sensitivity () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 2c: the Mcd parallel/incremental scheduler                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-corpus wall-clock comparison: the sequential engine vs the Mcd
+   work pool at 1/2/4/8 domains, then a warm-cache incremental re-check
+   after editing one handler.  The numbers land in BENCH_PARALLEL.json
+   so future PRs can track the perf trajectory. *)
+
+let mcd_jobs c =
+  List.map
+    (fun (p : Corpus.protocol) ->
+      { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus })
+    c.Corpus.protocols
+
+let render_results (results : (string * Diag.t list) list list) : string =
+  String.concat "\n"
+    (List.concat_map
+       (fun per_checker ->
+         List.concat_map
+           (fun (name, ds) -> name :: List.map Diag.to_string ds)
+           per_checker)
+       results)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* the "one handler edited" workload: append a harmless statement to the
+   first handler of the first protocol *)
+let edit_one_handler (c : Corpus.t) : Mcd.job list * string =
+  let p = List.hd c.Corpus.protocols in
+  let target =
+    (List.hd p.Corpus.spec.Flash_api.p_handlers).Flash_api.h_name
+  in
+  let edit (tu : Ast.tunit) =
+    {
+      tu with
+      Ast.tu_globals =
+        List.map
+          (function
+            | Ast.Gfunc f when String.equal f.Ast.f_name target ->
+              Ast.Gfunc
+                {
+                  f with
+                  Ast.f_body =
+                    f.Ast.f_body
+                    @ [ Ast.mk_stmt (Ast.Sexpr (Ast.int_lit 424242)) ];
+                }
+            | g -> g)
+          tu.Ast.tu_globals;
+    }
+  in
+  let jobs =
+    List.map
+      (fun (q : Corpus.protocol) ->
+        if q == p then
+          { Mcd.spec = q.Corpus.spec; tus = List.map edit q.Corpus.tus }
+        else { Mcd.spec = q.Corpus.spec; tus = q.Corpus.tus })
+      c.Corpus.protocols
+  in
+  (jobs, target)
+
+let run_parallel () =
+  print_endline
+    "================ Mcd parallel/incremental scheduler ================";
+  print_newline ();
+  let c = Lazy.force corpus in
+  let jobs = mcd_jobs c in
+  Printf.printf "host: %d core(s) recommended by the runtime\n\n"
+    (Domain.recommended_domain_count ());
+  let seq_results, seq_ms =
+    time_ms (fun () ->
+        List.map
+          (fun (p : Corpus.protocol) ->
+            Registry.run_all ~spec:p.Corpus.spec p.Corpus.tus)
+          c.Corpus.protocols)
+  in
+  let baseline = render_results seq_results in
+  Printf.printf "  %-34s %8.0f ms\n" "sequential Registry.run_all" seq_ms;
+  let all_identical = ref true in
+  let cold_times =
+    List.map
+      (fun domains ->
+        let (results, _), ms =
+          time_ms (fun () -> Mcd.check_jobs ~jobs:domains jobs)
+        in
+        let same = String.equal (render_results results) baseline in
+        if not same then all_identical := false;
+        Printf.printf "  mcd --jobs %-24d %8.0f ms   (%.2fx, identical=%b)\n"
+          domains ms (seq_ms /. ms) same;
+        (domains, ms))
+      [ 1; 2; 4; 8 ]
+  in
+  (* incremental: cold fill, then a one-handler edit, then warm *)
+  let cache = Mcd_cache.create () in
+  let (_, cold_stats), cold_ms =
+    time_ms (fun () -> Mcd.check_jobs ~cache ~jobs:4 jobs)
+  in
+  let edited_jobs, edited = edit_one_handler c in
+  let (warm_results, warm_stats), warm_ms =
+    time_ms (fun () -> Mcd.check_jobs ~cache ~jobs:4 edited_jobs)
+  in
+  let warm_expected, _ =
+    time_ms (fun () ->
+        List.map
+          (fun (j : Mcd.job) -> Registry.run_all ~spec:j.Mcd.spec j.Mcd.tus)
+          edited_jobs)
+  in
+  let warm_same =
+    String.equal (render_results warm_results) (render_results warm_expected)
+  in
+  if not warm_same then all_identical := false;
+  let unit_pct =
+    100.0
+    *. float_of_int warm_stats.Mcd.units_run
+    /. float_of_int cold_stats.Mcd.units_run
+  in
+  let hit_rate =
+    100.0
+    *. float_of_int warm_stats.Mcd.cache_hits
+    /. float_of_int warm_stats.Mcd.units_total
+  in
+  Printf.printf
+    "\n\
+    \  cold cache fill (4 domains):        %8.0f ms   (%d units)\n\
+    \  warm re-check after editing %s:\n\
+    \    %8.0f ms — %d of %d units re-run (%.1f%% of cold work), \
+     %.1f%% hit rate, identical=%b\n\n"
+    cold_ms cold_stats.Mcd.units_run edited warm_ms
+    warm_stats.Mcd.units_run cold_stats.Mcd.units_run unit_pct hit_rate
+    warm_same;
+  let speedup d =
+    match List.assoc_opt d cold_times with
+    | Some ms -> seq_ms /. ms
+    | None -> 0.0
+  in
+  let oc = open_out "BENCH_PARALLEL.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cores\": %d,\n\
+    \  \"sequential_ms\": %.1f,\n\
+    \  \"mcd_1_ms\": %.1f,\n\
+    \  \"mcd_2_ms\": %.1f,\n\
+    \  \"mcd_4_ms\": %.1f,\n\
+    \  \"mcd_8_ms\": %.1f,\n\
+    \  \"speedup_4\": %.3f,\n\
+    \  \"warm_units_run\": %d,\n\
+    \  \"cold_units_run\": %d,\n\
+    \  \"warm_unit_pct\": %.2f,\n\
+    \  \"warm_hit_rate_pct\": %.2f,\n\
+    \  \"warm_ms\": %.1f,\n\
+    \  \"diagnostics_identical\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    seq_ms
+    (List.assoc 1 cold_times)
+    (List.assoc 2 cold_times)
+    (List.assoc 4 cold_times)
+    (List.assoc 8 cold_times)
+    (speedup 4) warm_stats.Mcd.units_run cold_stats.Mcd.units_run unit_pct
+    hit_rate warm_ms !all_identical;
+  close_out oc;
+  print_endline "  wrote BENCH_PARALLEL.json"
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel timings                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -290,6 +456,7 @@ let () =
   | [ "sim" ] -> print_sim_comparison ()
   | [ "sensitivity" ] -> print_sensitivity ()
   | [ "ablations" ] -> print_ablations ()
+  | [ "parallel" ] -> run_parallel ()
   | [ "bench" ] -> run_bench ()
   | [ arg ]
     when String.length arg = 6 && String.sub arg 0 5 = "table"
@@ -298,5 +465,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
-       ablations | bench]";
+       ablations | parallel | bench]";
     exit 2

@@ -11,7 +11,14 @@
       verbatim);
     - [mcheck --fix -o DIR FILE.c ...] — apply the automatic repairs
       (hooks, races, leaks) and write the patched sources;
-    - [mcheck --list] — list the available checkers. *)
+    - [mcheck --list] — list the available checkers.
+
+    Scheduling: [--jobs N] runs the checkers on the [Mcd] work pool
+    across N domains, and [--incremental] keeps the content-hash result
+    cache warm across invocations (persisted to [--cache FILE]), so
+    re-checking after editing one handler only re-runs the affected
+    (checker x function) units.  Output is byte-identical to the
+    sequential run in every configuration. *)
 
 open Cmdliner
 
@@ -35,7 +42,7 @@ let run_metal_on metal_paths (tus : Ast.tunit list) verbose =
   let total = ref 0 in
   List.iter
     (fun (_, sm) ->
-      let diags = List.concat_map (fun tu -> Engine.run_unit sm tu) tus in
+      let diags = Engine.check sm (`Program tus) in
       total := !total + List.length diags;
       List.iter
         (fun d ->
@@ -45,7 +52,37 @@ let run_metal_on metal_paths (tus : Ast.tunit list) verbose =
     (load_metal metal_paths);
   !total
 
-let run_on_files checker_names files verbose =
+(* -------------------------------------------------------------- *)
+(* Scheduling configuration: --jobs / --incremental / --cache      *)
+(* -------------------------------------------------------------- *)
+
+type sched = { jobs : int; incremental : bool; cache_file : string }
+
+let use_mcd sched = sched.jobs > 1 || sched.incremental
+
+(* In incremental mode the content-hash cache is loaded before and
+   persisted after the run, which is what keeps re-checks warm across
+   mcheck invocations. *)
+let with_cache sched f =
+  if sched.incremental then begin
+    let cache = Mcd_cache.load sched.cache_file in
+    let r = f (Some cache) in
+    Mcd_cache.save cache sched.cache_file;
+    r
+  end
+  else f None
+
+let print_protocol_results ~verbose ~selected result =
+  List.iter
+    (fun (name, diags) ->
+      if selected name then begin
+        Printf.printf "-- %s: %d report(s)\n" name (List.length diags);
+        if verbose then
+          List.iter (fun d -> Format.printf "   %a@." Diag.pp d) diags
+      end)
+    result
+
+let run_on_files checker_names files verbose sched =
   let units =
     List.map
       (fun path ->
@@ -84,15 +121,29 @@ let run_on_files checker_names files verbose =
       p_cond_free_funcs = [];
     }
   in
-  let checkers =
-    match checker_names with
-    | [] -> Registry.all
-    | names -> List.filter_map Registry.find names
+  let selected name =
+    checker_names = [] || List.mem name checker_names
+  in
+  let per_checker =
+    if use_mcd sched then begin
+      let result, stats =
+        with_cache sched (fun cache ->
+            Mcd.check_corpus ?cache ~jobs:sched.jobs ~spec tus)
+      in
+      Format.eprintf "scheduler: %a@." Mcd.pp_stats stats;
+      List.filter (fun (name, _) -> selected name) result
+    end
+    else
+      List.filter_map
+        (fun (c : Registry.checker) ->
+          if selected c.Registry.name then
+            Some (c.Registry.name, c.Registry.run ~spec tus)
+          else None)
+        Registry.all
   in
   let total = ref 0 in
   List.iter
-    (fun (c : Registry.checker) ->
-      let diags = c.Registry.run ~spec tus in
+    (fun (_, diags) ->
       total := !total + List.length diags;
       List.iter
         (fun d ->
@@ -100,29 +151,50 @@ let run_on_files checker_names files verbose =
             Format.printf "%a@." Diag.pp_with_trace d
           else Format.printf "%a@." Diag.pp d)
         diags)
-    checkers;
+    per_checker;
   if !total = 0 then print_endline "no violations found";
   if !total > 0 then exit 1
 
-let run_corpus checker_names seed verbose =
+let run_corpus checker_names seed verbose sched =
   let corpus = Corpus.generate ~seed () in
-  let checkers =
-    match checker_names with
-    | [] -> Registry.all
-    | names -> List.filter_map Registry.find names
+  let selected name =
+    checker_names = [] || List.mem name checker_names
   in
-  List.iter
-    (fun (p : Corpus.protocol) ->
-      Printf.printf "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
-      List.iter
-        (fun (c : Registry.checker) ->
-          let diags = c.Registry.run ~spec:p.Corpus.spec p.Corpus.tus in
-          Printf.printf "-- %s: %d report(s)\n" c.Registry.name
-            (List.length diags);
-          if verbose then
-            List.iter (fun d -> Format.printf "   %a@." Diag.pp d) diags)
-        checkers)
-    corpus.Corpus.protocols
+  if use_mcd sched then begin
+    (* the scheduler always computes every checker (the cache keeps that
+       cheap); selection only filters the report *)
+    let jobs =
+      List.map
+        (fun (p : Corpus.protocol) ->
+          { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus })
+        corpus.Corpus.protocols
+    in
+    let results, stats =
+      with_cache sched (fun cache ->
+          Mcd.check_jobs ?cache ~jobs:sched.jobs jobs)
+    in
+    List.iter2
+      (fun (p : Corpus.protocol) result ->
+        Printf.printf "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
+        print_protocol_results ~verbose ~selected result)
+      corpus.Corpus.protocols results;
+    Format.printf "scheduler: %a@." Mcd.pp_stats stats
+  end
+  else
+    List.iter
+      (fun (p : Corpus.protocol) ->
+        Printf.printf "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
+        List.iter
+          (fun (c : Registry.checker) ->
+            if selected c.Registry.name then begin
+              let diags = c.Registry.run ~spec:p.Corpus.spec p.Corpus.tus in
+              Printf.printf "-- %s: %d report(s)\n" c.Registry.name
+                (List.length diags);
+              if verbose then
+                List.iter (fun d -> Format.printf "   %a@." Diag.pp d) diags
+            end)
+          Registry.all)
+      corpus.Corpus.protocols
 
 let run_table n seed =
   let corpus = Corpus.generate ~seed () in
@@ -220,15 +292,16 @@ let run_fix files out_dir =
     fixed
 
 let main checker_names files table list_flag seed verbose metal_paths fix
-    out_dir =
+    out_dir jobs incremental cache_file =
+  let sched = { jobs; incremental; cache_file } in
   if list_flag then list_checkers ()
   else if fix then run_fix files out_dir
   else
     match (table, metal_paths, files) with
     | Some n, _, _ -> run_table n seed
     | None, (_ :: _ as metal), files -> run_metal metal files verbose seed
-    | None, [], [] -> run_corpus checker_names seed verbose
-    | None, [], files -> run_on_files checker_names files verbose
+    | None, [], [] -> run_corpus checker_names seed verbose sched
+    | None, [], files -> run_on_files checker_names files verbose sched
 
 let checker_arg =
   Arg.(
@@ -277,6 +350,27 @@ let out_arg =
     value & opt string "fixed"
     & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory for --fix.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Schedule (checker x function) work units across $(docv) \
+              domains.  Output is identical to the sequential run.")
+
+let incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:"Cache per-unit results by content hash and persist them \
+              (see --cache), so re-checks after small edits only re-run \
+              the affected units.")
+
+let cache_arg =
+  Arg.(
+    value & opt string ".mcheck.cache"
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:"Cache file used by --incremental.")
+
 let cmd =
   let doc =
     "metal checkers for FLASH protocol code (ASPLOS 2000 reproduction)"
@@ -285,6 +379,7 @@ let cmd =
     (Cmd.info "mcheck" ~doc)
     Term.(
       const main $ checker_arg $ files_arg $ table_arg $ list_arg $ seed_arg
-      $ verbose_arg $ metal_arg $ fix_arg $ out_arg)
+      $ verbose_arg $ metal_arg $ fix_arg $ out_arg $ jobs_arg
+      $ incremental_arg $ cache_arg)
 
 let () = exit (Cmd.eval cmd)

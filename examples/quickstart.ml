@@ -62,6 +62,6 @@ void NIRemotePut(void)
 let () =
   print_endline "Checking NIRemotePut with the Figure 2 checker...";
   let tu = Frontend.of_string ~file:"quickstart.c" handler_source in
-  let diags = Engine.run_unit checker tu in
+  let diags = Engine.check checker (`Unit tu) in
   List.iter (fun d -> Format.printf "  %a@." Diag.pp d) diags;
   Printf.printf "found %d violation(s) (expected 2)\n" (List.length diags)

@@ -189,13 +189,24 @@ let run_with_annotations ~spec (tus : Ast.tunit list) : outcome =
   in
   let sm = make_sm ~spec ~suppress in
   let diags =
-    Engine.run_program ~at_exit:(exit_hook ~spec suppress) sm tus
+    Engine.check ~at_exit:(exit_hook ~spec suppress) sm (`Program tus)
   in
   {
     diags;
     useful_annotations = List.length (Suppress.useful suppress);
     unused_annotations = List.length (Suppress.unused suppress);
   }
+
+(* Staged: the spec-dependent state machine (and the annotation table,
+   which only feeds the Table 4 counters, never the diagnostics) is built
+   once per [check_fn ~spec] application. *)
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let suppress =
+    Suppress.create
+      ~reserved:[ Flash_api.ann_has_buffer; Flash_api.ann_no_free_needed ]
+  in
+  let sm = make_sm ~spec ~suppress in
+  fun f -> Engine.check ~at_exit:(exit_hook ~spec suppress) sm (`Func f)
 
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   (run_with_annotations ~spec tus).diags

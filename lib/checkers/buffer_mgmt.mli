@@ -13,5 +13,10 @@ type outcome = {
 }
 
 val run_with_annotations : spec:Flash_api.spec -> Ast.tunit list -> outcome
+
+val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
+(** staged: [check_fn ~spec] compiles the spec's state machine once and
+    returns the per-function phase the scheduler drives *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 val applied : Ast.tunit list -> int

@@ -47,9 +47,13 @@ let rules =
 let sm : state Sm.t =
   Sm.make ~name ~start:(fun _ -> Some Start) ~rules:(fun Start -> rules) ()
 
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let _ = spec in
+  fun f -> Engine.check sm (`Func f)
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
-  Engine.run_program sm tus
+  Engine.check sm (`Program tus)
 
 (** Number of data-buffer reads — the Applied column of Table 2. *)
 let applied (tus : Ast.tunit list) : int =

@@ -10,6 +10,9 @@ type state = Start
 val sm : state Sm.t
 (** the transliterated Figure 2 machine, reusable directly *)
 
+val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
+(** check one function — the per-function phase the scheduler drives *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
 val applied : Ast.tunit list -> int

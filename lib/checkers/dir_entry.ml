@@ -131,8 +131,14 @@ let exit_hook : state Engine.exit_hook =
     Sm.err ~checker:name ctx
       "modified directory entry not written back on this path"
 
+(* Staged: [check_fn ~spec] compiles the spec-dependent state machine
+   once, the returned closure checks one function at a time. *)
+let check_fn ?nak_pruning ~spec : Ast.func -> Diag.t list =
+  let sm = sm ?nak_pruning ~spec () in
+  fun f -> Engine.check ~at_exit:exit_hook sm (`Func f)
+
 let run ?nak_pruning ~spec (tus : Ast.tunit list) : Diag.t list =
-  Engine.run_program ~at_exit:exit_hook (sm ?nak_pruning ~spec ()) tus
+  Engine.check ~at_exit:exit_hook (sm ?nak_pruning ~spec ()) (`Program tus)
 
 (** Directory operations examined: loads, writebacks and dirEntry
     accesses — the Applied column of Table 6. *)

@@ -184,15 +184,14 @@ let check_hooks ~(spec : Flash_api.spec) (f : Ast.func) : Diag.t list =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let check_fn ~spec (f : Ast.func) : Diag.t list =
+  check_signature ~spec f @ check_deprecated f @ check_no_stack ~spec f
+  @ check_hooks ~spec f
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let diags =
     List.concat_map
-      (fun tu ->
-        List.concat_map
-          (fun f ->
-            check_signature ~spec f @ check_deprecated f
-            @ check_no_stack ~spec f @ check_hooks ~spec f)
-          (Ast.functions tu))
+      (fun tu -> List.concat_map (check_fn ~spec) (Ast.functions tu))
       tus
   in
   Diag.normalize diags

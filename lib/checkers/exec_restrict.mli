@@ -5,6 +5,11 @@
 
 val name : string
 val metal_loc : int
+
+val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
+(** check one function — results are unnormalized; the registry's
+    finalizer sorts and deduplicates the whole-program list *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
 val applied : Ast.tunit list -> int

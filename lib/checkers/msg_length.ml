@@ -64,9 +64,13 @@ let sm : state Sm.t =
       | Nonzero_len -> "nonzero_len")
     ()
 
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let _ = spec in
+  fun f -> Engine.check sm (`Func f)
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
-  Engine.run_program sm tus
+  Engine.check sm (`Program tus)
 
 (** Number of sends — the Applied column of Table 3. *)
 let applied (tus : Ast.tunit list) : int =

@@ -9,6 +9,9 @@ type state = Unknown | Zero_len | Nonzero_len
 
 val sm : state Sm.t
 
+val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
+(** check one function — the per-function phase the scheduler drives *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
 val applied : Ast.tunit list -> int

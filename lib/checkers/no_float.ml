@@ -61,6 +61,10 @@ let check_func (f : Ast.func) : Diag.t list =
     f.Ast.f_params;
   !diags
 
+let check_fn ~spec (f : Ast.func) : Diag.t list =
+  let _ = spec in
+  check_func f
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
   Diag.normalize

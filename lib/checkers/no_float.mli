@@ -3,5 +3,8 @@
 
 val name : string
 val metal_loc : int
+val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
+(** check one function — the per-function phase the scheduler drives *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 val applied : Ast.tunit list -> int

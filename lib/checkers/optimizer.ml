@@ -46,7 +46,7 @@ let redundant_waits (func : Ast.func) : Loc.t list =
         ])
       ()
   in
-  ignore (Engine.run sm func);
+  ignore (Engine.check sm (`Func func));
   Hashtbl.fold
     (fun loc (in_unsynced, in_synced) acc ->
       if in_synced && not in_unsynced then loc :: acc else acc)

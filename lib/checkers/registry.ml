@@ -1,78 +1,122 @@
-(** The eight FLASH checkers, with the metadata Table 7 reports. *)
+(** The nine FLASH checkers, with the metadata Table 7 reports, behind
+    the two-phase checker interface the [Mcd] scheduler drives. *)
+
+type ctx = {
+  all_units : Ast.tunit list;
+  callgraph : Callgraph.t Lazy.t;
+}
+
+let make_ctx tus = { all_units = tus; callgraph = lazy (Callgraph.build tus) }
+
+type check_fn = spec:Flash_api.spec -> ctx:ctx -> Ast.func -> Diag.t list
+type check_global = spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
+
+type phase =
+  | Per_function of {
+      check_fn : check_fn;
+      finalize : Diag.t list -> Diag.t list;
+    }
+  | Whole_program of check_global
 
 type checker = {
   name : string;
   description : string;
-  metal_loc : int;  (** size of the paper's metal extension (Table 7) *)
+  metal_loc : int;
+  phase : phase;
   run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list;
   applied : Ast.tunit list -> int;
 }
 
+let run_of_phase (phase : phase) : spec:Flash_api.spec -> Ast.tunit list ->
+  Diag.t list =
+  match phase with
+  | Per_function { check_fn; finalize } ->
+    fun ~spec tus ->
+      let ctx = make_ctx tus in
+      let fn = check_fn ~spec ~ctx in
+      finalize
+        (List.concat_map
+           (fun tu -> List.concat_map fn (Ast.functions tu))
+           tus)
+  | Whole_program g -> fun ~spec tus -> g ~spec tus
+
+let make ~name ~description ~metal_loc ~phase ~applied =
+  { name; description; metal_loc; phase; run = run_of_phase phase; applied }
+
+(* lift a checker module's [check_fn ~spec] (staged on the spec alone)
+   into the registry signature *)
+let fn staged : check_fn = fun ~spec ~ctx -> let _ = ctx in staged ~spec
+
 let all : checker list =
   [
-    {
-      name = Buffer_mgmt.name;
-      description = "buffer allocation/free discipline (Section 6)";
-      metal_loc = Buffer_mgmt.metal_loc;
-      run = Buffer_mgmt.run;
-      applied = Buffer_mgmt.applied;
-    };
-    {
-      name = Msg_length.name;
-      description = "message length vs has-data consistency (Section 5)";
-      metal_loc = Msg_length.metal_loc;
-      run = Msg_length.run;
-      applied = Msg_length.applied;
-    };
-    {
-      name = Lane_checker.name;
-      description = "per-lane send allowances, inter-procedural (Section 7)";
-      metal_loc = Lane_checker.metal_loc;
-      run = (fun ~spec tus -> Lane_checker.run ~spec tus);
-      applied = Lane_checker.applied;
-    };
-    {
-      name = Buffer_race.name;
-      description = "data-buffer fill synchronisation (Section 4)";
-      metal_loc = Buffer_race.metal_loc;
-      run = Buffer_race.run;
-      applied = Buffer_race.applied;
-    };
-    {
-      name = Alloc_check.name;
-      description = "allocation failure checked before use (Section 9)";
-      metal_loc = Alloc_check.metal_loc;
-      run = Alloc_check.run;
-      applied = Alloc_check.applied;
-    };
-    {
-      name = Dir_entry.name;
-      description = "directory entry load/writeback discipline (Section 9)";
-      metal_loc = Dir_entry.metal_loc;
-      run = (fun ~spec tus -> Dir_entry.run ~spec tus);
-      applied = Dir_entry.applied;
-    };
-    {
-      name = Send_wait.name;
-      description = "synchronous send/wait pairing (Section 9)";
-      metal_loc = Send_wait.metal_loc;
-      run = Send_wait.run;
-      applied = Send_wait.applied;
-    };
-    {
-      name = Exec_restrict.name;
-      description = "handler execution restrictions and hooks (Section 8)";
-      metal_loc = Exec_restrict.metal_loc;
-      run = Exec_restrict.run;
-      applied = Exec_restrict.applied;
-    };
-    {
-      name = No_float.name;
-      description = "no floating point in protocol code (Section 8)";
-      metal_loc = No_float.metal_loc;
-      run = No_float.run;
-      applied = No_float.applied;
-    };
+    make ~name:Buffer_mgmt.name
+      ~description:"buffer allocation/free discipline (Section 6)"
+      ~metal_loc:Buffer_mgmt.metal_loc
+      ~phase:
+        (Per_function
+           { check_fn = fn Buffer_mgmt.check_fn; finalize = Fun.id })
+      ~applied:Buffer_mgmt.applied;
+    make ~name:Msg_length.name
+      ~description:"message length vs has-data consistency (Section 5)"
+      ~metal_loc:Msg_length.metal_loc
+      ~phase:
+        (Per_function
+           { check_fn = fn Msg_length.check_fn; finalize = Fun.id })
+      ~applied:Msg_length.applied;
+    make ~name:Lane_checker.name
+      ~description:"per-lane send allowances, inter-procedural (Section 7)"
+      ~metal_loc:Lane_checker.metal_loc
+      ~phase:
+        (Whole_program (fun ~spec tus -> Lane_checker.run ~spec tus))
+      ~applied:Lane_checker.applied;
+    make ~name:Buffer_race.name
+      ~description:"data-buffer fill synchronisation (Section 4)"
+      ~metal_loc:Buffer_race.metal_loc
+      ~phase:
+        (Per_function
+           { check_fn = fn Buffer_race.check_fn; finalize = Fun.id })
+      ~applied:Buffer_race.applied;
+    make ~name:Alloc_check.name
+      ~description:"allocation failure checked before use (Section 9)"
+      ~metal_loc:Alloc_check.metal_loc
+      ~phase:
+        (Per_function
+           { check_fn = fn Alloc_check.check_fn; finalize = Fun.id })
+      ~applied:Alloc_check.applied;
+    make ~name:Dir_entry.name
+      ~description:"directory entry load/writeback discipline (Section 9)"
+      ~metal_loc:Dir_entry.metal_loc
+      ~phase:
+        (Per_function
+           {
+             check_fn = fn (fun ~spec -> Dir_entry.check_fn ?nak_pruning:None ~spec);
+             finalize = Fun.id;
+           })
+      ~applied:Dir_entry.applied;
+    make ~name:Send_wait.name
+      ~description:"synchronous send/wait pairing (Section 9)"
+      ~metal_loc:Send_wait.metal_loc
+      ~phase:
+        (Per_function
+           { check_fn = fn Send_wait.check_fn; finalize = Fun.id })
+      ~applied:Send_wait.applied;
+    make ~name:Exec_restrict.name
+      ~description:"handler execution restrictions and hooks (Section 8)"
+      ~metal_loc:Exec_restrict.metal_loc
+      ~phase:
+        (Per_function
+           {
+             check_fn = fn Exec_restrict.check_fn;
+             finalize = Diag.normalize;
+           })
+      ~applied:Exec_restrict.applied;
+    make ~name:No_float.name
+      ~description:"no floating point in protocol code (Section 8)"
+      ~metal_loc:No_float.metal_loc
+      ~phase:
+        (Per_function
+           { check_fn = fn No_float.check_fn; finalize = Diag.normalize })
+      ~applied:No_float.applied;
   ]
 
 let find name = List.find_opt (fun c -> String.equal c.name name) all

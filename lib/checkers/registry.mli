@@ -1,13 +1,61 @@
-(** The nine FLASH checkers, with the metadata Table 7 reports. *)
+(** The nine FLASH checkers, with the metadata Table 7 reports.
+
+    Checkers expose a two-phase interface so a scheduler (the [Mcd]
+    daemon core) can dispatch *(checker x function)* work units:
+
+    - intra-procedural checkers provide a per-function phase
+      [check_fn : spec -> ctx -> func -> Diag.t list] whose results,
+      concatenated in source order and passed through the checker's
+      [finalize], are exactly what the whole-program [run] produces;
+    - inter-procedural checkers ([lanes]) provide a whole-program phase
+      [check_global : spec -> tunits -> Diag.t list].
+
+    The derived [run] field keeps the original one-shot signature working
+    for every caller. *)
+
+type ctx = {
+  all_units : Ast.tunit list;  (** the whole program being checked *)
+  callgraph : Callgraph.t Lazy.t;
+      (** forced on demand; schedulers that share a [ctx] across domains
+          must force it before spawning *)
+}
+
+val make_ctx : Ast.tunit list -> ctx
+
+type check_fn = spec:Flash_api.spec -> ctx:ctx -> Ast.func -> Diag.t list
+(** Partial application [check_fn ~spec ~ctx] stages any spec-dependent
+    setup (pattern compilation, state-machine construction) so the
+    returned closure can be applied to many functions cheaply.  The
+    closure must not be shared across domains. *)
+
+type check_global = spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
+
+type phase =
+  | Per_function of {
+      check_fn : check_fn;
+      finalize : Diag.t list -> Diag.t list;
+          (** applied to the in-order concatenation of per-function
+              results; [Fun.id] for most checkers, [Diag.normalize] for
+              the ones that historically sorted globally *)
+    }
+  | Whole_program of check_global
 
 type checker = {
   name : string;
   description : string;
   metal_loc : int;  (** size of the paper's metal extension (Table 7) *)
+  phase : phase;
   run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list;
+      (** derived from [phase]; the backward-compatible one-shot entry *)
   applied : Ast.tunit list -> int;
       (** the "number of times the check was applied" metric *)
 }
+
+val run_of_phase :
+  phase -> spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
+(** the derivation used for the [run] field: stage, map over every
+    function in source order, finalize (or delegate to the global
+    phase) *)
 
 val all : checker list
 val find : string -> checker option

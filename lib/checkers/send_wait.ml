@@ -83,9 +83,13 @@ let exit_hook : state Engine.exit_hook =
       (iface_name iface)
   | Idle -> ()
 
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let _ = spec in
+  fun f -> Engine.check ~at_exit:exit_hook sm (`Func f)
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
-  Engine.run_program ~at_exit:exit_hook sm tus
+  Engine.check ~at_exit:exit_hook sm (`Program tus)
 
 (** Synchronous sends plus interface waits — the Applied column of
     Table 6. *)

@@ -1,25 +1,41 @@
 (** The path-sensitive checking engine — the xg++ analogue.
 
-    [run sm func] applies the state machine [sm] down every execution path
-    of [func]'s control-flow graph.  Traversal is depth-first; a
-    [(node, state)] pair already visited is not re-explored, which keeps
-    the engine linear in (nodes x distinct states) while still
-    distinguishing every state the machine can be in at every program
-    point — the same trick xg++ used to make exhaustive path checking
-    tractable in the presence of loops.
+    [check sm (`Func f)] applies the state machine [sm] down every
+    execution path of [f]'s control-flow graph.  Traversal is
+    depth-first; a [(node, state)] pair already visited is not
+    re-explored, which keeps the engine linear in (nodes x distinct
+    states) while still distinguishing every state the machine can be in
+    at every program point — the same trick xg++ used to make exhaustive
+    path checking tractable in the presence of loops.
 
     Within a node, sub-expressions are offered to the rules in evaluation
     order, so a pattern for [FREE_BUF()] fires before the pattern for the
-    enclosing send in [NI_SEND(FREE_BUF(), ...)]. *)
+    enclosing send in [NI_SEND(FREE_BUF(), ...)].
+
+    The one entry point is {!check} over a {!target} variant; the old
+    [run]/[run_unit]/[run_program] triple survives as thin aliases.
+    Statistics are immutable snapshots accumulated into a caller-supplied
+    [stats ref]: the engine itself only touches domain-local counters, so
+    concurrent checks from several domains are race-free as long as each
+    domain passes its own ref (merge the per-domain records with
+    {!stats_add} at join — that is what [Mcd] does). *)
 
 type stats = {
-  mutable nodes_visited : int;
-  mutable events_matched : int;
-  mutable paths_stopped : int;
+  nodes_visited : int;
+  events_matched : int;
+  paths_stopped : int;
 }
 
-let fresh_stats () =
-  { nodes_visited = 0; events_matched = 0; paths_stopped = 0 }
+let stats_zero = { nodes_visited = 0; events_matched = 0; paths_stopped = 0 }
+
+let stats_add a b =
+  {
+    nodes_visited = a.nodes_visited + b.nodes_visited;
+    events_matched = a.events_matched + b.events_matched;
+    paths_stopped = a.paths_stopped + b.paths_stopped;
+  }
+
+let fresh_stats () = ref stats_zero
 
 (* Sub-expressions of [e] in evaluation (post-) order, including [e]. *)
 let subexprs_post (e : Ast.expr) : Ast.expr list =
@@ -66,14 +82,19 @@ let node_exprs ~observe_branches (node : Cfg.node) : Ast.expr list =
 
 type 'state exit_hook = Sm.action_ctx -> 'state -> unit
 
-(** Run one state machine over one function.  [at_exit] is invoked once per
-    distinct state in which a path reaches the function exit. *)
-let run ?(stats = fresh_stats ()) ?(at_exit : 'state exit_hook option)
+(* Run one state machine over one function.  [at_exit] is invoked once per
+   distinct state in which a path reaches the function exit.  All counters
+   are local; the optional [stats] ref is touched exactly once, at the
+   end. *)
+let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
     (sm : 'state Sm.t) (func : Ast.func) : Diag.t list =
   match sm.Sm.start func with
   | None -> []
   | Some start_state ->
     let cfg = Cfg.build func in
+    let nodes_visited = ref 0 in
+    let events_matched = ref 0 in
+    let paths_stopped = ref 0 in
     let diags = ref [] in
     let emit d = diags := d :: !diags in
     let visited : (int * 'state, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -99,7 +120,7 @@ let run ?(stats = fresh_stats ()) ?(at_exit : 'state exit_hook option)
           match fired with
           | None -> consume state rest
           | Some (r, bindings) -> (
-            stats.events_matched <- stats.events_matched + 1;
+            incr events_matched;
             let ctx =
               {
                 Sm.func;
@@ -114,7 +135,7 @@ let run ?(stats = fresh_stats ()) ?(at_exit : 'state exit_hook option)
             | Sm.Stay -> consume state rest
             | Sm.Goto next -> consume next rest
             | Sm.Stop ->
-              stats.paths_stopped <- stats.paths_stopped + 1;
+              incr paths_stopped;
               None))
       in
       consume state events
@@ -122,7 +143,7 @@ let run ?(stats = fresh_stats ()) ?(at_exit : 'state exit_hook option)
     let rec visit (id : int) (state : 'state) (trace : Loc.t list) =
       if not (Hashtbl.mem visited (id, state)) then begin
         Hashtbl.replace visited (id, state) ();
-        stats.nodes_visited <- stats.nodes_visited + 1;
+        incr nodes_visited;
         let node = Cfg.node cfg id in
         let trace = node.Cfg.loc :: trace in
         match step node state trace with
@@ -163,14 +184,43 @@ let run ?(stats = fresh_stats ()) ?(at_exit : 'state exit_hook option)
       end
     in
     visit cfg.Cfg.entry start_state [];
+    (match stats with
+    | Some r ->
+      r :=
+        stats_add !r
+          {
+            nodes_visited = !nodes_visited;
+            events_matched = !events_matched;
+            paths_stopped = !paths_stopped;
+          }
+    | None -> ());
     Diag.normalize !diags
 
-(** Run a state machine over every function of a translation unit. *)
-let run_unit ?stats ?at_exit (sm : 'state Sm.t) (tu : Ast.tunit) :
-    Diag.t list =
-  List.concat_map (fun f -> run ?stats ?at_exit sm f) (Ast.functions tu)
+type target =
+  [ `Func of Ast.func | `Unit of Ast.tunit | `Program of Ast.tunit list ]
 
-(** Run a state machine over a whole program. *)
-let run_program ?stats ?at_exit (sm : 'state Sm.t) (tus : Ast.tunit list) :
-    Diag.t list =
-  List.concat_map (fun tu -> run_unit ?stats ?at_exit sm tu) tus
+(** The single entry point: check a function, a translation unit, or a
+    whole program. *)
+let check ?stats ?at_exit (sm : 'state Sm.t) (target : target) : Diag.t list
+    =
+  match target with
+  | `Func f -> check_func ?stats ?at_exit sm f
+  | `Unit tu ->
+    List.concat_map
+      (fun f -> check_func ?stats ?at_exit sm f)
+      (Ast.functions tu)
+  | `Program tus ->
+    List.concat_map
+      (fun tu ->
+        List.concat_map
+          (fun f -> check_func ?stats ?at_exit sm f)
+          (Ast.functions tu))
+      tus
+
+(* Deprecated aliases for the old three-entry-point API. *)
+
+let run ?stats ?at_exit sm func = check ?stats ?at_exit sm (`Func func)
+let run_unit ?stats ?at_exit sm tu = check ?stats ?at_exit sm (`Unit tu)
+
+let run_program ?stats ?at_exit sm tus =
+  check ?stats ?at_exit sm (`Program tus)

@@ -1,9 +1,9 @@
 (** The path-sensitive checking engine — the xg++ analogue.
 
-    [run sm func] applies the state machine down every execution path of
-    the function's control-flow graph.  Traversal is depth-first; a
-    [(node, state)] pair already visited is not re-explored, which keeps
-    the engine linear in (nodes x distinct states) while still
+    [check sm (`Func f)] applies the state machine down every execution
+    path of the function's control-flow graph.  Traversal is depth-first;
+    a [(node, state)] pair already visited is not re-explored, which
+    keeps the engine linear in (nodes x distinct states) while still
     distinguishing every state the machine can be in at every program
     point — the trick that made exhaustive path checking tractable for
     xg++ in the presence of loops.
@@ -13,35 +13,63 @@
     fires. *)
 
 type stats = {
-  mutable nodes_visited : int;
-  mutable events_matched : int;
-  mutable paths_stopped : int;
+  nodes_visited : int;
+  events_matched : int;
+  paths_stopped : int;
 }
+(** An immutable statistics snapshot.  The engine never mutates shared
+    state: counts are accumulated domain-locally and folded into the
+    caller's [stats ref] once per checked function, so concurrent domains
+    each passing their own ref are race-free.  Merge per-domain records
+    with {!stats_add} at join. *)
 
-val fresh_stats : unit -> stats
+val stats_zero : stats
+val stats_add : stats -> stats -> stats
+
+val fresh_stats : unit -> stats ref
+(** a fresh accumulator, [ref stats_zero] *)
 
 type 'state exit_hook = Sm.action_ctx -> 'state -> unit
 (** called once per distinct state in which a path reaches the function
     exit; used for "must do X before returning" rules *)
 
+type target =
+  [ `Func of Ast.func | `Unit of Ast.tunit | `Program of Ast.tunit list ]
+(** what to check: one function, every function of a translation unit, or
+    a whole program *)
+
+val check :
+  ?stats:stats ref ->
+  ?at_exit:'state exit_hook ->
+  'state Sm.t ->
+  target ->
+  Diag.t list
+(** the single entry point; diagnostics come back sorted and deduplicated
+    per function, concatenated in source order across functions *)
+
 val run :
-  ?stats:stats ->
+  ?stats:stats ref ->
   ?at_exit:'state exit_hook ->
   'state Sm.t ->
   Ast.func ->
   Diag.t list
-(** check one function; diagnostics come back sorted and deduplicated *)
+(** @deprecated alias for [check sm (`Func f)] *)
 
 val run_unit :
-  ?stats:stats -> ?at_exit:'state exit_hook -> 'state Sm.t -> Ast.tunit ->
+  ?stats:stats ref ->
+  ?at_exit:'state exit_hook ->
+  'state Sm.t ->
+  Ast.tunit ->
   Diag.t list
+(** @deprecated alias for [check sm (`Unit tu)] *)
 
 val run_program :
-  ?stats:stats ->
+  ?stats:stats ref ->
   ?at_exit:'state exit_hook ->
   'state Sm.t ->
   Ast.tunit list ->
   Diag.t list
+(** @deprecated alias for [check sm (`Program tus)] *)
 
 val subexprs_post : Ast.expr -> Ast.expr list
 (** sub-expressions in evaluation (post-) order, including the root —

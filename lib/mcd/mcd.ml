@@ -1,0 +1,293 @@
+(** Mcd — the meta-checking daemon core.
+
+    Schedules *(checker x function)* work units across OCaml 5 domains
+    and caches unit results by content hash, so a corpus re-check after
+    editing one handler only re-runs the affected units.
+
+    {2 Scheduling model}
+
+    The two-phase checker API ({!Registry.phase}) is what makes the unit
+    decomposition sound: every intra-procedural checker runs its state
+    machine over one function CFG at a time with no shared state, so a
+    [Per_function] checker contributes one unit per function, while a
+    [Whole_program] checker ([lanes]) contributes a single unit.  Units
+    are drained from an {!Mcd_pool} work queue by worker domains, and
+    every unit writes into a pre-assigned result slot; reassembly walks
+    the slots in the canonical (job, checker, function) order and applies
+    the checker's [finalize], so the output is diagnostic-for-diagnostic
+    identical — including order — to the sequential [Registry.run_all],
+    whatever the domain count.
+
+    {2 Hashing and invalidation}
+
+    A per-function unit's cache key is
+    [checker @ digest(spec) @ digest(file:loc:pretty-printed AST)].  The
+    key covers everything the result depends on, so invalidation is
+    automatic: editing a function changes its digest and the unit misses;
+    every untouched function hits.  A whole-program unit's key replaces
+    the function digest with a digest of the checker's *dependency set* —
+    the callgraph closure reachable from the spec's handlers — so an
+    edit anywhere in that closure (equivalently: any function whose
+    reverse-dependency closure meets a handler) re-runs the
+    inter-procedural checker, and an edit to dead code does not. *)
+
+type job = { spec : Flash_api.spec; tus : Ast.tunit list }
+
+type stats = {
+  units_total : int;
+  units_run : int;  (** units actually executed (= cache misses) *)
+  cache_hits : int;
+  domains : int;
+  domain_wall_ms : float array;
+  domain_units : int array;
+  wall_ms : float;
+}
+
+let checkers = Array.of_list Registry.all
+
+let spec_digest (spec : Flash_api.spec) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string spec []))
+
+(* [file] and the function's own location are part of the key: two
+   textually identical functions in different places must not share
+   diagnostics, whose locations differ.  (Inner locations that shift
+   while the function text *and* its start location stay identical are
+   not covered — post-cpp text, the paper's input, cannot do that.) *)
+let func_digest (file : string) (f : Ast.func) : string =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s:%d:%d:%s" file f.Ast.f_loc.Loc.line
+          f.Ast.f_loc.Loc.col
+          (Format.asprintf "%a" Pp.pp_func f)))
+
+type prepared = {
+  p_job : job;
+  p_ctx : Registry.ctx;
+  p_funcs : Ast.func array;  (** every function, in source order *)
+  p_fdigests : string array Lazy.t;
+  p_sdigest : string Lazy.t;
+}
+
+let prepare (j : job) : prepared =
+  let with_files =
+    List.concat_map
+      (fun tu ->
+        List.map (fun f -> (tu.Ast.tu_file, f)) (Ast.functions tu))
+      j.tus
+  in
+  let funcs = Array.of_list (List.map snd with_files) in
+  let files = Array.of_list (List.map fst with_files) in
+  {
+    p_job = j;
+    p_ctx = Registry.make_ctx j.tus;
+    p_funcs = funcs;
+    p_fdigests =
+      lazy (Array.mapi (fun i f -> func_digest files.(i) f) funcs);
+    p_sdigest = lazy (spec_digest j.spec);
+  }
+
+(* The dependency set of a whole-program checker: every function the
+   callgraph can reach from the spec's handlers, digested in sorted name
+   order.  Functions outside the closure do not appear, so edits to them
+   leave the key — and the cached result — valid. *)
+let global_key (p : prepared) (c : Registry.checker) : string =
+  let cg = Lazy.force p.p_ctx.Registry.callgraph in
+  let roots =
+    List.map
+      (fun (h : Flash_api.handler_spec) -> h.Flash_api.h_name)
+      p.p_job.spec.Flash_api.p_handlers
+  in
+  let reach =
+    List.sort_uniq String.compare (Callgraph.reachable_from cg roots)
+  in
+  let digests = Lazy.force p.p_fdigests in
+  let by_name = Hashtbl.create (Array.length p.p_funcs) in
+  Array.iteri
+    (fun i (f : Ast.func) ->
+      if not (Hashtbl.mem by_name f.Ast.f_name) then
+        Hashtbl.add by_name f.Ast.f_name digests.(i))
+    p.p_funcs;
+  let parts =
+    List.map
+      (fun n ->
+        n ^ "="
+        ^ Option.value (Hashtbl.find_opt by_name n) ~default:"undef")
+      reach
+  in
+  Printf.sprintf "%s@%s@%s" c.Registry.name
+    (Lazy.force p.p_sdigest)
+    (Digest.to_hex (Digest.string (String.concat ";" parts)))
+
+let fn_key (p : prepared) (c : Registry.checker) (fi : int) : string =
+  Printf.sprintf "%s@%s@%s" c.Registry.name
+    (Lazy.force p.p_sdigest)
+    (Lazy.force p.p_fdigests).(fi)
+
+(* Walk every work unit in the canonical (job, checker, function) order,
+   assigning consecutive slots.  Used twice — once to build the schedule,
+   once to reassemble — so the orders cannot drift apart. *)
+let iter_units (prepared : prepared array)
+    (per_fn : slot:int -> job:int -> checker:int -> fn:int -> unit)
+    (global : slot:int -> job:int -> checker:int -> unit) : int =
+  let slot = ref 0 in
+  Array.iteri
+    (fun ji p ->
+      Array.iteri
+        (fun ci (c : Registry.checker) ->
+          match c.Registry.phase with
+          | Registry.Per_function _ ->
+            Array.iteri
+              (fun fi _ ->
+                per_fn ~slot:!slot ~job:ji ~checker:ci ~fn:fi;
+                incr slot)
+              p.p_funcs
+          | Registry.Whole_program _ ->
+            global ~slot:!slot ~job:ji ~checker:ci;
+            incr slot)
+        checkers)
+    prepared;
+  !slot
+
+let check_jobs ?cache ~jobs (job_list : job list) :
+    (string * Diag.t list) list list * stats =
+  let t0 = Unix.gettimeofday () in
+  let prepared = Array.of_list (List.map prepare job_list) in
+  let total =
+    iter_units prepared
+      (fun ~slot:_ ~job:_ ~checker:_ ~fn:_ -> ())
+      (fun ~slot:_ ~job:_ ~checker:_ -> ())
+  in
+  let results = Array.make total [] in
+  (* resolve cache hits up front, in the coordinating domain; only the
+     misses become pool tasks *)
+  let hits = ref 0 in
+  let miss_slots = ref [] in
+  let miss_keys = ref [] in
+  let consider ~slot key_of run_of =
+    match Option.bind cache (fun c -> Mcd_cache.find c (key_of ())) with
+    | Some diags ->
+      results.(slot) <- diags;
+      incr hits
+    | None ->
+      miss_slots := (slot, run_of) :: !miss_slots;
+      if cache <> None then miss_keys := (slot, key_of ()) :: !miss_keys
+  in
+  (* staged per-function closures are domain-local: a fresh DLS key per
+     call keeps one staging table per worker, so spec-dependent state
+     machines compile once per (domain, job, checker) and are never
+     shared across domains *)
+  let stage_key :
+      (int * int, Ast.func -> Diag.t list) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+  in
+  let staged ~job ~checker : Ast.func -> Diag.t list =
+    let tbl = Domain.DLS.get stage_key in
+    match Hashtbl.find_opt tbl (job, checker) with
+    | Some fn -> fn
+    | None ->
+      let p = prepared.(job) in
+      let fn =
+        match checkers.(checker).Registry.phase with
+        | Registry.Per_function { check_fn; _ } ->
+          check_fn ~spec:p.p_job.spec ~ctx:p.p_ctx
+        | Registry.Whole_program _ -> assert false
+      in
+      Hashtbl.add tbl (job, checker) fn;
+      fn
+  in
+  ignore
+    (iter_units prepared
+       (fun ~slot ~job ~checker ~fn ->
+         consider ~slot
+           (fun () -> fn_key prepared.(job) checkers.(checker) fn)
+           (fun () ->
+             results.(slot) <-
+               staged ~job ~checker prepared.(job).p_funcs.(fn)))
+       (fun ~slot ~job ~checker ->
+         consider ~slot
+           (fun () -> global_key prepared.(job) checkers.(checker))
+           (fun () ->
+             let p = prepared.(job) in
+             match checkers.(checker).Registry.phase with
+             | Registry.Whole_program g ->
+               results.(slot) <- g ~spec:p.p_job.spec p.p_job.tus
+             | Registry.Per_function _ -> assert false)));
+  let tasks =
+    Array.of_list (List.rev_map (fun (_, run) -> run) !miss_slots)
+  in
+  let worker_stats = Mcd_pool.run ~domains:jobs tasks in
+  (* store the fresh results; done after the join so the cache is only
+     ever touched from this domain *)
+  (match cache with
+  | Some c ->
+    List.iter (fun (slot, key) -> Mcd_cache.add c key results.(slot))
+      !miss_keys
+  | None -> ());
+  (* reassemble in canonical order: identical to the sequential run *)
+  let out = Array.make (Array.length prepared) [] in
+  let acc : Diag.t list list array =
+    Array.make (Array.length checkers) []
+  in
+  let flush_job ji =
+    out.(ji) <-
+      Array.to_list
+        (Array.mapi
+           (fun ci (c : Registry.checker) ->
+             let ds = List.concat (List.rev acc.(ci)) in
+             let ds =
+               match c.Registry.phase with
+               | Registry.Per_function { finalize; _ } -> finalize ds
+               | Registry.Whole_program _ -> ds
+             in
+             (c.Registry.name, ds))
+           checkers);
+    Array.fill acc 0 (Array.length acc) []
+  in
+  let current_job = ref 0 in
+  let feed ~slot ~job ~checker =
+    if job <> !current_job then begin
+      flush_job !current_job;
+      current_job := job
+    end;
+    acc.(checker) <- results.(slot) :: acc.(checker)
+  in
+  ignore
+    (iter_units prepared
+       (fun ~slot ~job ~checker ~fn:_ -> feed ~slot ~job ~checker)
+       (fun ~slot ~job ~checker -> feed ~slot ~job ~checker));
+  if Array.length prepared > 0 then flush_job !current_job;
+  let stats =
+    {
+      units_total = total;
+      units_run = Array.length tasks;
+      cache_hits = !hits;
+      domains = max 1 jobs;
+      domain_wall_ms =
+        Array.map (fun (w : Mcd_pool.worker_stats) -> w.Mcd_pool.wall_ms)
+          worker_stats;
+      domain_units =
+        Array.map
+          (fun (w : Mcd_pool.worker_stats) -> w.Mcd_pool.tasks_done)
+          worker_stats;
+      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+    }
+  in
+  (Array.to_list out, stats)
+
+(** Check one protocol; the result pairs are exactly
+    [Registry.run_all ~spec tus]. *)
+let check_corpus ?cache ~jobs ~spec (tus : Ast.tunit list) :
+    (string * Diag.t list) list * stats =
+  match check_jobs ?cache ~jobs [ { spec; tus } ] with
+  | [ r ], stats -> (r, stats)
+  | _ -> assert false
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "%d unit(s): %d run, %d cached; %d domain(s), %.1f ms wall"
+    s.units_total s.units_run s.cache_hits s.domains s.wall_ms;
+  Array.iteri
+    (fun i ms ->
+      Format.fprintf ppf "@\n  domain %d: %d unit(s), %.1f ms" i
+        s.domain_units.(i) ms)
+    s.domain_wall_ms

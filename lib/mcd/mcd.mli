@@ -1,0 +1,55 @@
+(** Mcd — the meta-checking daemon core: a parallel, incremental
+    scheduler for *(checker x function)* work units.
+
+    Determinism guarantee: for any domain count and any cache state, the
+    result lists are diagnostic-for-diagnostic identical — including
+    order — to the sequential [Registry.run_all].  Work units write into
+    pre-assigned slots and reassembly walks slots in canonical
+    (job, checker, function) order, so domain scheduling never shows.
+
+    Incrementality: unit results are cached under content-hash keys
+    (checker identity x spec digest x the function's pretty-printed AST;
+    whole-program checkers hash their callgraph-reachable dependency set
+    instead), so a re-check after editing one function re-runs only that
+    function's units plus any inter-procedural checker whose closure the
+    edit invalidates. *)
+
+type job = {
+  spec : Flash_api.spec;
+  tus : Ast.tunit list;
+}
+(** one protocol to check *)
+
+type stats = {
+  units_total : int;  (** work units scheduled *)
+  units_run : int;  (** units actually executed (= cache misses) *)
+  cache_hits : int;
+  domains : int;
+  domain_wall_ms : float array;  (** wall time per domain, domain order *)
+  domain_units : int array;  (** units executed per domain *)
+  wall_ms : float;  (** end-to-end wall time of the call *)
+}
+
+val check_jobs :
+  ?cache:Mcd_cache.t ->
+  jobs:int ->
+  job list ->
+  (string * Diag.t list) list list * stats
+(** check every job; per-job results are exactly
+    [Registry.run_all ~spec tus].  [jobs] is the domain count (clamped to
+    at least 1).  With [?cache], hits are resolved before scheduling and
+    misses are stored after the pool joins. *)
+
+val check_corpus :
+  ?cache:Mcd_cache.t ->
+  jobs:int ->
+  spec:Flash_api.spec ->
+  Ast.tunit list ->
+  (string * Diag.t list) list * stats
+(** single-job convenience wrapper *)
+
+val func_digest : string -> Ast.func -> string
+(** content hash of one function (file, start location, pretty-printed
+    AST) — the per-function half of a cache key *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,61 @@
+(** The incremental result cache.
+
+    Maps a content-hash key — checker identity x protocol spec x the
+    pretty-printed AST of a function (or, for whole-program checkers, of
+    the checker's callgraph-reachable dependency set) — to the
+    diagnostics that unit produced.  Because the key covers everything a
+    unit's result depends on, invalidation is automatic: an edited
+    function hashes to a fresh key and simply misses.
+
+    The scheduler does every lookup and store from the coordinating
+    domain (hits are resolved before work is enqueued, misses are stored
+    after the pool joins), so the table itself needs no locking; a mutex
+    guards it anyway so ad-hoc callers cannot corrupt it.
+
+    [save]/[load] marshal the table to disk, which is what makes
+    [mcheck --incremental] re-checks warm across process runs. *)
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, Diag.t list) Hashtbl.t;
+}
+
+(* bump when the key derivation or the marshalled shape changes *)
+let format_tag = "mcd-cache-v1"
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 1024 }
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let find c key = locked c (fun () -> Hashtbl.find_opt c.table key)
+
+let add c key diags = locked c (fun () -> Hashtbl.replace c.table key diags)
+
+let size c = locked c (fun () -> Hashtbl.length c.table)
+
+let copy c = locked c (fun () -> { mutex = Mutex.create (); table = Hashtbl.copy c.table })
+
+let save c path =
+  locked c (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Marshal.to_channel oc (format_tag, c.table) []))
+
+(* A missing, unreadable or stale-format file is just a cold cache. *)
+let load path =
+  if not (Sys.file_exists path) then create ()
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          (Marshal.from_channel ic : string * (string, Diag.t list) Hashtbl.t))
+    with
+    | tag, table when String.equal tag format_tag ->
+      { mutex = Mutex.create (); table }
+    | _ -> create ()
+    | exception _ -> create ()

@@ -1,0 +1,19 @@
+(** The incremental result cache: content-hash keys (checker x spec x
+    function text) to diagnostics.  Invalidation is automatic — editing a
+    function changes its key.  Persistable with [save]/[load] for warm
+    re-checks across process runs ([mcheck --incremental]). *)
+
+type t
+
+val create : unit -> t
+val find : t -> string -> Diag.t list option
+val add : t -> string -> Diag.t list -> unit
+val size : t -> int
+
+val copy : t -> t
+(** an independent snapshot (used by tests to replay warm runs) *)
+
+val save : t -> string -> unit
+
+val load : string -> t
+(** a missing, unreadable, or stale-format file yields an empty cache *)

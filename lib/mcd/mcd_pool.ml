@@ -1,0 +1,105 @@
+(** A hand-rolled OCaml 5 domain work pool.
+
+    [Domain] + [Mutex] + [Condition] and nothing else: tasks are pushed
+    onto a mutex-protected queue, worker domains block on the condition
+    variable while the queue is empty, and the pool is closed once every
+    task has been submitted.  Determinism is the *caller's* job — tasks
+    write their results into pre-assigned slots, so the order in which
+    domains happen to execute them never shows in the output.
+
+    A task that raises does not bring the pool down: the first exception
+    is remembered and re-raised from {!run} after every domain has
+    joined, so no work unit is silently dropped mid-queue. *)
+
+type worker_stats = {
+  tasks_done : int;  (** work units this domain executed *)
+  wall_ms : float;  (** wall-clock time this domain spent alive *)
+}
+
+type 'a queue_state = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  pending : 'a Queue.t;
+  mutable closed : bool;
+  mutable failure : exn option;
+}
+
+let create_queue () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    pending = Queue.create ();
+    closed = false;
+    failure = None;
+  }
+
+let push q x =
+  Mutex.lock q.mutex;
+  Queue.push x q.pending;
+  Condition.signal q.nonempty;
+  Mutex.unlock q.mutex
+
+let close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.mutex
+
+(* Blocking pop: [None] once the queue is closed and drained. *)
+let pop q =
+  Mutex.lock q.mutex;
+  let rec wait () =
+    match Queue.take_opt q.pending with
+    | Some x ->
+      Mutex.unlock q.mutex;
+      Some x
+    | None ->
+      if q.closed then begin
+        Mutex.unlock q.mutex;
+        None
+      end
+      else begin
+        Condition.wait q.nonempty q.mutex;
+        wait ()
+      end
+  in
+  wait ()
+
+let record_failure q exn =
+  Mutex.lock q.mutex;
+  if q.failure = None then q.failure <- Some exn;
+  Mutex.unlock q.mutex
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(** Execute every task of [tasks] exactly once across [domains] worker
+    domains (clamped to at least 1).  Returns per-domain statistics, in
+    domain order.  Re-raises the first task exception after joining. *)
+let run ~domains (tasks : (unit -> unit) array) : worker_stats array =
+  let domains = max 1 domains in
+  let q = create_queue () in
+  Array.iter (fun t -> push q t) tasks;
+  close q;
+  let worker () =
+    let t0 = now_ms () in
+    let count = ref 0 in
+    let rec loop () =
+      match pop q with
+      | None -> ()
+      | Some task ->
+        (try task () with exn -> record_failure q exn);
+        incr count;
+        loop ()
+    in
+    loop ();
+    { tasks_done = !count; wall_ms = now_ms () -. t0 }
+  in
+  let spawned =
+    Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+  in
+  (* the calling domain is worker 0: with [~domains:1] the pool degrades
+     to a plain sequential loop with no spawn at all *)
+  let mine = worker () in
+  let others = Array.map Domain.join spawned in
+  (match q.failure with Some exn -> raise exn | None -> ());
+  Array.append [| mine |] others

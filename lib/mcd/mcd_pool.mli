@@ -1,0 +1,17 @@
+(** A hand-rolled OCaml 5 domain work pool: [Domain] + [Mutex] +
+    [Condition] work queue, no external dependencies.
+
+    Result determinism is the caller's job: tasks should write into
+    pre-assigned slots so domain scheduling never shows in the output. *)
+
+type worker_stats = {
+  tasks_done : int;  (** work units this domain executed *)
+  wall_ms : float;  (** wall-clock time this domain spent alive *)
+}
+
+val run : domains:int -> (unit -> unit) array -> worker_stats array
+(** Execute every task exactly once across [domains] worker domains
+    (clamped to at least 1; the calling domain is worker 0, so
+    [~domains:1] is a plain sequential loop).  Per-domain statistics come
+    back in domain order.  The first exception a task raises is re-raised
+    after all domains have joined. *)

@@ -161,7 +161,7 @@ let prop_engine_equals_enumeration =
       if Cfg.back_edges cfg <> [] then true (* loop-free only *)
       else begin
         let engine_diags =
-          Engine.run ~at_exit:exit_hook test_sm func
+          Engine.check ~at_exit:exit_hook test_sm (`Func func)
         in
         let naive = ref [] in
         List.iter
@@ -188,7 +188,7 @@ let extra_cases =
             "void f(void) { if (evt()) { x = 1; } }"
         in
         Alcotest.(check int) "condition invisible" 0
-          (List.length (Engine.run_unit sm tu)));
+          (List.length (Engine.check sm (`Unit tu))));
     t "switch conditions are observed" `Quick (fun () ->
         let sm : st Sm.t =
           Sm.make ~name:"sw"
@@ -202,7 +202,7 @@ let extra_cases =
             "void f(void) { switch (evt()) { case 1: x = 1; break; } }"
         in
         Alcotest.(check int) "seen once" 1
-          (List.length (Engine.run_unit sm tu)));
+          (List.length (Engine.check sm (`Unit tu))));
     t "events fire in evaluation order inside one statement" `Quick
       (fun () ->
         let order = ref [] in
@@ -224,7 +224,7 @@ let extra_cases =
           Frontend.of_string ~file:"t.c"
             "void f(void) { x = g(1) + h(g(2), g(3)); }"
         in
-        ignore (Engine.run_unit sm tu);
+        ignore (Engine.check sm (`Unit tu));
         Alcotest.(check (list string)) "order"
           [ "g(1)"; "g(2)"; "g(3)" ]
           (List.rev !order));

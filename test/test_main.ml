@@ -23,6 +23,7 @@ let () =
       Test_sim.suite;
       Test_sim2.suite;
       Test_flashapi.suite;
+      Test_mcd.suite;
       Test_misc.suite;
       Test_fuzz.suite;
     ]

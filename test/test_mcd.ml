@@ -1,0 +1,240 @@
+(** Mcd scheduler tests: the domain pool runs every task exactly once,
+    parallel runs are identical (and identically ordered) to the
+    sequential engine on the full corpus — including the CI-forced
+    [--jobs 2] configuration — and cache invalidation after a random
+    single-function edit re-runs exactly the affected work units. *)
+
+let t = Alcotest.test_case
+let corpus = lazy (Corpus.generate ())
+
+(* flatten results to comparable strings: checker names interleaved with
+   rendered diagnostics, so both content and order are checked *)
+let render (results : (string * Diag.t list) list) : string list =
+  List.concat_map
+    (fun (name, ds) -> name :: List.map Diag.to_string ds)
+    results
+
+let sequential (p : Corpus.protocol) =
+  Registry.run_all ~spec:p.Corpus.spec p.Corpus.tus
+
+let jobs_of_corpus c =
+  List.map
+    (fun (p : Corpus.protocol) ->
+      { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus })
+    c.Corpus.protocols
+
+(* ------------------------------------------------------------------ *)
+(* the work pool                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pool_tests =
+  [
+    t "every task runs exactly once" `Quick (fun () ->
+        let n = 97 in
+        let hits = Array.make n 0 in
+        let m = Mutex.create () in
+        let tasks =
+          Array.init n (fun i () ->
+              Mutex.lock m;
+              hits.(i) <- hits.(i) + 1;
+              Mutex.unlock m)
+        in
+        let stats = Mcd_pool.run ~domains:4 tasks in
+        Array.iteri
+          (fun i h ->
+            Alcotest.(check int) (Printf.sprintf "task %d" i) 1 h)
+          hits;
+        let total =
+          Array.fold_left
+            (fun acc (w : Mcd_pool.worker_stats) -> acc + w.tasks_done)
+            0 stats
+        in
+        Alcotest.(check int) "tasks accounted per-domain" n total);
+    t "task exception is re-raised after join" `Quick (fun () ->
+        let tasks =
+          Array.init 8 (fun i () -> if i = 3 then failwith "boom")
+        in
+        Alcotest.check_raises "boom" (Failure "boom") (fun () ->
+            ignore (Mcd_pool.run ~domains:2 tasks)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* parallel = sequential on the full corpus                            *)
+(* ------------------------------------------------------------------ *)
+
+let identity_tests =
+  [
+    t "jobs 1/2/4 identical to sequential (full corpus)" `Slow (fun () ->
+        let c = Lazy.force corpus in
+        let expected =
+          List.map (fun p -> render (sequential p)) c.Corpus.protocols
+        in
+        List.iter
+          (fun domains ->
+            let results, stats =
+              Mcd.check_jobs ~jobs:domains (jobs_of_corpus c)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "no cache => no hits (jobs %d)" domains)
+              0 stats.Mcd.cache_hits;
+            Alcotest.(check int)
+              (Printf.sprintf "all units run (jobs %d)" domains)
+              stats.Mcd.units_total stats.Mcd.units_run;
+            List.iteri
+              (fun i per_protocol ->
+                Alcotest.(check (list string))
+                  (Printf.sprintf "protocol %d, jobs %d" i domains)
+                  (List.nth expected i)
+                  (render per_protocol))
+              results)
+          [ 1; 2; 4 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* incremental invalidation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* append a harmless marker statement to the [idx]-th function (in the
+   same source order the scheduler enumerates) *)
+let edit_nth_function (tus : Ast.tunit list) (idx : int) :
+    Ast.tunit list * string =
+  let count = ref 0 in
+  let edited = ref "" in
+  let tus' =
+    List.map
+      (fun tu ->
+        {
+          tu with
+          Ast.tu_globals =
+            List.map
+              (function
+                | Ast.Gfunc f ->
+                  let i = !count in
+                  incr count;
+                  if i = idx then begin
+                    edited := f.Ast.f_name;
+                    Ast.Gfunc
+                      {
+                        f with
+                        Ast.f_body =
+                          f.Ast.f_body
+                          @ [
+                              Ast.mk_stmt (Ast.Sexpr (Ast.int_lit 424242));
+                            ];
+                      }
+                  end
+                  else Ast.Gfunc f
+                | g -> g)
+              tu.Ast.tu_globals;
+        })
+      tus
+  in
+  (tus', !edited)
+
+let per_function_checkers =
+  List.length
+    (List.filter
+       (fun (c : Registry.checker) ->
+         match c.Registry.phase with
+         | Registry.Per_function _ -> true
+         | Registry.Whole_program _ -> false)
+       Registry.all)
+
+let whole_program_checkers = List.length Registry.all - per_function_checkers
+
+(* the protocol the property edits, its cold-filled cache, and the set of
+   functions whose edit invalidates the whole-program checkers *)
+let incr_base =
+  lazy
+    (let p =
+       Option.get (Corpus.find (Lazy.force corpus) "bitvector")
+     in
+     let job = { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus } in
+     let cache = Mcd_cache.create () in
+     let _, cold = Mcd.check_jobs ~cache ~jobs:1 [ job ] in
+     let cg = Callgraph.build p.Corpus.tus in
+     let roots =
+       List.map
+         (fun (h : Flash_api.handler_spec) -> h.Flash_api.h_name)
+         p.Corpus.spec.Flash_api.p_handlers
+     in
+     let reach = Callgraph.reachable_from cg roots in
+     let nfuncs =
+       List.fold_left
+         (fun acc tu -> acc + List.length (Ast.functions tu))
+         0 p.Corpus.tus
+     in
+     (p, cache, cold, reach, nfuncs))
+
+let prop_invalidation_is_exact =
+  QCheck.Test.make ~count:8
+    ~name:"warm re-check after one edit re-runs exactly the affected units"
+    QCheck.(int_bound 10_000_000)
+    (fun seed ->
+      let p, cache, cold, reach, nfuncs = Lazy.force incr_base in
+      let idx = seed mod nfuncs in
+      let tus', edited = edit_nth_function p.Corpus.tus idx in
+      let results, warm =
+        Mcd.check_jobs ~cache:(Mcd_cache.copy cache) ~jobs:2
+          [ { Mcd.spec = p.Corpus.spec; tus = tus' } ]
+      in
+      let lanes_rerun =
+        if List.mem edited reach then whole_program_checkers else 0
+      in
+      let expected_run = per_function_checkers + lanes_rerun in
+      if warm.Mcd.units_run <> expected_run then
+        QCheck.Test.fail_reportf
+          "edited %s (idx %d): %d units re-ran, expected %d" edited idx
+          warm.Mcd.units_run expected_run;
+      if warm.Mcd.cache_hits <> cold.Mcd.units_total - expected_run then
+        QCheck.Test.fail_reportf "hits %d, expected %d" warm.Mcd.cache_hits
+          (cold.Mcd.units_total - expected_run);
+      let fresh = Registry.run_all ~spec:p.Corpus.spec tus' in
+      render (List.hd results) = render fresh)
+
+let incremental_tests =
+  [
+    t "unedited warm re-check is all hits" `Quick (fun () ->
+        let p, cache, cold, _, _ = Lazy.force incr_base in
+        let results, warm =
+          Mcd.check_jobs ~cache:(Mcd_cache.copy cache) ~jobs:2
+            [ { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus } ]
+        in
+        Alcotest.(check int) "no units re-run" 0 warm.Mcd.units_run;
+        Alcotest.(check int)
+          "all hits" cold.Mcd.units_total warm.Mcd.cache_hits;
+        Alcotest.(check (list string))
+          "diags identical"
+          (render (sequential p))
+          (render (List.hd results)));
+    t "cache survives save/load" `Quick (fun () ->
+        let p, cache, _, _, _ = Lazy.force incr_base in
+        let file = Filename.temp_file "mcd_cache" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove file)
+          (fun () ->
+            Mcd_cache.save cache file;
+            let reloaded = Mcd_cache.load file in
+            Alcotest.(check int)
+              "same size" (Mcd_cache.size cache) (Mcd_cache.size reloaded);
+            let _, warm =
+              Mcd.check_jobs ~cache:reloaded ~jobs:1
+                [ { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus } ]
+            in
+            Alcotest.(check int) "no units re-run" 0 warm.Mcd.units_run));
+    t "stale cache file loads as empty" `Quick (fun () ->
+        let file = Filename.temp_file "mcd_cache" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove file)
+          (fun () ->
+            let oc = open_out file in
+            output_string oc "not a cache";
+            close_out oc;
+            Alcotest.(check int) "empty" 0
+              (Mcd_cache.size (Mcd_cache.load file))));
+    QCheck_alcotest.to_alcotest prop_invalidation_is_exact;
+  ]
+
+let suite =
+  ( "mcd",
+    pool_tests @ identity_tests @ incremental_tests )

@@ -64,7 +64,7 @@ sm msglen_check {
 let run_on metal_src c_src =
   let sm = Mdsl.load metal_src in
   let tus = Frontend.of_strings [ ("t.c", Prelude.text ^ c_src) ] in
-  List.concat_map (fun tu -> Engine.run_unit sm tu) tus
+  Engine.check sm (`Program tus)
 
 let parse_cases =
   [
@@ -148,7 +148,7 @@ let run_cases =
         let p = Option.get (Corpus.find corpus "bitvector") in
         let dsl_sm = Mdsl.load figure3 in
         let dsl =
-          List.concat_map (fun tu -> Engine.run_unit dsl_sm tu) p.Corpus.tus
+          Engine.check dsl_sm (`Program p.Corpus.tus)
         in
         let edsl = Msg_length.run ~spec:p.Corpus.spec p.Corpus.tus in
         Alcotest.(check int) "same diagnostic count" (List.length edsl)
@@ -171,7 +171,7 @@ let shipped_cases =
         let corpus = Corpus.generate () in
         let p = Option.get (Corpus.find corpus "bitvector") in
         let diags =
-          List.concat_map (fun tu -> Engine.run_unit sm tu) p.Corpus.tus
+          Engine.check sm (`Program p.Corpus.tus)
         in
         Alcotest.(check int) "four races" 4 (List.length diags));
     t "shipped refcount.metal objects to the Section 11 call" `Quick
@@ -186,7 +186,7 @@ let shipped_cases =
             ]
         in
         let diags =
-          List.concat_map (fun tu -> Engine.run_unit sm tu) tus
+          Engine.check sm (`Program tus)
         in
         Alcotest.(check int) "flagged" 1 (List.length diags));
   ]

@@ -335,6 +335,73 @@ let run_parallel () =
   print_endline "  wrote BENCH_PARALLEL.json"
 
 (* ------------------------------------------------------------------ *)
+(* Part 2d: Mcobs tracing overhead                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability layer must be close to free when idle and cheap
+   when live: everything is gated on one atomic load, and the per-domain
+   buffers never contend.  Measure the full-corpus Mcd run with tracing
+   off and on, write BENCH_OBS.json, and fail the run if live tracing
+   costs more than 5%. *)
+
+let run_obs () =
+  print_endline
+    "================ Mcobs tracing overhead ================";
+  print_newline ();
+  let c = Lazy.force corpus in
+  let jobs = mcd_jobs c in
+  let workload () = ignore (Mcd.check_jobs ~jobs:4 jobs) in
+  (* warm up allocators, code paths, and the domain pool once *)
+  workload ();
+  (* scale repetitions so one sample is comfortably above timer noise *)
+  let _, probe_ms = time_ms workload in
+  let reps = max 1 (int_of_float (ceil (500.0 /. max 1.0 probe_ms))) in
+  let sample enabled =
+    Mcobs.set_enabled enabled;
+    Mcobs.reset ();
+    let _, ms =
+      time_ms (fun () ->
+          for _ = 1 to reps do
+            workload ()
+          done)
+    in
+    Mcobs.reset ();
+    ms
+  in
+  (* min-of-3 on an interleaved schedule so drift hits both sides *)
+  let min3 f = List.fold_left min infinity [ f (); f (); f () ] in
+  let off_ms = min3 (fun () -> sample false) in
+  let on_ms = min3 (fun () -> sample true) in
+  Mcobs.set_enabled false;
+  let overhead_pct = 100.0 *. ((on_ms /. off_ms) -. 1.0) in
+  Printf.printf
+    "  workload: full-corpus Mcd.check_jobs ~jobs:4, %d rep(s)/sample, \
+     min of 3\n\
+    \  tracing off: %8.1f ms\n\
+    \  tracing on:  %8.1f ms\n\
+    \  overhead:    %+8.2f %%   (budget: < 5%%)\n\n"
+    reps off_ms on_ms overhead_pct;
+  let oc = open_out "BENCH_OBS.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"mcd_check_jobs_4_domains_full_corpus\",\n\
+    \  \"reps_per_sample\": %d,\n\
+    \  \"tracing_off_ms\": %.1f,\n\
+    \  \"tracing_on_ms\": %.1f,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"budget_pct\": 5.0,\n\
+    \  \"within_budget\": %b\n\
+     }\n"
+    reps off_ms on_ms overhead_pct (overhead_pct < 5.0);
+  close_out oc;
+  print_endline "  wrote BENCH_OBS.json";
+  if overhead_pct >= 5.0 then begin
+    Printf.eprintf "FAIL: tracing overhead %.2f%% exceeds the 5%% budget\n"
+      overhead_pct;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel timings                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,6 +524,7 @@ let () =
   | [ "sensitivity" ] -> print_sensitivity ()
   | [ "ablations" ] -> print_ablations ()
   | [ "parallel" ] -> run_parallel ()
+  | [ "obs" ] -> run_obs ()
   | [ "bench" ] -> run_bench ()
   | [ arg ]
     when String.length arg = 6 && String.sub arg 0 5 = "table"
@@ -465,5 +533,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
-       ablations | parallel | bench]";
+       ablations | parallel | obs | bench]";
     exit 2

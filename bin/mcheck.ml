@@ -18,9 +18,29 @@
     cache warm across invocations (persisted to [--cache FILE]), so
     re-checking after editing one handler only re-runs the affected
     (checker x function) units.  Output is byte-identical to the
-    sequential run in every configuration. *)
+    sequential run in every configuration.
+
+    Observability: [--explain] prints each diagnostic's witness path —
+    the (location, event, state transition) steps that drove the checker
+    to the report; [--trace FILE.json] records the whole pipeline
+    (cfront, engine, mcd, cache, sim) as a Chrome trace; [--metrics]
+    dumps the merged counter/histogram registry; [--quiet]/[-v] set the
+    verbosity of the [Mcobs] log sink that all status lines route
+    through. *)
 
 open Cmdliner
+
+(* Status lines that belong on stdout (headers, summaries) are silenced
+   by --quiet; log lines go through the Mcobs sink (stderr). *)
+let say fmt =
+  if Mcobs.get_verbosity () = Mcobs.Quiet then Printf.ifprintf stdout fmt
+  else Printf.printf fmt
+
+(* How to print one diagnostic: --explain wins, then -v (with path). *)
+let pp_diag ~explain ~verbose ppf d =
+  if explain then Diag.pp_explain ppf d
+  else if verbose then Diag.pp_with_trace ppf d
+  else Diag.pp ppf d
 
 let list_checkers () =
   List.iter
@@ -38,16 +58,14 @@ let load_metal paths : (string * string Sm.t) list =
         exit 2)
     paths
 
-let run_metal_on metal_paths (tus : Ast.tunit list) verbose =
+let run_metal_on metal_paths (tus : Ast.tunit list) verbose explain =
   let total = ref 0 in
   List.iter
     (fun (_, sm) ->
       let diags = Engine.check sm (`Program tus) in
       total := !total + List.length diags;
       List.iter
-        (fun d ->
-          if verbose then Format.printf "%a@." Diag.pp_with_trace d
-          else Format.printf "%a@." Diag.pp d)
+        (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
         diags)
     (load_metal metal_paths);
   !total
@@ -72,17 +90,28 @@ let with_cache sched f =
   end
   else f None
 
-let print_protocol_results ~verbose ~selected result =
+(* The default one-line scheduler summary (cache-hit rate, parallel
+   efficiency) plus the full per-domain breakdown at -v. *)
+let report_sched_stats stats =
+  Mcobs.logf Mcobs.Normal "%a" Mcd.pp_stats_line stats;
+  Mcobs.logf Mcobs.Verbose "scheduler: %a" Mcd.pp_stats stats
+
+let print_protocol_results ~verbose ~explain ~selected result =
   List.iter
     (fun (name, diags) ->
       if selected name then begin
-        Printf.printf "-- %s: %d report(s)\n" name (List.length diags);
-        if verbose then
-          List.iter (fun d -> Format.printf "   %a@." Diag.pp d) diags
+        say "-- %s: %d report(s)\n" name (List.length diags);
+        if verbose || explain then
+          List.iter
+            (fun d ->
+              Format.printf "   %a@."
+                (pp_diag ~explain ~verbose:false)
+                d)
+            diags
       end)
     result
 
-let run_on_files checker_names files verbose sched =
+let run_on_files checker_names files verbose explain sched =
   let units =
     List.map
       (fun path ->
@@ -130,7 +159,7 @@ let run_on_files checker_names files verbose sched =
         with_cache sched (fun cache ->
             Mcd.check_corpus ?cache ~jobs:sched.jobs ~spec tus)
       in
-      Format.eprintf "scheduler: %a@." Mcd.pp_stats stats;
+      report_sched_stats stats;
       List.filter (fun (name, _) -> selected name) result
     end
     else
@@ -146,16 +175,13 @@ let run_on_files checker_names files verbose sched =
     (fun (_, diags) ->
       total := !total + List.length diags;
       List.iter
-        (fun d ->
-          if verbose then
-            Format.printf "%a@." Diag.pp_with_trace d
-          else Format.printf "%a@." Diag.pp d)
+        (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
         diags)
     per_checker;
-  if !total = 0 then print_endline "no violations found";
-  if !total > 0 then exit 1
+  if !total = 0 then say "no violations found\n";
+  if !total > 0 then 1 else 0
 
-let run_corpus checker_names seed verbose sched =
+let run_corpus checker_names seed verbose explain sched =
   let corpus = Corpus.generate ~seed () in
   let selected name =
     checker_names = [] || List.mem name checker_names
@@ -175,23 +201,28 @@ let run_corpus checker_names seed verbose sched =
     in
     List.iter2
       (fun (p : Corpus.protocol) result ->
-        Printf.printf "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
-        print_protocol_results ~verbose ~selected result)
+        say "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
+        print_protocol_results ~verbose ~explain ~selected result)
       corpus.Corpus.protocols results;
-    Format.printf "scheduler: %a@." Mcd.pp_stats stats
+    report_sched_stats stats
   end
   else
     List.iter
       (fun (p : Corpus.protocol) ->
-        Printf.printf "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
+        say "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
         List.iter
           (fun (c : Registry.checker) ->
             if selected c.Registry.name then begin
               let diags = c.Registry.run ~spec:p.Corpus.spec p.Corpus.tus in
-              Printf.printf "-- %s: %d report(s)\n" c.Registry.name
+              say "-- %s: %d report(s)\n" c.Registry.name
                 (List.length diags);
-              if verbose then
-                List.iter (fun d -> Format.printf "   %a@." Diag.pp d) diags
+              if verbose || explain then
+                List.iter
+                  (fun d ->
+                    Format.printf "   %a@."
+                      (pp_diag ~explain ~verbose:false)
+                      d)
+                  diags
             end)
           Registry.all)
       corpus.Corpus.protocols
@@ -233,7 +264,7 @@ let parse_files files =
   in
   Frontend.of_strings units
 
-let run_metal metal_paths files verbose seed =
+let run_metal metal_paths files verbose explain seed =
   let total =
     match files with
     | [] ->
@@ -241,12 +272,12 @@ let run_metal metal_paths files verbose seed =
       let corpus = Corpus.generate ~seed () in
       List.fold_left
         (fun acc (p : Corpus.protocol) ->
-          Printf.printf "=== %s ===\n" p.Corpus.name;
-          acc + run_metal_on metal_paths p.Corpus.tus verbose)
+          say "=== %s ===\n" p.Corpus.name;
+          acc + run_metal_on metal_paths p.Corpus.tus verbose explain)
         0 corpus.Corpus.protocols
-    | files -> run_metal_on metal_paths (parse_files files) verbose
+    | files -> run_metal_on metal_paths (parse_files files) verbose explain
   in
-  if total = 0 then print_endline "no violations found"
+  if total = 0 then say "no violations found\n"
 
 let run_fix files out_dir =
   if files = [] then begin
@@ -288,20 +319,51 @@ let run_fix files out_dir =
       let oc = open_out path in
       output_string oc (Pp.tunit_to_string tu);
       close_out oc;
-      Printf.printf "patched %s\n" path)
+      say "patched %s\n" path)
     fixed
 
 let main checker_names files table list_flag seed verbose metal_paths fix
-    out_dir jobs incremental cache_file =
+    out_dir jobs incremental cache_file quiet explain trace_file metrics =
   let sched = { jobs; incremental; cache_file } in
-  if list_flag then list_checkers ()
-  else if fix then run_fix files out_dir
-  else
-    match (table, metal_paths, files) with
-    | Some n, _, _ -> run_table n seed
-    | None, (_ :: _ as metal), files -> run_metal metal files verbose seed
-    | None, [], [] -> run_corpus checker_names seed verbose sched
-    | None, [], files -> run_on_files checker_names files verbose sched
+  Mcobs.set_verbosity
+    (if quiet then Mcobs.Quiet
+     else if verbose then Mcobs.Verbose
+     else Mcobs.Normal);
+  (* recording a trace or dumping metrics implies tracing on *)
+  if trace_file <> None || metrics then Mcobs.set_enabled true;
+  let code =
+    if list_flag then begin
+      list_checkers ();
+      0
+    end
+    else if fix then begin
+      run_fix files out_dir;
+      0
+    end
+    else begin
+      match (table, metal_paths, files) with
+      | Some n, _, _ ->
+        run_table n seed;
+        0
+      | None, (_ :: _ as metal), files ->
+        run_metal metal files verbose explain seed;
+        0
+      | None, [], [] ->
+        run_corpus checker_names seed verbose explain sched;
+        0
+      | None, [], files -> run_on_files checker_names files verbose explain sched
+    end
+  in
+  (* exporters run after the work so the snapshot covers everything,
+     and before the exit so a violation run still writes the trace *)
+  (match trace_file with
+  | Some path ->
+    Mcobs.export_chrome_file path (Mcobs.snapshot ());
+    Mcobs.logf Mcobs.Normal "wrote Chrome trace to %s" path
+  | None -> ());
+  if metrics then
+    Format.eprintf "%a@." Mcobs.pp_summary (Mcobs.snapshot ());
+  code
 
 let checker_arg =
   Arg.(
@@ -371,6 +433,36 @@ let cache_arg =
     & info [ "cache" ] ~docv:"FILE"
         ~doc:"Cache file used by --incremental.")
 
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ]
+        ~doc:"Print diagnostics only: suppress headers, summaries, and \
+              status lines.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print each diagnostic's witness path: the (location, \
+              event, state transition) steps that drove the checker's \
+              state machine to the report.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record the run as a Chrome trace-event file (open in \
+              chrome://tracing or Perfetto).  Covers cfront, engine, \
+              mcd scheduler/pool/cache, and the simulator.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Dump the merged Mcobs counter/histogram/span registry \
+              after the run.")
+
 let cmd =
   let doc =
     "metal checkers for FLASH protocol code (ASPLOS 2000 reproduction)"
@@ -380,6 +472,7 @@ let cmd =
     Term.(
       const main $ checker_arg $ files_arg $ table_arg $ list_arg $ seed_arg
       $ verbose_arg $ metal_arg $ fix_arg $ out_arg $ jobs_arg
-      $ incremental_arg $ cache_arg)
+      $ incremental_arg $ cache_arg $ quiet_arg $ explain_arg $ trace_arg
+      $ metrics_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

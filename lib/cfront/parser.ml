@@ -799,28 +799,39 @@ let parse_global p : Ast.global list =
     end
   end
 
+(* Lexing of whole translation units gets its own span; the many tiny
+   [parse_expr_string] calls made when compiling checker patterns do not,
+   as they would flood the trace buffer. *)
+let lex_spanned ~file src =
+  Mcobs.with_span "cfront.lex"
+    ~args:
+      [ ("file", file); ("bytes", string_of_int (String.length src)) ]
+    (fun () -> Lexer.tokens ~file src)
+
 (** Parse a complete translation unit from source text. *)
 let parse_string ?(file = "<string>") src : Ast.tunit =
-  let toks = Lexer.tokens ~file src in
-  let p = create toks in
-  let globals = ref [] in
-  while cur p <> Token.EOF do
-    globals := List.rev_append (parse_global p) !globals
-  done;
-  { Ast.tu_file = file; tu_globals = List.rev !globals }
+  Mcobs.with_span "cfront.parse" ~args:[ ("file", file) ] (fun () ->
+      let toks = lex_spanned ~file src in
+      let p = create toks in
+      let globals = ref [] in
+      while cur p <> Token.EOF do
+        globals := List.rev_append (parse_global p) !globals
+      done;
+      { Ast.tu_file = file; tu_globals = List.rev !globals })
 
 (** Parse a translation unit, reusing typedef names already declared (for
     multi-file programs that share headers). *)
 let parse_string_with_typedefs ?(file = "<string>") ~typedefs src : Ast.tunit
     =
-  let toks = Lexer.tokens ~file src in
-  let p = create toks in
-  List.iter (fun name -> Hashtbl.replace p.typedefs name ()) typedefs;
-  let globals = ref [] in
-  while cur p <> Token.EOF do
-    globals := List.rev_append (parse_global p) !globals
-  done;
-  { Ast.tu_file = file; tu_globals = List.rev !globals }
+  Mcobs.with_span "cfront.parse" ~args:[ ("file", file) ] (fun () ->
+      let toks = lex_spanned ~file src in
+      let p = create toks in
+      List.iter (fun name -> Hashtbl.replace p.typedefs name ()) typedefs;
+      let globals = ref [] in
+      while cur p <> Token.EOF do
+        globals := List.rev_append (parse_global p) !globals
+      done;
+      { Ast.tu_file = file; tu_globals = List.rev !globals })
 
 (** Parse a single expression (handy in tests and example checkers). *)
 let parse_expr_string ?(file = "<string>") src : Ast.expr =

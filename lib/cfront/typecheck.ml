@@ -245,24 +245,30 @@ let check_func env (f : Ast.func) =
     (useful to typecheck several units sharing headers: thread the same env
     through [load_globals] first for every unit, then [annotate_unit]). *)
 let annotate ?(env = create_env ()) (tu : Ast.tunit) : env =
-  load_globals env tu;
-  List.iter
-    (function Ast.Gfunc f -> check_func env f | _ -> ())
-    tu.Ast.tu_globals;
-  env
+  Mcobs.with_span "cfront.typecheck"
+    ~args:[ ("file", tu.Ast.tu_file) ]
+    (fun () ->
+      load_globals env tu;
+      List.iter
+        (function Ast.Gfunc f -> check_func env f | _ -> ())
+        tu.Ast.tu_globals;
+      env)
 
 (** Annotate several translation units as one program: all globals are
     loaded first so cross-unit references resolve. *)
 let annotate_program (tus : Ast.tunit list) : env =
-  let env = create_env () in
-  List.iter (load_globals env) tus;
-  List.iter
-    (fun tu ->
+  Mcobs.with_span "cfront.typecheck"
+    ~args:[ ("units", string_of_int (List.length tus)) ]
+    (fun () ->
+      let env = create_env () in
+      List.iter (load_globals env) tus;
       List.iter
-        (function Ast.Gfunc f -> check_func env f | _ -> ())
-        tu.Ast.tu_globals)
-    tus;
-  env
+        (fun tu ->
+          List.iter
+            (function Ast.Gfunc f -> check_func env f | _ -> ())
+            tu.Ast.tu_globals)
+        tus;
+      env)
 
 (** The inferred type of an annotated expression; [Int] if the expression
     was never annotated. *)

@@ -135,9 +135,35 @@ let run ?(fixed_point = true) ~(spec : Flash_api.spec) (tus : Ast.tunit list)
                       else None)
                     summary.Analysis.witness
                 in
+                (* witness: the same sites as the back trace, annotated
+                   with the running send balance they drive — the
+                   inter-procedural analogue of the engine's state
+                   transitions *)
+                let witness =
+                  let sent = ref 0 in
+                  List.filter_map
+                    (fun (site : Analysis.site) ->
+                      let sum =
+                        site.Analysis.site_effect.(lane).Lane_domain.sum
+                      in
+                      if sum <> 0 then begin
+                        let from_state = Printf.sprintf "sent=%d" !sent in
+                        sent := !sent + sum;
+                        Some
+                          (Diag.step ~loc:site.Analysis.site_loc
+                             ~event:
+                               (Printf.sprintf "%s: %+d on the %s lane"
+                                  site.Analysis.site_func sum
+                                  (lane_name lane))
+                             ~from_state
+                             ~to_state:(Printf.sprintf "sent=%d" !sent))
+                      end
+                      else None)
+                    summary.Analysis.witness
+                in
                 diags :=
                   Diag.make ~checker:name ~loc:func.Ast.f_loc
-                    ~func:h.Flash_api.h_name ~trace
+                    ~func:h.Flash_api.h_name ~trace ~witness
                     (Printf.sprintf
                        "handler can send %d message(s) on the %s lane but \
                         its allowance is %d"

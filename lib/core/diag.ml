@@ -2,6 +2,13 @@
 
 type severity = Error | Warning | Note
 
+type step = {
+  w_loc : Loc.t;  (** where the transition fired *)
+  w_event : string;  (** the matched event (source expression, compact) *)
+  w_from : string;  (** checker state before the event *)
+  w_to : string;  (** checker state after ([stop] for abandoned paths) *)
+}
+
 type t = {
   checker : string;  (** checker name, e.g. ["wait_for_db"] *)
   severity : severity;
@@ -11,10 +18,30 @@ type t = {
   trace : Loc.t list;
       (** the execution path that reached the error, entry first — the
           paper's "back trace" *)
+  witness : step list;
+      (** the diagnostic explanation: the sequence of
+          (location, matched pattern, state transition) steps that drove
+          the checker's state machine to the report, in firing order.
+          The engine attaches the real sequence; a diagnostic built
+          outside the engine gets a one-step synthetic witness at its
+          report site, so the list is never empty. *)
 }
 
-let make ?(severity = Error) ?(trace = []) ~checker ~loc ~func message =
-  { checker; severity; loc; message; func; trace }
+let step ~loc ~event ~from_state ~to_state =
+  { w_loc = loc; w_event = event; w_from = from_state; w_to = to_state }
+
+let make ?(severity = Error) ?(trace = []) ?(witness = []) ~checker ~loc
+    ~func message =
+  let witness =
+    match witness with
+    | [] ->
+      [ step ~loc ~event:"report" ~from_state:"-" ~to_state:"error" ]
+    | w -> w
+  in
+  { checker; severity; loc; message; func; trace; witness }
+
+let with_witness witness t =
+  match witness with [] -> t | w -> { t with witness = w }
 
 let severity_string = function
   | Error -> "error"
@@ -33,6 +60,17 @@ let pp_with_trace ppf t =
   | trace ->
     Format.fprintf ppf "@\n  path:";
     List.iter (fun loc -> Format.fprintf ppf "@\n    %a" Loc.pp loc) trace
+
+(* The --explain rendering: the witness path, one transition per line,
+   in firing order. *)
+let pp_explain ppf t =
+  pp ppf t;
+  Format.fprintf ppf "@\n  witness:";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@\n    %a: %s  [%s -> %s]" Loc.pp s.w_loc
+        s.w_event s.w_from s.w_to)
+    t.witness
 
 let to_string t = Format.asprintf "%a" pp t
 

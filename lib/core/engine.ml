@@ -82,10 +82,24 @@ let node_exprs ~observe_branches (node : Cfg.node) : Ast.expr list =
 
 type 'state exit_hook = Sm.action_ctx -> 'state -> unit
 
+(* A compact source rendering of the matched event for witness steps. *)
+let event_string (e : Ast.expr) : string =
+  let s = Pp.expr_to_string e in
+  let s =
+    String.map (function '\n' | '\t' -> ' ' | c -> c) s
+  in
+  if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
 (* Run one state machine over one function.  [at_exit] is invoked once per
    distinct state in which a path reaches the function exit.  All counters
    are local; the optional [stats] ref is touched exactly once, at the
-   end. *)
+   end.
+
+   Alongside the state, the traversal threads the *witness* — the
+   (location, matched event, state transition) steps fired so far on this
+   path, newest first.  Every diagnostic an action emits gets the witness
+   up to and including the step being fired, which is what
+   [mcheck --explain] prints. *)
 let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
     (sm : 'state Sm.t) (func : Ast.func) : Diag.t list =
   match sm.Sm.start func with
@@ -97,16 +111,18 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
     let paths_stopped = ref 0 in
     let diags = ref [] in
     let emit d = diags := d :: !diags in
+    let state_str = sm.Sm.state_to_string in
     let visited : (int * 'state, unit) Hashtbl.t = Hashtbl.create 256 in
     let exit_states : ('state, unit) Hashtbl.t = Hashtbl.create 8 in
     (* Process all events of [node] starting from [state]; returns the
-       resulting state, or [None] when a rule stopped the path. *)
-    let step (node : Cfg.node) (state : 'state) (trace : Loc.t list) :
-        'state option =
+       resulting state and extended witness, or [None] when a rule
+       stopped the path. *)
+    let step (node : Cfg.node) (state : 'state) (trace : Loc.t list)
+        (steps : Diag.step list) : ('state * Diag.step list) option =
       let exprs = node_exprs ~observe_branches:sm.Sm.observe_branches node in
       let events = List.concat_map subexprs_post exprs in
-      let rec consume state = function
-        | [] -> Some state
+      let rec consume state steps = function
+        | [] -> Some (state, steps)
         | event :: rest -> (
           let rules = sm.Sm.rules state @ sm.Sm.all in
           let fired =
@@ -118,9 +134,13 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
               rules
           in
           match fired with
-          | None -> consume state rest
-          | Some (r, bindings) -> (
+          | None -> consume state steps rest
+          | Some (r, bindings) ->
             incr events_matched;
+            (* buffer emissions during the action so the completed step
+               (whose to-state is only known from the outcome) can be
+               attached to them *)
+            let pending = ref [] in
             let ctx =
               {
                 Sm.func;
@@ -128,32 +148,57 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
                 loc = event.Ast.eloc;
                 bindings;
                 trace = List.rev trace;
-                emit;
+                emit = (fun d -> pending := d :: !pending);
               }
             in
-            match r.Sm.action ctx with
-            | Sm.Stay -> consume state rest
-            | Sm.Goto next -> consume next rest
+            let outcome = r.Sm.action ctx in
+            let to_state =
+              match outcome with
+              | Sm.Stay -> state_str state
+              | Sm.Goto next -> state_str next
+              | Sm.Stop -> "stop"
+            in
+            let fired_step =
+              Diag.step ~loc:event.Ast.eloc ~event:(event_string event)
+                ~from_state:(state_str state) ~to_state
+            in
+            let steps = fired_step :: steps in
+            let witness = List.rev steps in
+            List.iter
+              (fun d -> emit (Diag.with_witness witness d))
+              (List.rev !pending);
+            (match outcome with
+            | Sm.Stay -> consume state steps rest
+            | Sm.Goto next -> consume next steps rest
             | Sm.Stop ->
               incr paths_stopped;
               None))
       in
-      consume state events
+      consume state steps events
     in
-    let rec visit (id : int) (state : 'state) (trace : Loc.t list) =
+    let rec visit (id : int) (state : 'state) (trace : Loc.t list)
+        (steps : Diag.step list) =
       if not (Hashtbl.mem visited (id, state)) then begin
         Hashtbl.replace visited (id, state) ();
         incr nodes_visited;
         let node = Cfg.node cfg id in
         let trace = node.Cfg.loc :: trace in
-        match step node state trace with
+        match step node state trace steps with
         | None -> ()
-        | Some state ->
+        | Some (state, steps) ->
           if id = cfg.Cfg.exit then begin
             if not (Hashtbl.mem exit_states state) then begin
               Hashtbl.replace exit_states state ();
               match at_exit with
               | Some hook ->
+                (* diagnostics from the exit hook witness the whole path
+                   plus a synthetic return step *)
+                let ret_step =
+                  Diag.step ~loc:node.Cfg.loc ~event:"return"
+                    ~from_state:(state_str state)
+                    ~to_state:(state_str state)
+                in
+                let witness = List.rev (ret_step :: steps) in
                 let ctx =
                   {
                     Sm.func;
@@ -161,7 +206,7 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
                     loc = node.Cfg.loc;
                     bindings = Binding.empty;
                     trace = List.rev trace;
-                    emit;
+                    emit = (fun d -> emit (Diag.with_witness witness d));
                   }
                 in
                 hook ctx state
@@ -179,22 +224,44 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
                     refine state cond false
                   | _ -> state
                 in
-                visit succ state trace)
+                visit succ state trace steps)
               node.Cfg.succs
       end
     in
-    visit cfg.Cfg.entry start_state [];
-    (match stats with
-    | Some r ->
-      r :=
-        stats_add !r
-          {
-            nodes_visited = !nodes_visited;
-            events_matched = !events_matched;
-            paths_stopped = !paths_stopped;
-          }
-    | None -> ());
-    Diag.normalize !diags
+    let traverse () =
+      visit cfg.Cfg.entry start_state [] [];
+      (match stats with
+      | Some r ->
+        r :=
+          stats_add !r
+            {
+              nodes_visited = !nodes_visited;
+              events_matched = !events_matched;
+              paths_stopped = !paths_stopped;
+            }
+      | None -> ());
+      Mcobs.count ~by:!nodes_visited "engine.nodes_visited";
+      Mcobs.count ~by:!events_matched "engine.events_matched";
+      Mcobs.count ~by:!paths_stopped "engine.paths_stopped";
+      Mcobs.count ~by:(Hashtbl.length exit_states) "engine.exit_states";
+      Diag.normalize !diags
+    in
+    if Mcobs.enabled () then
+      let edges =
+        Array.fold_left
+          (fun acc (n : Cfg.node) -> acc + List.length n.Cfg.succs)
+          0 cfg.Cfg.nodes
+      in
+      Mcobs.with_span "engine.check_fn"
+        ~args:
+          [
+            ("checker", sm.Sm.name);
+            ("func", func.Ast.f_name);
+            ("cfg_nodes", string_of_int (Array.length cfg.Cfg.nodes));
+            ("cfg_edges", string_of_int edges);
+          ]
+        traverse
+    else traverse ()
 
 type target =
   [ `Func of Ast.func | `Unit of Ast.tunit | `Program of Ast.tunit list ]

@@ -274,8 +274,11 @@ let deliver t (msg : Message.t) : int option =
   let node = t.nodes.(msg.Message.dst) in
   let line = line_of_addr t msg.Message.addr in
   t.stats.messages <- t.stats.messages + 1;
-  if String.equal msg.Message.opcode "MSG_NAK" then
+  Mcobs.count "sim.messages";
+  if String.equal msg.Message.opcode "MSG_NAK" then begin
     t.stats.naks <- t.stats.naks + 1;
+    Mcobs.count "sim.naks"
+  end;
   (* hardware: allocate the buffer and stream the body in *)
   let filling =
     msg.Message.has_data && Rng.percent t.rng t.cfg.fill_delay_pct
@@ -338,6 +341,7 @@ let deliver t (msg : Message.t) : int option =
     | None -> ()
     | Some handler ->
       t.stats.handler_runs <- t.stats.handler_runs + 1;
+      Mcobs.count "sim.handler_runs";
       let faults, sent =
         Interp.run_handler ~node ~program:t.program ~consts:t.consts handler
       in
@@ -508,31 +512,35 @@ let leaked_buffers t =
 
 (** Run the configured number of transactions. *)
 let run (cfg : config) : result =
-  let t = create cfg in
-  for i = 1 to cfg.transactions do
-    t.current_transaction <- i;
-    let op = random_op t in
-    (match op with
-    | Read _ -> t.stats.reads <- t.stats.reads + 1
-    | Write _ -> t.stats.writes <- t.stats.writes + 1
-    | Uncached _ -> t.stats.uncached <- t.stats.uncached + 1);
-    do_op t op;
-    (* detect slow leaks as they cross the "node wedged" threshold *)
-    Array.iter
-      (fun (node : Interp.node) ->
-        if Buffers.free_count node.Interp.buffers = 0 then
-          record_fault t ~handler:"<pool>"
-            (Interp.F_buffer Buffers.Pool_exhausted))
-      t.nodes
-  done;
-  {
-    config = cfg;
-    stats = t.stats;
-    faults = List.rev t.faults;
-    first_detection = List.rev t.first_detection;
-    leaked_buffers = leaked_buffers t;
-    directory_ok = directory_well_formed t;
-  }
+  Mcobs.with_span "sim.run"
+    ~args:[ ("transactions", string_of_int cfg.transactions) ]
+    (fun () ->
+      let t = create cfg in
+      for i = 1 to cfg.transactions do
+        t.current_transaction <- i;
+        Mcobs.count "sim.transactions";
+        let op = random_op t in
+        (match op with
+        | Read _ -> t.stats.reads <- t.stats.reads + 1
+        | Write _ -> t.stats.writes <- t.stats.writes + 1
+        | Uncached _ -> t.stats.uncached <- t.stats.uncached + 1);
+        do_op t op;
+        (* detect slow leaks as they cross the "node wedged" threshold *)
+        Array.iter
+          (fun (node : Interp.node) ->
+            if Buffers.free_count node.Interp.buffers = 0 then
+              record_fault t ~handler:"<pool>"
+                (Interp.F_buffer Buffers.Pool_exhausted))
+          t.nodes
+      done;
+      {
+        config = cfg;
+        stats = t.stats;
+        faults = List.rev t.faults;
+        first_detection = List.rev t.first_detection;
+        leaked_buffers = leaked_buffers t;
+        directory_ok = directory_well_formed t;
+      })
 
 let pp_result ppf (r : result) =
   Format.fprintf ppf "@[<v>";

@@ -38,10 +38,22 @@ type stats = {
   units_run : int;  (** units actually executed (= cache misses) *)
   cache_hits : int;
   domains : int;
-  domain_wall_ms : float array;
-  domain_units : int array;
+  workers : Mcd_pool.worker_stats array;
+      (** per-domain pool statistics, themselves derived from the
+          domains' [mcd.worker] Mcobs spans *)
   wall_ms : float;
 }
+
+(* Derived accessors over [workers] — these replace the duplicated
+   [domain_wall_ms]/[domain_units] array fields, so the per-domain wall
+   time is measured exactly once (by the pool, on the Mcobs clock). *)
+let domain_wall_ms s =
+  Array.map (fun (w : Mcd_pool.worker_stats) -> w.Mcd_pool.wall_ms) s.workers
+
+let domain_units s =
+  Array.map
+    (fun (w : Mcd_pool.worker_stats) -> w.Mcd_pool.tasks_done)
+    s.workers
 
 let checkers = Array.of_list Registry.all
 
@@ -150,8 +162,13 @@ let iter_units (prepared : prepared array)
 
 let check_jobs ?cache ~jobs (job_list : job list) :
     (string * Diag.t list) list list * stats =
-  let t0 = Unix.gettimeofday () in
-  let prepared = Array.of_list (List.map prepare job_list) in
+  (* one wall measurement, on the Mcobs clock: it produces both the
+     [mcd.schedule] span and [stats.wall_ms] *)
+  let t0 = Mcobs.now_us () in
+  let prepared =
+    Mcobs.with_span "mcd.prepare" (fun () ->
+        Array.of_list (List.map prepare job_list))
+  in
   let total =
     iter_units prepared
       (fun ~slot:_ ~job:_ ~checker:_ ~fn:_ -> ())
@@ -159,16 +176,31 @@ let check_jobs ?cache ~jobs (job_list : job list) :
   in
   let results = Array.make total [] in
   (* resolve cache hits up front, in the coordinating domain; only the
-     misses become pool tasks *)
+     misses become pool tasks.  A miss's task is wrapped in an
+     [mcd.unit] span carrying its (checker, unit) identity, plus a
+     queue-wait histogram sample measured from scheduling to execution
+     start on whichever domain picks it up. *)
   let hits = ref 0 in
   let miss_slots = ref [] in
   let miss_keys = ref [] in
-  let consider ~slot key_of run_of =
+  let consider ~slot ~cname ~uname key_of run_of =
     match Option.bind cache (fun c -> Mcd_cache.find c (key_of ())) with
     | Some diags ->
       results.(slot) <- diags;
       incr hits
     | None ->
+      let run_of =
+        if Mcobs.enabled () then begin
+          let enqueued_us = Mcobs.now_us () in
+          fun () ->
+            Mcobs.observe "mcd.queue_wait_ms"
+              ((Mcobs.now_us () -. enqueued_us) /. 1000.);
+            Mcobs.with_span "mcd.unit"
+              ~args:[ ("checker", cname); ("unit", uname) ]
+              run_of
+        end
+        else run_of
+      in
       miss_slots := (slot, run_of) :: !miss_slots;
       if cache <> None then miss_keys := (slot, key_of ()) :: !miss_keys
   in
@@ -195,33 +227,45 @@ let check_jobs ?cache ~jobs (job_list : job list) :
       Hashtbl.add tbl (job, checker) fn;
       fn
   in
-  ignore
-    (iter_units prepared
-       (fun ~slot ~job ~checker ~fn ->
-         consider ~slot
-           (fun () -> fn_key prepared.(job) checkers.(checker) fn)
-           (fun () ->
-             results.(slot) <-
-               staged ~job ~checker prepared.(job).p_funcs.(fn)))
-       (fun ~slot ~job ~checker ->
-         consider ~slot
-           (fun () -> global_key prepared.(job) checkers.(checker))
-           (fun () ->
-             let p = prepared.(job) in
-             match checkers.(checker).Registry.phase with
-             | Registry.Whole_program g ->
-               results.(slot) <- g ~spec:p.p_job.spec p.p_job.tus
-             | Registry.Per_function _ -> assert false)));
+  Mcobs.with_span "mcd.resolve" (fun () ->
+      ignore
+        (iter_units prepared
+           (fun ~slot ~job ~checker ~fn ->
+             consider ~slot ~cname:checkers.(checker).Registry.name
+               ~uname:prepared.(job).p_funcs.(fn).Ast.f_name
+               (fun () -> fn_key prepared.(job) checkers.(checker) fn)
+               (fun () ->
+                 results.(slot) <-
+                   staged ~job ~checker prepared.(job).p_funcs.(fn)))
+           (fun ~slot ~job ~checker ->
+             consider ~slot ~cname:checkers.(checker).Registry.name
+               ~uname:"<whole-program>"
+               (fun () -> global_key prepared.(job) checkers.(checker))
+               (fun () ->
+                 let p = prepared.(job) in
+                 match checkers.(checker).Registry.phase with
+                 | Registry.Whole_program g ->
+                   results.(slot) <- g ~spec:p.p_job.spec p.p_job.tus
+                 | Registry.Per_function _ -> assert false))));
   let tasks =
     Array.of_list (List.rev_map (fun (_, run) -> run) !miss_slots)
   in
-  let worker_stats = Mcd_pool.run ~domains:jobs tasks in
+  let worker_stats =
+    Mcobs.with_span "mcd.pool"
+      ~args:
+        [
+          ("domains", string_of_int (max 1 jobs));
+          ("tasks", string_of_int (Array.length tasks));
+        ]
+      (fun () -> Mcd_pool.run ~domains:jobs tasks)
+  in
   (* store the fresh results; done after the join so the cache is only
      ever touched from this domain *)
   (match cache with
   | Some c ->
-    List.iter (fun (slot, key) -> Mcd_cache.add c key results.(slot))
-      !miss_keys
+    Mcobs.with_span "mcd.store" (fun () ->
+        List.iter (fun (slot, key) -> Mcd_cache.add c key results.(slot))
+          !miss_keys)
   | None -> ());
   (* reassemble in canonical order: identical to the sequential run *)
   let out = Array.make (Array.length prepared) [] in
@@ -251,25 +295,31 @@ let check_jobs ?cache ~jobs (job_list : job list) :
     end;
     acc.(checker) <- results.(slot) :: acc.(checker)
   in
-  ignore
-    (iter_units prepared
-       (fun ~slot ~job ~checker ~fn:_ -> feed ~slot ~job ~checker)
-       (fun ~slot ~job ~checker -> feed ~slot ~job ~checker));
-  if Array.length prepared > 0 then flush_job !current_job;
+  Mcobs.with_span "mcd.reassemble" (fun () ->
+      ignore
+        (iter_units prepared
+           (fun ~slot ~job ~checker ~fn:_ -> feed ~slot ~job ~checker)
+           (fun ~slot ~job ~checker -> feed ~slot ~job ~checker));
+      if Array.length prepared > 0 then flush_job !current_job);
+  let dur_us = Mcobs.now_us () -. t0 in
+  Mcobs.record_span ~name:"mcd.schedule"
+    ~args:
+      [
+        ("units", string_of_int total);
+        ("hits", string_of_int !hits);
+        ("domains", string_of_int (max 1 jobs));
+      ]
+    ~begin_us:t0 ~dur_us ();
+  Mcobs.count ~by:total "mcd.units_total";
+  Mcobs.count ~by:(Array.length tasks) "mcd.units_run";
   let stats =
     {
       units_total = total;
       units_run = Array.length tasks;
       cache_hits = !hits;
       domains = max 1 jobs;
-      domain_wall_ms =
-        Array.map (fun (w : Mcd_pool.worker_stats) -> w.Mcd_pool.wall_ms)
-          worker_stats;
-      domain_units =
-        Array.map
-          (fun (w : Mcd_pool.worker_stats) -> w.Mcd_pool.tasks_done)
-          worker_stats;
-      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+      workers = worker_stats;
+      wall_ms = dur_us /. 1000.;
     }
   in
   (Array.to_list out, stats)
@@ -286,8 +336,28 @@ let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "%d unit(s): %d run, %d cached; %d domain(s), %.1f ms wall"
     s.units_total s.units_run s.cache_hits s.domains s.wall_ms;
+  let units = domain_units s in
   Array.iteri
     (fun i ms ->
-      Format.fprintf ppf "@\n  domain %d: %d unit(s), %.1f ms" i
-        s.domain_units.(i) ms)
-    s.domain_wall_ms
+      Format.fprintf ppf "@\n  domain %d: %d unit(s), %.1f ms" i units.(i)
+        ms)
+    (domain_wall_ms s)
+
+(* The one-line summary mcheck prints by default after a --jobs or
+   --incremental run: cache-hit rate plus parallel efficiency (total
+   domain busy time over wall time). *)
+let pp_stats_line ppf (s : stats) =
+  let busy_ms =
+    Array.fold_left
+      (fun acc (w : Mcd_pool.worker_stats) -> acc +. w.Mcd_pool.wall_ms)
+      0. s.workers
+  in
+  let hit_pct =
+    if s.units_total = 0 then 0.
+    else 100. *. float_of_int s.cache_hits /. float_of_int s.units_total
+  in
+  Format.fprintf ppf
+    "mcd: %d unit(s), %d cached (%.1f%% hit), %d run on %d domain(s); \
+     %.1f ms wall, %.2fx parallel efficiency"
+    s.units_total s.cache_hits hit_pct s.units_run s.domains s.wall_ms
+    (if s.wall_ms > 0. then busy_ms /. s.wall_ms else 0.)

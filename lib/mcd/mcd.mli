@@ -25,10 +25,21 @@ type stats = {
   units_run : int;  (** units actually executed (= cache misses) *)
   cache_hits : int;
   domains : int;
-  domain_wall_ms : float array;  (** wall time per domain, domain order *)
-  domain_units : int array;  (** units executed per domain *)
+  workers : Mcd_pool.worker_stats array;
+      (** per-domain pool statistics, in domain order — derived from the
+          domains' [mcd.worker] Mcobs spans, measured once *)
   wall_ms : float;  (** end-to-end wall time of the call *)
 }
+
+val domain_wall_ms : stats -> float array
+(** wall time per domain, domain order.
+    @deprecated derived view over [stats.workers]; prefer the
+    [mcd.worker] spans in an [Mcobs.snapshot] *)
+
+val domain_units : stats -> int array
+(** units executed per domain.
+    @deprecated derived view over [stats.workers]; prefer the
+    [mcd.worker] spans in an [Mcobs.snapshot] *)
 
 val check_jobs :
   ?cache:Mcd_cache.t ->
@@ -53,3 +64,7 @@ val func_digest : string -> Ast.func -> string
     AST) — the per-function half of a cache key *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val pp_stats_line : Format.formatter -> stats -> unit
+(** the one-line cache-hit / parallel-efficiency summary mcheck prints
+    by default after [--jobs]/[--incremental] runs *)

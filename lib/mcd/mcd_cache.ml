@@ -21,7 +21,7 @@ type t = {
 }
 
 (* bump when the key derivation or the marshalled shape changes *)
-let format_tag = "mcd-cache-v1"
+let format_tag = "mcd-cache-v2"  (* v2: Diag.t gained the witness field *)
 
 let create () = { mutex = Mutex.create (); table = Hashtbl.create 1024 }
 
@@ -29,9 +29,15 @@ let locked c f =
   Mutex.lock c.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
 
-let find c key = locked c (fun () -> Hashtbl.find_opt c.table key)
+let find c key =
+  let r = locked c (fun () -> Hashtbl.find_opt c.table key) in
+  Mcobs.count "mcd.cache.probe";
+  Mcobs.count (if r = None then "mcd.cache.miss" else "mcd.cache.hit");
+  r
 
-let add c key diags = locked c (fun () -> Hashtbl.replace c.table key diags)
+let add c key diags =
+  Mcobs.count "mcd.cache.store";
+  locked c (fun () -> Hashtbl.replace c.table key diags)
 
 let size c = locked c (fun () -> Hashtbl.length c.table)
 

@@ -13,7 +13,10 @@
 
 type worker_stats = {
   tasks_done : int;  (** work units this domain executed *)
-  wall_ms : float;  (** wall-clock time this domain spent alive *)
+  wall_ms : float;
+      (** wall-clock time this domain spent alive — derived from the
+          same single [Mcobs] clock measurement that backs the domain's
+          [mcd.worker] span *)
 }
 
 type 'a queue_state = {
@@ -70,18 +73,21 @@ let record_failure q exn =
   if q.failure = None then q.failure <- Some exn;
   Mutex.unlock q.mutex
 
-let now_ms () = Unix.gettimeofday () *. 1000.
-
 (** Execute every task of [tasks] exactly once across [domains] worker
     domains (clamped to at least 1).  Returns per-domain statistics, in
-    domain order.  Re-raises the first task exception after joining. *)
+    domain order.  Re-raises the first task exception after joining.
+
+    Each worker's lifetime is measured exactly once (with the [Mcobs]
+    clock): the measurement is recorded as an [mcd.worker] span — the
+    per-domain timeline in the Chrome trace — and the same numbers back
+    the returned {!worker_stats}, so the two can never disagree. *)
 let run ~domains (tasks : (unit -> unit) array) : worker_stats array =
   let domains = max 1 domains in
   let q = create_queue () in
   Array.iter (fun t -> push q t) tasks;
   close q;
   let worker () =
-    let t0 = now_ms () in
+    let t0 = Mcobs.now_us () in
     let count = ref 0 in
     let rec loop () =
       match pop q with
@@ -92,7 +98,11 @@ let run ~domains (tasks : (unit -> unit) array) : worker_stats array =
         loop ()
     in
     loop ();
-    { tasks_done = !count; wall_ms = now_ms () -. t0 }
+    let dur = Mcobs.now_us () -. t0 in
+    Mcobs.record_span ~name:"mcd.worker"
+      ~args:[ ("tasks", string_of_int !count) ]
+      ~begin_us:t0 ~dur_us:dur ();
+    { tasks_done = !count; wall_ms = dur /. 1000. }
   in
   let spawned =
     Array.init (domains - 1) (fun _ -> Domain.spawn worker)

@@ -6,7 +6,10 @@
 
 type worker_stats = {
   tasks_done : int;  (** work units this domain executed *)
-  wall_ms : float;  (** wall-clock time this domain spent alive *)
+  wall_ms : float;
+      (** wall-clock time this domain spent alive — a derived view over
+          the single [Mcobs] measurement that also produces the domain's
+          [mcd.worker] span *)
 }
 
 val run : domains:int -> (unit -> unit) array -> worker_stats array

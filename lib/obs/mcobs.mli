@@ -1,0 +1,125 @@
+(** Mcobs — the unified tracing, metrics, and logging layer of the
+    checking pipeline.
+
+    Recording is domain-local and lock-free on the hot path: each domain
+    owns a buffer (via [Domain.DLS]) into which spans, counters, and
+    histogram samples are written; the one global mutex is taken only
+    when a domain first creates its buffer and when the coordinating
+    domain takes a {!snapshot} after the workers have joined.  That makes
+    every instrumentation point safe inside [Mcd_pool] workers.
+
+    Everything is gated on a single enable flag ({!set_enabled}, or the
+    [OBS_TRACE=1] environment variable): with tracing off, a span costs
+    one boolean load. *)
+
+(** {1 Clock} *)
+
+val now_us : unit -> float
+(** microseconds since the process-wide trace origin; every domain shares
+    the same timeline *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** default: [true] iff the [OBS_TRACE] environment variable is [1],
+    [true], or [yes] at startup *)
+
+(** {1 Log sink and verbosity} *)
+
+type level = Quiet | Normal | Verbose | Debug
+
+val set_verbosity : level -> unit
+val get_verbosity : unit -> level
+
+val logf : level -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** log a line at the given level; printed through the sink (stderr by
+    default) when the level is within the current verbosity.  [Quiet]
+    lines are never printed — it is the verbosity floor, not a level to
+    log at. *)
+
+val set_sink : (level -> string -> unit) -> unit
+(** redirect log lines (e.g. into a file, or to drop them) *)
+
+(** {1 Recording} *)
+
+type span = {
+  sp_name : string;
+  sp_tid : int;  (** domain id — one trace track per domain *)
+  sp_begin_us : float;
+  sp_dur_us : float;
+  sp_depth : int;  (** nesting depth within its domain *)
+  sp_args : (string * string) list;
+}
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** run the thunk inside a named span; with tracing disabled this is just
+    the thunk call.  Exceptions propagate; the span is recorded either
+    way. *)
+
+val record_span :
+  ?args:(string * string) list ->
+  name:string ->
+  begin_us:float ->
+  dur_us:float ->
+  unit ->
+  unit
+(** record a span whose endpoints the caller measured with {!now_us} —
+    for sites that must feed one measurement into both a span and a
+    derived statistic (e.g. [Mcd_pool] worker wall time) *)
+
+val count : ?by:int -> string -> unit
+(** bump a named counter (domain-local; merged at snapshot) *)
+
+val observe : string -> float -> unit
+(** add a sample (in milliseconds) to a named log-scale histogram *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum_ms : float;
+  max_ms : float;
+  buckets : int array;  (** log-scale buckets; last is overflow *)
+}
+
+type snapshot = {
+  spans : span list;  (** every domain, ascending begin time *)
+  counters : (string * int) list;  (** merged across domains, by name *)
+  hists : (string * hist_snapshot) list;
+  dropped_spans : int;  (** spans discarded by the per-domain cap *)
+}
+
+val snapshot : unit -> snapshot
+(** merge every domain's buffer; call from the coordinating domain while
+    no instrumented worker is running *)
+
+val reset : unit -> unit
+(** clear every buffer (same calling discipline as {!snapshot}) *)
+
+val merge_counters :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** union-with-(+), result sorted by name — associative and commutative
+    (the qcheck suite pins this down), which is what makes the pairwise
+    per-domain merge order-insensitive *)
+
+val hist_bounds_ms : float array
+(** upper bounds of the histogram buckets, in milliseconds *)
+
+(** {1 Exporters} *)
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** human-readable digest: counters, histograms, spans aggregated by
+    name *)
+
+val export_chrome : out_channel -> snapshot -> unit
+(** Chrome trace-event JSON (["X"] complete events, one track per
+    domain) — loadable in [chrome://tracing] and Perfetto *)
+
+val export_chrome_file : string -> snapshot -> unit
+
+val export_jsonl : out_channel -> snapshot -> unit
+(** one self-describing JSON object per line (spans, counters,
+    histograms) *)
+
+val export_jsonl_file : string -> snapshot -> unit

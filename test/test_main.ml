@@ -26,4 +26,5 @@ let () =
       Test_mcd.suite;
       Test_misc.suite;
       Test_fuzz.suite;
+      Test_obs.suite;
     ]

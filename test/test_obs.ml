@@ -1,0 +1,529 @@
+(** The Mcobs observability layer: span nesting discipline across
+    domains, exporter output validity, counter-merge algebra, and the
+    --explain witness paths. *)
+
+let t = Alcotest.test_case
+
+(* Every test restores the enable flag so the rest of the suite sees
+   whatever OBS_TRACE asked for. *)
+let with_tracing f =
+  let was = Mcobs.enabled () in
+  Mcobs.set_enabled true;
+  Mcobs.reset ();
+  Fun.protect ~finally:(fun () -> Mcobs.set_enabled was) f
+
+(* ------------------------------------------------------------------ *)
+(* span nesting well-formedness                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain records a small recursive span tree; afterwards, within
+   any one trace track (tid), every pair of spans must be either nested
+   or disjoint, and each span's recorded depth must match the number of
+   spans that strictly contain it. *)
+
+(* spin until the shared clock visibly advances, so every span has a
+   non-zero duration and a begin time distinct from its parent's —
+   without this, zero-length sibling spans at the same microsecond are
+   indistinguishable from nesting *)
+let spin_us us =
+  let t0 = Mcobs.now_us () in
+  while Mcobs.now_us () -. t0 < us do
+    Domain.cpu_relax ()
+  done
+
+let rec nest d =
+  Mcobs.with_span (Printf.sprintf "lvl%d" d) (fun () ->
+      spin_us 1.0;
+      if d > 0 then begin
+        nest (d - 1);
+        nest (d - 1)
+      end;
+      spin_us 1.0)
+
+let span_workload () =
+  for _ = 1 to 3 do
+    nest 3
+  done
+
+let contains a b =
+  (* [a] contains [b] (endpoints may touch) *)
+  a.Mcobs.sp_begin_us <= b.Mcobs.sp_begin_us
+  && b.sp_begin_us +. b.sp_dur_us <= a.sp_begin_us +. a.sp_dur_us
+
+let disjoint a b =
+  a.Mcobs.sp_begin_us +. a.sp_dur_us <= b.Mcobs.sp_begin_us
+  || b.sp_begin_us +. b.sp_dur_us <= a.sp_begin_us
+
+let check_track tid spans =
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "tid %d: %s/%s nested or disjoint" tid
+                 a.Mcobs.sp_name b.Mcobs.sp_name)
+              true
+              (contains a b || contains b a || disjoint a b))
+        spans)
+    spans;
+  List.iter
+    (fun s ->
+      let enclosing =
+        List.length
+          (List.filter (fun o -> o != s && contains o s) spans)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "tid %d: depth of %s" tid s.Mcobs.sp_name)
+        enclosing s.Mcobs.sp_depth)
+    spans
+
+let check_nesting domains () =
+  with_tracing (fun () ->
+      let workers =
+        List.init (domains - 1) (fun _ -> Domain.spawn span_workload)
+      in
+      span_workload ();
+      List.iter Domain.join workers;
+      let snap = Mcobs.snapshot () in
+      Alcotest.(check int) "nothing dropped" 0 snap.Mcobs.dropped_spans;
+      (* 15 spans per nest 3, 3 nests per workload, one per domain *)
+      Alcotest.(check int) "span count" (45 * domains)
+        (List.length snap.Mcobs.spans);
+      let tids =
+        List.sort_uniq compare
+          (List.map (fun s -> s.Mcobs.sp_tid) snap.Mcobs.spans)
+      in
+      Alcotest.(check int) "one track per domain" domains
+        (List.length tids);
+      List.iter
+        (fun tid ->
+          check_track tid
+            (List.filter
+               (fun s -> s.Mcobs.sp_tid = tid)
+               snap.Mcobs.spans))
+        tids)
+
+let nesting_cases =
+  [
+    t "span nesting, 1 domain" `Quick (check_nesting 1);
+    t "span nesting, 2 domains" `Quick (check_nesting 2);
+    t "span nesting, 4 domains" `Quick (check_nesting 4);
+    t "disabled recording is a no-op" `Quick (fun () ->
+        let was = Mcobs.enabled () in
+        Mcobs.set_enabled false;
+        Mcobs.reset ();
+        Fun.protect
+          ~finally:(fun () -> Mcobs.set_enabled was)
+          (fun () ->
+            let r = Mcobs.with_span "ghost" (fun () -> 41 + 1) in
+            Mcobs.count "ghost";
+            Mcobs.observe "ghost" 1.0;
+            Alcotest.(check int) "thunk value" 42 r;
+            let snap = Mcobs.snapshot () in
+            Alcotest.(check int) "no spans" 0
+              (List.length snap.Mcobs.spans);
+            Alcotest.(check int) "no counters" 0
+              (List.length snap.Mcobs.counters);
+            Alcotest.(check int) "no hists" 0
+              (List.length snap.Mcobs.hists)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export: a minimal JSON reader                    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_body () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          advance ();
+          for _ = 1 to 3 do
+            advance ()
+          done;
+          Buffer.add_char buf '?'
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | '\255' -> fail "unterminated string"
+      | c when Char.code c < 0x20 -> fail "raw control char in string"
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while numchar (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          expect '"';
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ()
+          | '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements ()
+          | ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+    | '"' ->
+      advance ();
+      Str (string_body ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* exercise the escaper: args with quotes, backslashes, newlines, and
+   control characters must still produce valid JSON *)
+let nasty_args =
+  [
+    ("quote", {|say "hi"|});
+    ("backslash", {|C:\flash\ni.c|});
+    ("newline", "a\nb");
+    ("control", "bell\007end");
+  ]
+
+let chrome_snapshot () =
+  Mcobs.with_span ~args:nasty_args "outer" (fun () ->
+      Mcobs.with_span "inner" (fun () -> Mcobs.count ~by:3 "widgets"));
+  Mcobs.count "widgets";
+  Mcobs.observe "latency" 0.5;
+  Mcobs.snapshot ()
+
+let check_chrome_export () =
+  with_tracing (fun () ->
+      let snap = chrome_snapshot () in
+      let path = Filename.temp_file "mcobs" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Mcobs.export_chrome_file path snap;
+          let doc =
+            match parse_json (read_file path) with
+            | doc -> doc
+            | exception Bad_json msg -> Alcotest.fail ("invalid JSON: " ^ msg)
+          in
+          let events =
+            match field "traceEvents" doc with
+            | Some (Arr es) -> es
+            | _ -> Alcotest.fail "missing traceEvents array"
+          in
+          Alcotest.(check bool) "has events" true (events <> []);
+          List.iter
+            (fun e ->
+              let str_field k =
+                match field k e with
+                | Some (Str s) -> s
+                | _ -> Alcotest.fail (k ^ " missing or not a string")
+              in
+              let num_field k =
+                match field k e with
+                | Some (Num f) -> f
+                | _ -> Alcotest.fail (k ^ " missing or not a number")
+              in
+              ignore (str_field "name");
+              ignore (num_field "ts");
+              ignore (num_field "pid");
+              ignore (num_field "tid");
+              match str_field "ph" with
+              | "X" -> ignore (num_field "dur")
+              | "C" -> ()
+              | ph -> Alcotest.fail ("unexpected phase " ^ ph))
+            events;
+          let span_named name =
+            List.exists
+              (fun e ->
+                field "name" e = Some (Str name)
+                && field "ph" e = Some (Str "X"))
+              events
+          in
+          Alcotest.(check bool) "outer span present" true
+            (span_named "outer");
+          Alcotest.(check bool) "inner span present" true
+            (span_named "inner");
+          Alcotest.(check bool) "counter event present" true
+            (List.exists
+               (fun e -> field "ph" e = Some (Str "C"))
+               events);
+          (* the nasty args survived the escaper *)
+          let outer =
+            List.find
+              (fun e -> field "name" e = Some (Str "outer"))
+              events
+          in
+          match field "args" outer with
+          | Some (Obj _ as args) ->
+            Alcotest.(check bool) "quote arg intact" true
+              (field "quote" args = Some (Str {|say "hi"|}))
+          | _ -> Alcotest.fail "outer span lost its args"))
+
+let exporter_cases =
+  [
+    t "chrome export is valid JSON with the right shape" `Quick
+      check_chrome_export;
+    t "jsonl export: every line parses" `Quick (fun () ->
+        with_tracing (fun () ->
+            let snap = chrome_snapshot () in
+            let path = Filename.temp_file "mcobs" ".jsonl" in
+            Fun.protect
+              ~finally:(fun () -> Sys.remove path)
+              (fun () ->
+                Mcobs.export_jsonl_file path snap;
+                let lines =
+                  String.split_on_char '\n' (read_file path)
+                  |> List.filter (fun l -> String.trim l <> "")
+                in
+                Alcotest.(check bool) "has lines" true (lines <> []);
+                List.iter
+                  (fun line ->
+                    match parse_json line with
+                    | Obj _ -> ()
+                    | _ -> Alcotest.fail "line is not an object"
+                    | exception Bad_json msg ->
+                      Alcotest.fail ("invalid JSONL line: " ^ msg))
+                  lines)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* counter-merge algebra                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-domain snapshot merge folds [merge_counters] pairwise in
+   whatever order the registry happens to hold the buffers, so the
+   operation must be associative and commutative. *)
+
+let counters_gen =
+  QCheck2.Gen.(
+    list_size (int_bound 8)
+      (pair (oneofl [ "a"; "b"; "c"; "hits"; "misses" ]) (int_bound 1000)))
+
+let rec sorted_by_name = function
+  | (a, _) :: ((b, _) :: _ as rest) ->
+    String.compare a b <= 0 && sorted_by_name rest
+  | _ -> true
+
+let merge_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"merge_counters associative"
+         QCheck2.Gen.(triple counters_gen counters_gen counters_gen)
+         (fun (a, b, c) ->
+           Mcobs.merge_counters a (Mcobs.merge_counters b c)
+           = Mcobs.merge_counters (Mcobs.merge_counters a b) c));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"merge_counters commutative"
+         QCheck2.Gen.(pair counters_gen counters_gen)
+         (fun (a, b) ->
+           Mcobs.merge_counters a b = Mcobs.merge_counters b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"merge_counters sorted, sums"
+         QCheck2.Gen.(pair counters_gen counters_gen)
+         (fun (a, b) ->
+           let m = Mcobs.merge_counters a b in
+           let total l = List.fold_left (fun s (_, v) -> s + v) 0 l in
+           sorted_by_name m && total m = total a + total b));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* --explain witness paths                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spec_for handlers : Flash_api.spec =
+  {
+    Flash_api.p_name = "test";
+    p_handlers =
+      List.map
+        (fun name ->
+          {
+            Flash_api.h_name = name;
+            h_kind = Flash_api.Hw_handler;
+            h_lane_allowance = [| 1; 1; 1; 1 |];
+            h_no_stack = false;
+          })
+        handlers;
+    p_free_funcs = [];
+    p_use_funcs = [];
+    p_cond_free_funcs = [];
+  }
+
+let parse src = Frontend.of_strings [ ("t.c", Prelude.text ^ src) ]
+
+let check_step msg (step : Diag.step) ~event_prefix ~from_state ~to_state =
+  let prefix p s =
+    String.length s >= String.length p
+    && String.equal (String.sub s 0 (String.length p)) p
+  in
+  Alcotest.(check bool)
+    (msg ^ ": event " ^ step.Diag.w_event)
+    true
+    (prefix event_prefix step.Diag.w_event);
+  Alcotest.(check string) (msg ^ ": from") from_state step.Diag.w_from;
+  Alcotest.(check string) (msg ^ ": to") to_state step.Diag.w_to
+
+let witness_cases =
+  [
+    t "send_wait witness names the transitions in order" `Quick (fun () ->
+        let tus =
+          parse "void H(void) { PI_SEND(F_NODATA, 0, 0, W_WAIT, 1, 0); }"
+        in
+        let diags = Send_wait.run ~spec:(spec_for [ "H" ]) tus in
+        Alcotest.(check int) "one diagnostic" 1 (List.length diags);
+        let d = List.hd diags in
+        Alcotest.(check int) "two witness steps" 2
+          (List.length d.Diag.witness);
+        (match d.Diag.witness with
+        | [ send; ret ] ->
+          check_step "step 1" send ~event_prefix:"PI_SEND("
+            ~from_state:"idle" ~to_state:"waiting_PI";
+          check_step "step 2" ret ~event_prefix:"return"
+            ~from_state:"waiting_PI" ~to_state:"waiting_PI"
+        | _ -> Alcotest.fail "witness shape");
+        (* and the --explain rendering shows both *)
+        let rendered = Format.asprintf "%a" Diag.pp_explain d in
+        let contains_sub hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh
+            && (String.equal (String.sub hay i nn) needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "rendering mentions witness" true
+          (contains_sub rendered "witness");
+        Alcotest.(check bool) "rendering shows the send step" true
+          (contains_sub rendered "PI_SEND"));
+    t "every corpus diagnostic carries a non-empty witness" `Quick
+      (fun () ->
+        let tus =
+          parse
+            "void H(void) { FREE_DB(); FREE_DB(); }"
+        in
+        let diags =
+          Buffer_mgmt.run ~spec:(spec_for [ "H" ]) tus
+        in
+        Alcotest.(check bool) "has diags" true (diags <> []);
+        List.iter
+          (fun d ->
+            Alcotest.(check bool) "witness non-empty" true
+              (d.Diag.witness <> []))
+          diags);
+  ]
+
+let suite = ("obs", nesting_cases @ exporter_cases @ merge_props @ witness_cases)

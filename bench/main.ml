@@ -402,6 +402,32 @@ let run_obs () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2e: the Mcfuzz differential campaign                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A mid-sized seeded campaign: every program through the four
+   differential oracles, every mutation kind seeded and scored.  The
+   per-checker recall/precision table lands in BENCH_FUZZ.json; the
+   1000-seed acceptance run is [dune exec bin/mcfuzz.exe -- --count 1000
+   --mutate -o BENCH_FUZZ.json]. *)
+let run_fuzz () =
+  print_endline
+    "================ Mcfuzz differential campaign ================";
+  print_newline ();
+  let t0 = Unix.gettimeofday () in
+  let { Fuzz_driver.score; failures } =
+    Fuzz_driver.run ~base_seed:1 ~count:300 ~mutate:true ()
+  in
+  List.iter
+    (fun f -> Format.eprintf "FAIL %a@." Fuzz_oracle.pp_failure f)
+    failures;
+  print_string (Fuzz_score.table score);
+  Printf.printf "  (%.1fs)\n" (Unix.gettimeofday () -. t0);
+  Fuzz_score.write_json score "BENCH_FUZZ.json";
+  print_endline "  wrote BENCH_FUZZ.json";
+  if failures <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel timings                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -525,6 +551,7 @@ let () =
   | [ "ablations" ] -> print_ablations ()
   | [ "parallel" ] -> run_parallel ()
   | [ "obs" ] -> run_obs ()
+  | [ "fuzz" ] -> run_fuzz ()
   | [ "bench" ] -> run_bench ()
   | [ arg ]
     when String.length arg = 6 && String.sub arg 0 5 = "table"
@@ -533,5 +560,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
-       ablations | parallel | obs | bench]";
+       ablations | parallel | obs | fuzz | bench]";
     exit 2

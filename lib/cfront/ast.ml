@@ -223,6 +223,84 @@ let rec equal_expr a b =
   | Sizeof_type ta, Sizeof_type tb -> Ctype.equal ta tb
   | _ -> false
 
+let equal_var_decl a b =
+  String.equal a.v_name b.v_name
+  && Ctype.equal a.v_type b.v_type
+  && Option.equal equal_expr a.v_init b.v_init
+  && Bool.equal a.v_static b.v_static
+
+(** Structural equality on statements, ignoring locations and inferred
+    types — what a printer/parser round trip must preserve. *)
+let rec equal_stmt a b =
+  match (a.sdesc, b.sdesc) with
+  | Sexpr x, Sexpr y | Scase x, Scase y -> equal_expr x y
+  | Sdecl x, Sdecl y -> equal_var_decl x y
+  | Sblock x, Sblock y ->
+    List.length x = List.length y && List.for_all2 equal_stmt x y
+  | Sif (ca, ta, ea), Sif (cb, tb, eb) ->
+    equal_expr ca cb && equal_stmt ta tb && Option.equal equal_stmt ea eb
+  | Swhile (ca, ba), Swhile (cb, bb) -> equal_expr ca cb && equal_stmt ba bb
+  | Sdo (ba, ca), Sdo (bb, cb) -> equal_stmt ba bb && equal_expr ca cb
+  | Sfor (ia, ca, sa, ba), Sfor (ib, cb, sb, bb) ->
+    Option.equal equal_forinit ia ib
+    && Option.equal equal_expr ca cb
+    && Option.equal equal_expr sa sb
+    && equal_stmt ba bb
+  | Sswitch (ea, ba), Sswitch (eb, bb) -> equal_expr ea eb && equal_stmt ba bb
+  | Sreturn ea, Sreturn eb -> Option.equal equal_expr ea eb
+  | Sgoto x, Sgoto y | Slabel x, Slabel y -> String.equal x y
+  | Sdefault, Sdefault | Sbreak, Sbreak | Scontinue, Scontinue | Snull, Snull
+    ->
+    true
+  | _ -> false
+
+and equal_forinit a b =
+  match (a, b) with
+  | Fi_expr x, Fi_expr y -> equal_expr x y
+  | Fi_decl x, Fi_decl y -> equal_var_decl x y
+  | _ -> false
+
+let equal_func a b =
+  String.equal a.f_name b.f_name
+  && Ctype.equal a.f_ret b.f_ret
+  && List.length a.f_params = List.length b.f_params
+  && List.for_all2
+       (fun (na, ta) (nb, tb) -> String.equal na nb && Ctype.equal ta tb)
+       a.f_params b.f_params
+  && Bool.equal a.f_static b.f_static
+  && List.length a.f_body = List.length b.f_body
+  && List.for_all2 equal_stmt a.f_body b.f_body
+
+let equal_global a b =
+  match (a, b) with
+  | Gfunc x, Gfunc y -> equal_func x y
+  | Gvar x, Gvar y -> equal_var_decl x y
+  | Gtypedef (na, ta, _), Gtypedef (nb, tb, _) ->
+    String.equal na nb && Ctype.equal ta tb
+  | Gstruct (na, fa, _), Gstruct (nb, fb, _)
+  | Gunion (na, fa, _), Gunion (nb, fb, _) ->
+    String.equal na nb
+    && List.length fa = List.length fb
+    && List.for_all2
+         (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && Ctype.equal t1 t2)
+         fa fb
+  | Genum (na, ca, _), Genum (nb, cb, _) ->
+    String.equal na nb
+    && List.length ca = List.length cb
+    && List.for_all2
+         (fun (n1, v1) (n2, v2) ->
+           String.equal n1 n2 && Option.equal Int.equal v1 v2)
+         ca cb
+  | Gfunc_decl (na, ra, pa, _), Gfunc_decl (nb, rb, pb, _) ->
+    String.equal na nb && Ctype.equal ra rb
+    && List.length pa = List.length pb
+    && List.for_all2 Ctype.equal pa pb
+  | _ -> false
+
+let equal_tunit a b =
+  List.length a.tu_globals = List.length b.tu_globals
+  && List.for_all2 equal_global a.tu_globals b.tu_globals
+
 (** Name of the function being called, when the callee is a plain
     identifier.  FLASH macros always take this form. *)
 let callee_name e =

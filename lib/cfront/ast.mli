@@ -145,6 +145,17 @@ val equal_expr : expr -> expr -> bool
 (** structural, ignoring locations and inferred types — the pattern
     matcher's wildcard-consistency notion *)
 
+val equal_stmt : stmt -> stmt -> bool
+(** structural, ignoring locations and inferred types *)
+
+val equal_func : func -> func -> bool
+val equal_global : global -> global -> bool
+
+val equal_tunit : tunit -> tunit -> bool
+(** structural equality of whole units, ignoring file names, locations
+    and inferred types — what a printer/parser round trip must
+    preserve *)
+
 val callee_name : expr -> string option
 (** the called function's name when the callee is a plain identifier
     (FLASH macros always are) *)

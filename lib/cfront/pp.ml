@@ -86,9 +86,27 @@ let rec pp_expr ppf e =
   match e.Ast.edesc with
   | Ast.Int_lit (_, s) -> Format.pp_print_string ppf s
   | Ast.Float_lit (_, s) -> Format.pp_print_string ppf s
-  | Ast.Str_lit s -> Format.fprintf ppf "%S" s
+  | Ast.Str_lit s ->
+    (* C escapes, restricted to the forms the Clite lexer understands
+       (backslash n t r 0, backslash-backslash, escaped quotes): OCaml's
+       %S would emit decimal escapes that re-lex as a digit followed by
+       literal digits *)
+    Format.pp_print_char ppf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Format.pp_print_string ppf "\\\""
+        | '\\' -> Format.pp_print_string ppf "\\\\"
+        | '\n' -> Format.pp_print_string ppf "\\n"
+        | '\t' -> Format.pp_print_string ppf "\\t"
+        | '\r' -> Format.pp_print_string ppf "\\r"
+        | '\000' -> Format.pp_print_string ppf "\\0"
+        | c -> Format.pp_print_char ppf c)
+      s;
+    Format.pp_print_char ppf '"'
   | Ast.Char_lit '\n' -> Format.pp_print_string ppf "'\\n'"
   | Ast.Char_lit '\t' -> Format.pp_print_string ppf "'\\t'"
+  | Ast.Char_lit '\r' -> Format.pp_print_string ppf "'\\r'"
   | Ast.Char_lit '\000' -> Format.pp_print_string ppf "'\\0'"
   | Ast.Char_lit '\'' -> Format.pp_print_string ppf "'\\''"
   | Ast.Char_lit '\\' -> Format.pp_print_string ppf "'\\\\'"

@@ -74,6 +74,15 @@ let pp_explain ppf t =
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Location-free identity.  Differential oracles compare diagnostics
+   across pipelines whose inputs are textually different renderings of
+   the same program (e.g. before and after a printer round trip), where
+   every location shifts but nothing else may. *)
+let key t =
+  Printf.sprintf "%s|%s|%s|%s" t.checker
+    (severity_string t.severity)
+    t.func t.message
+
 (* Presentation order: source order, then severity, then message, so runs
    are reproducible. *)
 let compare a b =

@@ -54,6 +54,12 @@ val pp_explain : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val key : t -> string
+(** location-free identity [checker|severity|func|message] — the
+    comparison key for differential oracles whose two pipelines see the
+    same program at different source positions (e.g. across a printer
+    round trip) *)
+
 val compare : t -> t -> int
 (** source order, then severity, then message — a stable presentation
     order *)

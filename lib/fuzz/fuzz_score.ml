@@ -1,0 +1,160 @@
+(** Recall/precision scoring of seeded bugs.
+
+    For every mutant we diff the mutant's diagnostics against its clean
+    parent's (as location-free multisets).  A seeded bug is *detected*
+    when the diff contains a new diagnostic from the expected checker
+    blaming the mutated function.  New diagnostics from other checkers
+    are cross-talk and charge those checkers' precision — echoing the
+    shape of the paper's Tables 1-7 (bugs vs false positives per
+    checker). *)
+
+type row = {
+  mutable seeded : int;  (** mutations labelled with this checker *)
+  mutable detected : int;  (** ... where the checker blamed the function *)
+  mutable expected_new : int;  (** new diags from the expected checker *)
+  mutable cross : int;  (** new diags charged while another checker was
+                            the expected one *)
+}
+
+type t = {
+  rows : (string, row) Hashtbl.t;
+  mutable programs : int;
+  mutable mutants : int;
+  mutable oracle_failures : int;
+}
+
+let create () =
+  { rows = Hashtbl.create 16; programs = 0; mutants = 0; oracle_failures = 0 }
+
+let row t name =
+  match Hashtbl.find_opt t.rows name with
+  | Some r -> r
+  | None ->
+    let r = { seeded = 0; detected = 0; expected_new = 0; cross = 0 } in
+    Hashtbl.add t.rows name r;
+    r
+
+(* location-free multiset difference: keys of [mutated] minus [baseline] *)
+let new_diags ~(baseline : (string * Diag.t list) list)
+    ~(mutated : (string * Diag.t list) list) : Diag.t list =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, ds) ->
+      List.iter
+        (fun d ->
+          let k = Diag.key d in
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+        ds)
+    baseline;
+  List.concat_map
+    (fun (_, ds) ->
+      List.filter
+        (fun d ->
+          let k = Diag.key d in
+          match Hashtbl.find_opt counts k with
+          | Some n when n > 0 ->
+            Hashtbl.replace counts k (n - 1);
+            false
+          | _ -> true)
+        ds)
+    mutated
+
+let record_program t = t.programs <- t.programs + 1
+let record_oracle_failures t n = t.oracle_failures <- t.oracle_failures + n
+
+(** Score one mutant against its clean parent. *)
+let record_mutant t (m : Fuzz_mutate.mutation)
+    ~(baseline : (string * Diag.t list) list)
+    ~(mutated : (string * Diag.t list) list) =
+  t.mutants <- t.mutants + 1;
+  let fresh = new_diags ~baseline ~mutated in
+  let expected = row t m.Fuzz_mutate.m_checker in
+  expected.seeded <- expected.seeded + 1;
+  let hit =
+    List.exists
+      (fun d ->
+        String.equal d.Diag.checker m.Fuzz_mutate.m_checker
+        && String.equal d.Diag.func m.Fuzz_mutate.m_func)
+      fresh
+  in
+  if hit then expected.detected <- expected.detected + 1;
+  List.iter
+    (fun d ->
+      if String.equal d.Diag.checker m.Fuzz_mutate.m_checker then
+        expected.expected_new <- expected.expected_new + 1
+      else (row t d.Diag.checker).cross <- (row t d.Diag.checker).cross + 1)
+    fresh;
+  hit
+
+let checkers_sorted t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.rows []
+  |> List.sort String.compare
+
+let recall r = if r.seeded = 0 then 1.0 else float r.detected /. float r.seeded
+
+let precision r =
+  let reported = r.expected_new + r.cross in
+  if reported = 0 then 1.0 else float r.expected_new /. float reported
+
+let overall_recall t =
+  let seeded = Hashtbl.fold (fun _ r a -> a + r.seeded) t.rows 0 in
+  let detected = Hashtbl.fold (fun _ r a -> a + r.detected) t.rows 0 in
+  if seeded = 0 then 1.0 else float detected /. float seeded
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table t : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-14s %8s %9s %11s %11s %7s %10s\n" "checker" "seeded"
+       "detected" "recall" "new-diags" "cross" "precision");
+  List.iter
+    (fun c ->
+      let r = Hashtbl.find t.rows c in
+      Buffer.add_string b
+        (Printf.sprintf "%-14s %8d %9d %10.1f%% %11d %7d %9.1f%%\n" c r.seeded
+           r.detected (100. *. recall r) r.expected_new r.cross
+           (100. *. precision r)))
+    (checkers_sorted t);
+  Buffer.add_string b
+    (Printf.sprintf
+       "overall: %d programs, %d mutants, recall %.1f%%, %d oracle \
+        disagreement(s)\n"
+       t.programs t.mutants
+       (100. *. overall_recall t)
+       t.oracle_failures);
+  Buffer.contents b
+
+let to_json t : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"programs\": %d,\n" t.programs);
+  Buffer.add_string b (Printf.sprintf "  \"mutants\": %d,\n" t.mutants);
+  Buffer.add_string b
+    (Printf.sprintf "  \"oracle_failures\": %d,\n" t.oracle_failures);
+  Buffer.add_string b
+    (Printf.sprintf "  \"overall_recall\": %.4f,\n" (overall_recall t));
+  Buffer.add_string b "  \"checkers\": [\n";
+  let cs = checkers_sorted t in
+  List.iteri
+    (fun i c ->
+      let r = Hashtbl.find t.rows c in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"checker\": %S, \"seeded\": %d, \"detected\": %d, \
+            \"recall\": %.4f, \"expected_new\": %d, \"cross\": %d, \
+            \"precision\": %.4f}%s\n"
+           c r.seeded r.detected (recall r) r.expected_new r.cross
+           (precision r)
+           (if i < List.length cs - 1 then "," else "")))
+    cs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_json t path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

@@ -184,9 +184,32 @@ let cases =
           Registry.all);
   ]
 
+(* the Mcfuzz differential campaign (lib/fuzz): deterministic seeds so
+   CI is stable; any failure prints the seed, and
+   [mcfuzz --seed N --count 1 --mutate] reproduces it *)
+let mcfuzz_cases =
+  [
+    t "mcfuzz: 200-seed smoke of the four differential oracles" `Quick
+      (fun () ->
+        let { Fuzz_driver.failures; _ } =
+          Fuzz_driver.run ~base_seed:1 ~count:200 ~mutate:false ()
+        in
+        List.iter
+          (fun f -> Format.eprintf "FAIL %a@." Fuzz_oracle.pp_failure f)
+          failures;
+        Alcotest.(check int) "oracle disagreements" 0 (List.length failures));
+    t "mcfuzz: seeded-bug recall over every mutation kind" `Quick (fun () ->
+        let { Fuzz_driver.score; failures } =
+          Fuzz_driver.run ~base_seed:5000 ~count:20 ~mutate:true ()
+        in
+        Alcotest.(check int) "oracle disagreements" 0 (List.length failures);
+        Alcotest.(check bool) "recall >= 0.9" true
+          (Fuzz_score.overall_recall score >= 0.9));
+  ]
+
 let suite =
   ( "fuzz",
-    cases
+    cases @ mcfuzz_cases
     @ [
         QCheck_alcotest.to_alcotest prop_pipeline_never_crashes;
         QCheck_alcotest.to_alcotest prop_parser_total_on_mutations;

@@ -26,5 +26,6 @@ let () =
       Test_mcd.suite;
       Test_misc.suite;
       Test_fuzz.suite;
+      Test_props.suite;
       Test_obs.suite;
     ]

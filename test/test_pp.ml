@@ -15,8 +15,30 @@ let check_stable name src =
   t name `Quick (fun () ->
       Alcotest.(check bool) name true (stable src))
 
+(* stronger variant: the reparsed AST must equal the original (modulo
+   locations), not just reach a print fixpoint.  These are the minimized
+   regressions for the escape bug the fuzz round-trip oracle exposed:
+   the printer used to emit OCaml-style decimal escapes (backslash then
+   three digits) that the Clite lexer re-read as an escape plus literal
+   digits, silently corrupting string contents. *)
+let roundtrip_equal name src =
+  t name `Quick (fun () ->
+      let tu = Parser.parse_string ~file:"t.c" src in
+      let p1 = Pp.tunit_to_string tu in
+      let tu2 = Parser.parse_string ~file:"t.c" p1 in
+      Alcotest.(check bool) "ast equal" true (Ast.equal_tunit tu tu2);
+      Alcotest.(check string) "fixpoint" p1 (Pp.tunit_to_string tu2))
+
 let printer_cases =
   [
+    roundtrip_equal "NUL escape in string" "void f(void) { s = \"a\\0b\"; }";
+    roundtrip_equal "newline and tab escapes in string"
+      "void f(void) { s = \"line1\\nline2\\tend\"; }";
+    roundtrip_equal "carriage return in string and char"
+      "void f(void) { s = \"cr\\rend\"; c = '\\r'; }";
+    roundtrip_equal "quote and backslash escapes"
+      "void f(void) { s = \"quo\\\"te\\\\slash\"; d = '\\\\'; q = '\\''; }";
+    roundtrip_equal "NUL char literal" "void f(void) { c = '\\0'; }";
     check_stable "do-while" "void f(void) { do { x = x + 1; } while (x < 4); }";
     check_stable "for without init" "void f(void) { for (; i < 3; i++) x(); }";
     check_stable "for without condition" "void f(void) { for (i = 0; ; i++) { if (i > 2) { break; } } }";

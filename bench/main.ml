@@ -335,6 +335,129 @@ let run_parallel () =
   print_endline "  wrote BENCH_PARALLEL.json"
 
 (* ------------------------------------------------------------------ *)
+(* Part 2c': the fused engine                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The headline engine benchmark: the fused sequential driver (one
+   shared Prep per function, root-indexed rule dispatch, lazy witnesses)
+   against the legacy per-checker path, plus the function-batched Mcd
+   pool at 1/2/4 domains.  The numbers land in BENCH_ENGINE.json;
+   [--quick] is the CI smoke gate — best of two repetitions, and a hard
+   failure when the 2-domain run regresses past 1.25x the fused
+   sequential time (a noise-tolerant tripwire, not a precision
+   measurement) or any pipeline's diagnostics differ. *)
+
+(* the PR-1 sequential full-corpus wall time (BENCH_PARALLEL.json at the
+   time), the fixed yardstick the fused engine is measured against *)
+let baseline_pr1_ms = 2711.3
+
+let run_engine ~quick () =
+  print_endline
+    "================ fused engine benchmark ================";
+  print_newline ();
+  let c = Lazy.force corpus in
+  let jobs = mcd_jobs c in
+  let iters = if quick then 2 else 5 in
+  (* best-of-N: every repetition computes the same results, the fastest
+     one is the measurement *)
+  let best f =
+    let rec go i best_r best_ms =
+      if i >= iters then (Option.get best_r, best_ms)
+      else
+        let r, ms = time_ms f in
+        if ms < best_ms then go (i + 1) (Some r) ms
+        else go (i + 1) best_r best_ms
+    in
+    go 0 None infinity
+  in
+  Printf.printf "host: %d core(s); best of %d run(s)\n\n"
+    (Domain.recommended_domain_count ())
+    iters;
+  let legacy_results, legacy_ms =
+    best (fun () ->
+        List.map
+          (fun (p : Corpus.protocol) ->
+            Registry.run_all ~spec:p.Corpus.spec p.Corpus.tus)
+          c.Corpus.protocols)
+  in
+  let baseline = render_results legacy_results in
+  let all_identical = ref true in
+  let check_identical results =
+    let same = String.equal (render_results results) baseline in
+    if not same then all_identical := false;
+    same
+  in
+  let fused_results, fused_ms =
+    best (fun () ->
+        List.map
+          (fun (p : Corpus.protocol) ->
+            Registry.run_all_fused ~spec:p.Corpus.spec p.Corpus.tus)
+          c.Corpus.protocols)
+  in
+  Printf.printf "  %-34s %8.1f ms\n" "legacy per-checker run_all" legacy_ms;
+  Printf.printf "  %-34s %8.1f ms   (%.2fx, identical=%b)\n"
+    "fused run_all_fused" fused_ms (legacy_ms /. fused_ms)
+    (check_identical fused_results);
+  let mcd_ms =
+    List.map
+      (fun domains ->
+        let (results, _), ms =
+          best (fun () -> Mcd.check_jobs ~jobs:domains jobs)
+        in
+        Printf.printf
+          "  mcd --jobs %-23d %8.1f ms   (%.2fx, identical=%b)\n" domains
+          ms (fused_ms /. ms)
+          (check_identical results);
+        (domains, ms))
+      [ 1; 2; 4 ]
+  in
+  let mcd_2_ms = List.assoc 2 mcd_ms in
+  Printf.printf
+    "\n\
+    \  vs PR-1 sequential baseline (%.1f ms): %.2fx\n\
+    \  mcd --jobs 2 vs fused sequential:        %.2fx\n\n"
+    baseline_pr1_ms
+    (baseline_pr1_ms /. fused_ms)
+    (mcd_2_ms /. fused_ms);
+  if not quick then begin
+    let oc = open_out "BENCH_ENGINE.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"cores\": %d,\n\
+      \  \"baseline_pr1_ms\": %.1f,\n\
+      \  \"legacy_sequential_ms\": %.1f,\n\
+      \  \"sequential_ms\": %.1f,\n\
+      \  \"mcd_1_ms\": %.1f,\n\
+      \  \"mcd_2_ms\": %.1f,\n\
+      \  \"mcd_4_ms\": %.1f,\n\
+      \  \"speedup_vs_pr1\": %.3f,\n\
+      \  \"speedup_vs_legacy\": %.3f,\n\
+      \  \"mcd_2_vs_sequential\": %.3f,\n\
+      \  \"diagnostics_identical\": %b\n\
+       }\n"
+      (Domain.recommended_domain_count ())
+      baseline_pr1_ms legacy_ms fused_ms (List.assoc 1 mcd_ms) mcd_2_ms
+      (List.assoc 4 mcd_ms)
+      (baseline_pr1_ms /. fused_ms)
+      (legacy_ms /. fused_ms)
+      (mcd_2_ms /. fused_ms)
+      !all_identical;
+    close_out oc;
+    print_endline "  wrote BENCH_ENGINE.json"
+  end;
+  if not !all_identical then begin
+    prerr_endline "FAIL: diagnostics differ between engine pipelines";
+    exit 1
+  end;
+  if quick && mcd_2_ms > 1.25 *. fused_ms then begin
+    Printf.eprintf
+      "FAIL: mcd --jobs 2 (%.1f ms) regressed past 1.25x the fused \
+       sequential time (%.1f ms)\n"
+      mcd_2_ms fused_ms;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 2d: Mcobs tracing overhead                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -550,6 +673,8 @@ let () =
   | [ "sensitivity" ] -> print_sensitivity ()
   | [ "ablations" ] -> print_ablations ()
   | [ "parallel" ] -> run_parallel ()
+  | [ "engine" ] -> run_engine ~quick:false ()
+  | [ "engine"; "--quick" ] -> run_engine ~quick:true ()
   | [ "obs" ] -> run_obs ()
   | [ "fuzz" ] -> run_fuzz ()
   | [ "bench" ] -> run_bench ()
@@ -560,5 +685,5 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
-       ablations | parallel | obs | fuzz | bench]";
+       ablations | parallel | engine [--quick] | obs | fuzz | bench]";
     exit 2

@@ -17,8 +17,8 @@
     across N domains, and [--incremental] keeps the content-hash result
     cache warm across invocations (persisted to [--cache FILE]), so
     re-checking after editing one handler only re-runs the affected
-    (checker x function) units.  Output is byte-identical to the
-    sequential run in every configuration.
+    function-batched units.  Output is byte-identical to the sequential
+    run in every configuration.
 
     Observability: [--explain] prints each diagnostic's witness path —
     the (location, event, state transition) steps that drove the checker
@@ -163,12 +163,11 @@ let run_on_files checker_names files verbose explain sched =
       List.filter (fun (name, _) -> selected name) result
     end
     else
-      List.filter_map
-        (fun (c : Registry.checker) ->
-          if selected c.Registry.name then
-            Some (c.Registry.name, c.Registry.run ~spec tus)
-          else None)
-        Registry.all
+      (* the fused driver computes every checker over one shared prep
+         per function; selection only filters the report *)
+      List.filter
+        (fun (name, _) -> selected name)
+        (Registry.run_all_fused ~spec tus)
   in
   let total = ref 0 in
   List.iter
@@ -210,21 +209,10 @@ let run_corpus checker_names seed verbose explain sched =
     List.iter
       (fun (p : Corpus.protocol) ->
         say "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
-        List.iter
-          (fun (c : Registry.checker) ->
-            if selected c.Registry.name then begin
-              let diags = c.Registry.run ~spec:p.Corpus.spec p.Corpus.tus in
-              say "-- %s: %d report(s)\n" c.Registry.name
-                (List.length diags);
-              if verbose || explain then
-                List.iter
-                  (fun d ->
-                    Format.printf "   %a@."
-                      (pp_diag ~explain ~verbose:false)
-                      d)
-                  diags
-            end)
-          Registry.all)
+        (* fused: one shared prep per function across all checkers;
+           selection only filters the report *)
+        print_protocol_results ~verbose ~explain ~selected
+          (Registry.run_all_fused ~spec:p.Corpus.spec p.Corpus.tus))
       corpus.Corpus.protocols
 
 let run_table n seed =
@@ -416,7 +404,7 @@ let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Schedule (checker x function) work units across $(docv) \
+        ~doc:"Schedule function-batched work units across $(docv) \
               domains.  Output is identical to the sequential run.")
 
 let incremental_arg =

@@ -25,6 +25,15 @@ let saturating_mul a b =
   else if a > max_int / b then max_int
   else a * b
 
+(* Membership-testable back-edge set: [Cfg.back_edges] returns a list,
+   and probing it with [List.exists] per successor made the DP (and the
+   enumerator) quadratic in loop count on loop-heavy functions. *)
+let back_edge_set (cfg : Cfg.t) : (int * int, unit) Hashtbl.t =
+  let backs = Cfg.back_edges cfg in
+  let set = Hashtbl.create (max 8 (2 * List.length backs)) in
+  List.iter (fun edge -> Hashtbl.replace set edge ()) backs;
+  set
+
 (* Path length is measured in distinct source lines touched, which tracks
    the paper's "length of the path (as LOC)".  Each statement-bearing node
    contributes one. *)
@@ -36,8 +45,8 @@ let node_weight (n : Cfg.node) =
 (** Compute path statistics for one CFG. *)
 let analyze (cfg : Cfg.t) : stats =
   let n = Cfg.n_nodes cfg in
-  let backs = Cfg.back_edges cfg in
-  let is_back src dst = List.exists (fun (a, b) -> a = src && b = dst) backs in
+  let backs = back_edge_set cfg in
+  let is_back src dst = Hashtbl.mem backs (src, dst) in
   (* memo.(id) = Some (count, sum, max) of paths from id to exit *)
   let memo : (int * int * int) option array = Array.make n None in
   let rec solve id =
@@ -105,8 +114,8 @@ let aggregate (stats : stats list) : aggregate =
 (** Enumerate concrete paths (lists of node ids) up to [limit]; used by
     tests to cross-check the DP counts on small functions. *)
 let enumerate ?(limit = 10_000) (cfg : Cfg.t) : int list list =
-  let backs = Cfg.back_edges cfg in
-  let is_back src dst = List.exists (fun (a, b) -> a = src && b = dst) backs in
+  let backs = back_edge_set cfg in
+  let is_back src dst = Hashtbl.mem backs (src, dst) in
   let results = ref [] in
   let count = ref 0 in
   let rec go path id =

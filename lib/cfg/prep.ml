@@ -1,0 +1,116 @@
+(** Prep — the shared per-function analysis cache.
+
+    Every per-function client of a CFG (the nine checkers, the [Mcd]
+    work units, [Paths], the fixer/optimizer) needs the same three
+    derived artifacts: the graph itself, the flattened sub-expression
+    event list of every node, and the loop structure.  Before this
+    module each (checker x function) pairing rebuilt all three, so a
+    nine-checker run paid for nine CFG constructions and nine event
+    flattenings per function.  [Prep.build] computes them exactly once;
+    a batched scheduler (or the fused sequential driver) builds one
+    [Prep.t] per function and hands it to every checker.
+
+    Two event views are precomputed because state machines differ in
+    [observe_branches]: the observing view exposes branch/switch
+    conditions as events, the non-observing view hides them.  Nodes
+    whose events are identical in both views share the same physical
+    array. *)
+
+type t = {
+  func : Ast.func;
+  cfg : Cfg.t;
+  events_obs : Ast.expr array array;
+      (** per node: sub-expressions in evaluation (post-) order,
+          branch/switch conditions included *)
+  events_noobs : Ast.expr array array;
+      (** the same with branch/switch conditions hidden *)
+  n_edges : int;
+  back_edges : (int * int) list;
+  paths : Paths.stats Lazy.t;
+}
+
+(* Sub-expressions of [e] in evaluation (post-) order, including [e].
+   This is the one flattening the engine replays; it lived in [Engine]
+   before the prep cache existed (Engine re-exports it). *)
+let subexprs_post (e : Ast.expr) : Ast.expr list =
+  let acc = ref [] in
+  let rec post e =
+    (match e.Ast.edesc with
+    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
+    | Ast.Ident _ | Ast.Sizeof_type _ ->
+      ()
+    | Ast.Call (f, args) ->
+      post f;
+      List.iter post args
+    | Ast.Unop (_, a)
+    | Ast.Cast (_, a)
+    | Ast.Field (a, _)
+    | Ast.Arrow (a, _)
+    | Ast.Sizeof_expr a ->
+      post a
+    | Ast.Binop (_, a, b)
+    | Ast.Assign (a, b)
+    | Ast.Op_assign (_, a, b)
+    | Ast.Index (a, b)
+    | Ast.Comma (a, b) ->
+      post a;
+      post b
+    | Ast.Cond (a, b, c) ->
+      post a;
+      post b;
+      post c);
+    acc := e :: !acc
+  in
+  post e;
+  List.rev !acc
+
+(* The expressions a CFG node exposes to a state machine. *)
+let node_exprs ~observe_branches (node : Cfg.node) : Ast.expr list =
+  match node.Cfg.kind with
+  | Cfg.Stmt { Ast.sdesc = Ast.Sexpr e; _ } -> [ e ]
+  | Cfg.Stmt { Ast.sdesc = Ast.Sdecl d; _ } -> (
+    match d.Ast.v_init with Some e -> [ e ] | None -> [])
+  | Cfg.Branch e | Cfg.Switch e -> if observe_branches then [ e ] else []
+  | Cfg.Return (Some e) -> [ e ]
+  | Cfg.Stmt _ | Cfg.Return None | Cfg.Entry | Cfg.Exit | Cfg.Join -> []
+
+let flatten exprs =
+  match exprs with
+  | [] -> [||]
+  | exprs -> Array.of_list (List.concat_map subexprs_post exprs)
+
+let empty_events : Ast.expr array = [||]
+
+let build (func : Ast.func) : t =
+  let cfg = Cfg.build func in
+  let n = Array.length cfg.Cfg.nodes in
+  let events_obs = Array.make n empty_events in
+  let events_noobs = Array.make n empty_events in
+  let n_edges = ref 0 in
+  Array.iteri
+    (fun i (node : Cfg.node) ->
+      n_edges := !n_edges + List.length node.Cfg.succs;
+      let obs = flatten (node_exprs ~observe_branches:true node) in
+      events_obs.(i) <- obs;
+      events_noobs.(i) <-
+        (match node.Cfg.kind with
+        | Cfg.Branch _ | Cfg.Switch _ -> empty_events
+        | _ -> obs))
+    cfg.Cfg.nodes;
+  Mcobs.count "prep.build";
+  {
+    func;
+    cfg;
+    events_obs;
+    events_noobs;
+    n_edges = !n_edges;
+    back_edges = Cfg.back_edges cfg;
+    paths = lazy (Paths.analyze cfg);
+  }
+
+let events (p : t) ~observe_branches : Ast.expr array array =
+  if observe_branches then p.events_obs else p.events_noobs
+
+let paths (p : t) : Paths.stats = Lazy.force p.paths
+let n_nodes (p : t) : int = Array.length p.cfg.Cfg.nodes
+let n_edges (p : t) : int = p.n_edges

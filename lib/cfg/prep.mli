@@ -1,0 +1,42 @@
+(** Prep — the shared per-function analysis cache.
+
+    [build f] computes, exactly once per function, everything a
+    per-function CFG client needs: the graph, each node's flattened
+    sub-expression event array (in both the branch-observing and
+    non-observing views), and the loop/path metadata.  The nine
+    checkers, the [Mcd] function-batched work units, and the fused
+    sequential driver all share one [t] per function instead of each
+    rebuilding the CFG and re-deriving the event lists.
+
+    Every [build] bumps the [prep.build] Mcobs counter, which is how the
+    test suite pins "built exactly once per function per run" down. *)
+
+type t = {
+  func : Ast.func;
+  cfg : Cfg.t;
+  events_obs : Ast.expr array array;
+      (** per node: sub-expressions in evaluation (post-) order,
+          branch/switch conditions included *)
+  events_noobs : Ast.expr array array;
+      (** the same view with branch/switch conditions hidden — nodes
+          identical in both views share the same physical array *)
+  n_edges : int;
+  back_edges : (int * int) list;  (** DFS back edges, one per loop *)
+  paths : Paths.stats Lazy.t;  (** forced on first {!paths} call *)
+}
+
+val build : Ast.func -> t
+(** @raise Cfg.Build_error on misplaced [break]/[continue]/[case] *)
+
+val subexprs_post : Ast.expr -> Ast.expr list
+(** sub-expressions in evaluation (post-) order, including the root —
+    the event order state machines see *)
+
+val events : t -> observe_branches:bool -> Ast.expr array array
+(** the per-node event arrays in the requested view *)
+
+val paths : t -> Paths.stats
+(** exit-path statistics, computed once and cached *)
+
+val n_nodes : t -> int
+val n_edges : t -> int

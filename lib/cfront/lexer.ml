@@ -188,7 +188,11 @@ let read_number lx =
       then String.sub text 0 (String.length text - 1)
       else text
     in
-    Token.FLOAT (float_of_string numeric, text)
+    let value =
+      try float_of_string numeric
+      with _ -> error lx (Printf.sprintf "bad float literal %S" text)
+    in
+    Token.FLOAT (value, text)
   end
   else begin
     (* integer suffixes *)

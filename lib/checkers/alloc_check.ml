@@ -61,9 +61,13 @@ let sm : state Sm.t =
       | Unchecked _ -> "unchecked")
     ()
 
-let check_fn ~spec : Ast.func -> Diag.t list =
+let check_prep ~spec : Prep.t -> Diag.t list =
   let _ = spec in
-  fun f -> Engine.check sm (`Func f)
+  fun prep -> Engine.check_prep sm prep
+
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let staged = check_prep ~spec in
+  fun f -> staged (Prep.build f)
 
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in

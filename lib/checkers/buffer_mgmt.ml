@@ -200,13 +200,17 @@ let run_with_annotations ~spec (tus : Ast.tunit list) : outcome =
 (* Staged: the spec-dependent state machine (and the annotation table,
    which only feeds the Table 4 counters, never the diagnostics) is built
    once per [check_fn ~spec] application. *)
-let check_fn ~spec : Ast.func -> Diag.t list =
+let check_prep ~spec : Prep.t -> Diag.t list =
   let suppress =
     Suppress.create
       ~reserved:[ Flash_api.ann_has_buffer; Flash_api.ann_no_free_needed ]
   in
   let sm = make_sm ~spec ~suppress in
-  fun f -> Engine.check ~at_exit:(exit_hook ~spec suppress) sm (`Func f)
+  fun prep -> Engine.check_prep ~at_exit:(exit_hook ~spec suppress) sm prep
+
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let staged = check_prep ~spec in
+  fun f -> staged (Prep.build f)
 
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   (run_with_annotations ~spec tus).diags

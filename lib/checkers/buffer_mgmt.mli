@@ -14,6 +14,10 @@ type outcome = {
 
 val run_with_annotations : spec:Flash_api.spec -> Ast.tunit list -> outcome
 
+val check_prep : spec:Flash_api.spec -> Prep.t -> Diag.t list
+(** staged: [check_prep ~spec] compiles the spec's state machine once and
+    returns the fused per-function phase the scheduler drives *)
+
 val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
 (** staged: [check_fn ~spec] compiles the spec's state machine once and
     returns the per-function phase the scheduler drives *)

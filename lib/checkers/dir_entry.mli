@@ -6,6 +6,11 @@
 val name : string
 val metal_loc : int
 
+val check_prep :
+  ?nak_pruning:bool -> spec:Flash_api.spec -> Prep.t -> Diag.t list
+(** staged: [check_prep ~spec] compiles the spec's state machine once and
+    returns the fused per-function phase the scheduler drives *)
+
 val check_fn :
   ?nak_pruning:bool -> spec:Flash_api.spec -> Ast.func -> Diag.t list
 (** staged: [check_fn ~spec] compiles the spec's state machine once and

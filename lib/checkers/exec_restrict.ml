@@ -188,6 +188,10 @@ let check_fn ~spec (f : Ast.func) : Diag.t list =
   check_signature ~spec f @ check_deprecated f @ check_no_stack ~spec f
   @ check_hooks ~spec f
 
+(* Pure AST walker: the prep's CFG is unused, only the function. *)
+let check_prep ~spec (prep : Prep.t) : Diag.t list =
+  check_fn ~spec prep.Prep.func
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let diags =
     List.concat_map

@@ -10,6 +10,10 @@ val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
 (** check one function — results are unnormalized; the registry's
     finalizer sorts and deduplicates the whole-program list *)
 
+val check_prep : spec:Flash_api.spec -> Prep.t -> Diag.t list
+(** [check_fn] over a prepared function (the CFG is unused — this checker
+    walks the AST directly) *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
 val applied : Ast.tunit list -> int

@@ -65,6 +65,11 @@ let check_fn ~spec (f : Ast.func) : Diag.t list =
   let _ = spec in
   check_func f
 
+(* Pure AST walker: the prep's CFG is unused, only the function. *)
+let check_prep ~spec (prep : Prep.t) : Diag.t list =
+  let _ = spec in
+  check_func prep.Prep.func
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
   Diag.normalize

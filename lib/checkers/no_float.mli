@@ -3,6 +3,10 @@
 
 val name : string
 val metal_loc : int
+val check_prep : spec:Flash_api.spec -> Prep.t -> Diag.t list
+(** staged: check one prepared function — the fused per-function
+    phase the scheduler drives *)
+
 val check_fn : spec:Flash_api.spec -> Ast.func -> Diag.t list
 (** check one function — the per-function phase the scheduler drives *)
 

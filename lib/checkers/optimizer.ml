@@ -19,7 +19,7 @@
 type sync = Unsynced | Synced
 
 (** Wait sites that are redundant on every path through them. *)
-let redundant_waits (func : Ast.func) : Loc.t list =
+let redundant_waits_prep (prep : Prep.t) : Loc.t list =
   (* per wait site: the set of states it was visited in *)
   let visits : (Loc.t, bool * bool) Hashtbl.t = Hashtbl.create 8 in
   let record loc state =
@@ -46,12 +46,15 @@ let redundant_waits (func : Ast.func) : Loc.t list =
         ])
       ()
   in
-  ignore (Engine.check sm (`Func func));
+  ignore (Engine.check_prep sm prep);
   Hashtbl.fold
     (fun loc (in_unsynced, in_synced) acc ->
       if in_synced && not in_unsynced then loc :: acc else acc)
     visits []
   |> List.sort Loc.compare
+
+let redundant_waits (func : Ast.func) : Loc.t list =
+  redundant_waits_prep (Prep.build func)
 
 (* drop statements that are exactly a wait at one of [locs] *)
 let remove_waits (locs : Loc.t list) (fn : Ast.func) : Ast.func =

@@ -8,7 +8,7 @@ type ctx = {
 
 let make_ctx tus = { all_units = tus; callgraph = lazy (Callgraph.build tus) }
 
-type check_fn = spec:Flash_api.spec -> ctx:ctx -> Ast.func -> Diag.t list
+type check_fn = spec:Flash_api.spec -> ctx:ctx -> Prep.t -> Diag.t list
 type check_global = spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
 type phase =
@@ -36,14 +36,17 @@ let run_of_phase (phase : phase) : spec:Flash_api.spec -> Ast.tunit list ->
       let fn = check_fn ~spec ~ctx in
       finalize
         (List.concat_map
-           (fun tu -> List.concat_map fn (Ast.functions tu))
+           (fun tu ->
+             List.concat_map
+               (fun f -> fn (Prep.build f))
+               (Ast.functions tu))
            tus)
   | Whole_program g -> fun ~spec tus -> g ~spec tus
 
 let make ~name ~description ~metal_loc ~phase ~applied =
   { name; description; metal_loc; phase; run = run_of_phase phase; applied }
 
-(* lift a checker module's [check_fn ~spec] (staged on the spec alone)
+(* lift a checker module's [check_prep ~spec] (staged on the spec alone)
    into the registry signature *)
 let fn staged : check_fn = fun ~spec ~ctx -> let _ = ctx in staged ~spec
 
@@ -54,14 +57,14 @@ let all : checker list =
       ~metal_loc:Buffer_mgmt.metal_loc
       ~phase:
         (Per_function
-           { check_fn = fn Buffer_mgmt.check_fn; finalize = Fun.id })
+           { check_fn = fn Buffer_mgmt.check_prep; finalize = Fun.id })
       ~applied:Buffer_mgmt.applied;
     make ~name:Msg_length.name
       ~description:"message length vs has-data consistency (Section 5)"
       ~metal_loc:Msg_length.metal_loc
       ~phase:
         (Per_function
-           { check_fn = fn Msg_length.check_fn; finalize = Fun.id })
+           { check_fn = fn Msg_length.check_prep; finalize = Fun.id })
       ~applied:Msg_length.applied;
     make ~name:Lane_checker.name
       ~description:"per-lane send allowances, inter-procedural (Section 7)"
@@ -74,14 +77,14 @@ let all : checker list =
       ~metal_loc:Buffer_race.metal_loc
       ~phase:
         (Per_function
-           { check_fn = fn Buffer_race.check_fn; finalize = Fun.id })
+           { check_fn = fn Buffer_race.check_prep; finalize = Fun.id })
       ~applied:Buffer_race.applied;
     make ~name:Alloc_check.name
       ~description:"allocation failure checked before use (Section 9)"
       ~metal_loc:Alloc_check.metal_loc
       ~phase:
         (Per_function
-           { check_fn = fn Alloc_check.check_fn; finalize = Fun.id })
+           { check_fn = fn Alloc_check.check_prep; finalize = Fun.id })
       ~applied:Alloc_check.applied;
     make ~name:Dir_entry.name
       ~description:"directory entry load/writeback discipline (Section 9)"
@@ -89,7 +92,7 @@ let all : checker list =
       ~phase:
         (Per_function
            {
-             check_fn = fn (fun ~spec -> Dir_entry.check_fn ?nak_pruning:None ~spec);
+             check_fn = fn (fun ~spec -> Dir_entry.check_prep ?nak_pruning:None ~spec);
              finalize = Fun.id;
            })
       ~applied:Dir_entry.applied;
@@ -98,7 +101,7 @@ let all : checker list =
       ~metal_loc:Send_wait.metal_loc
       ~phase:
         (Per_function
-           { check_fn = fn Send_wait.check_fn; finalize = Fun.id })
+           { check_fn = fn Send_wait.check_prep; finalize = Fun.id })
       ~applied:Send_wait.applied;
     make ~name:Exec_restrict.name
       ~description:"handler execution restrictions and hooks (Section 8)"
@@ -106,7 +109,7 @@ let all : checker list =
       ~phase:
         (Per_function
            {
-             check_fn = fn Exec_restrict.check_fn;
+             check_fn = fn Exec_restrict.check_prep;
              finalize = Diag.normalize;
            })
       ~applied:Exec_restrict.applied;
@@ -115,7 +118,7 @@ let all : checker list =
       ~metal_loc:No_float.metal_loc
       ~phase:
         (Per_function
-           { check_fn = fn No_float.check_fn; finalize = Diag.normalize })
+           { check_fn = fn No_float.check_prep; finalize = Diag.normalize })
       ~applied:No_float.applied;
   ]
 
@@ -126,3 +129,39 @@ let names = List.map (fun c -> c.name) all
 (** Run every checker on one protocol. *)
 let run_all ~spec (tus : Ast.tunit list) : (string * Diag.t list) list =
   List.map (fun c -> (c.name, c.run ~spec tus)) all
+
+(** Run every checker on one protocol, building each function's [Prep]
+    exactly once and sharing it across all per-function checkers — the
+    fused sequential driver.  Per-checker results accumulate in source
+    order, so the output is exactly [run_all]'s. *)
+let run_all_fused ~spec (tus : Ast.tunit list) : (string * Diag.t list) list
+    =
+  let ctx = make_ctx tus in
+  let staged =
+    List.map
+      (fun c ->
+        match c.phase with
+        | Per_function { check_fn; finalize } ->
+          `Pf (check_fn ~spec ~ctx, finalize, ref [])
+        | Whole_program g -> `Wp g)
+      all
+  in
+  List.iter
+    (fun tu ->
+      List.iter
+        (fun f ->
+          let prep = Prep.build f in
+          List.iter
+            (function
+              | `Pf (fn, _, acc) -> acc := fn prep :: !acc
+              | `Wp _ -> ())
+            staged)
+        (Ast.functions tu))
+    tus;
+  List.map2
+    (fun c st ->
+      match st with
+      | `Pf (_, finalize, acc) ->
+        (c.name, finalize (List.concat (List.rev !acc)))
+      | `Wp g -> (c.name, g ~spec tus))
+    all staged

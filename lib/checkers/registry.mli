@@ -4,7 +4,7 @@
     daemon core) can dispatch *(checker x function)* work units:
 
     - intra-procedural checkers provide a per-function phase
-      [check_fn : spec -> ctx -> func -> Diag.t list] whose results,
+      [check_fn : spec -> ctx -> Prep.t -> Diag.t list] whose results,
       concatenated in source order and passed through the checker's
       [finalize], are exactly what the whole-program [run] produces;
     - inter-procedural checkers ([lanes]) provide a whole-program phase
@@ -22,11 +22,13 @@ type ctx = {
 
 val make_ctx : Ast.tunit list -> ctx
 
-type check_fn = spec:Flash_api.spec -> ctx:ctx -> Ast.func -> Diag.t list
+type check_fn = spec:Flash_api.spec -> ctx:ctx -> Prep.t -> Diag.t list
 (** Partial application [check_fn ~spec ~ctx] stages any spec-dependent
     setup (pattern compilation, state-machine construction) so the
-    returned closure can be applied to many functions cheaply.  The
-    closure must not be shared across domains. *)
+    returned closure can be applied to many prepared functions cheaply.
+    The per-function analysis (CFG, event arrays) comes in via {!Prep.t}
+    so a driver running several checkers over one function builds it
+    once.  The closure must not be shared across domains. *)
 
 type check_global = spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
@@ -61,3 +63,9 @@ val all : checker list
 val find : string -> checker option
 val names : string list
 val run_all : spec:Flash_api.spec -> Ast.tunit list -> (string * Diag.t list) list
+
+val run_all_fused :
+  spec:Flash_api.spec -> Ast.tunit list -> (string * Diag.t list) list
+(** [run_all] with each function's {!Prep.t} built exactly once and
+    shared across all per-function checkers; identical output, one CFG
+    construction per function instead of eight *)

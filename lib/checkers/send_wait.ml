@@ -83,9 +83,13 @@ let exit_hook : state Engine.exit_hook =
       (iface_name iface)
   | Idle -> ()
 
-let check_fn ~spec : Ast.func -> Diag.t list =
+let check_prep ~spec : Prep.t -> Diag.t list =
   let _ = spec in
-  fun f -> Engine.check ~at_exit:exit_hook sm (`Func f)
+  fun prep -> Engine.check_prep ~at_exit:exit_hook sm prep
+
+let check_fn ~spec : Ast.func -> Diag.t list =
+  let staged = check_prep ~spec in
+  fun f -> staged (Prep.build f)
 
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in

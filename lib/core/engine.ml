@@ -12,8 +12,25 @@
     order, so a pattern for [FREE_BUF()] fires before the pattern for the
     enclosing send in [NI_SEND(FREE_BUF(), ...)].
 
-    The one entry point is {!check} over a {!target} variant; the old
-    [run]/[run_unit]/[run_program] triple survives as thin aliases.
+    {2 The fused fast path}
+
+    All per-function analysis the engine needs — the CFG and each node's
+    flattened event array — comes from a {!Prep.t}, so a driver checking
+    one function with several machines builds that work once and calls
+    {!check_prep} per machine ([Registry.run_all_fused] and the [Mcd]
+    function-batched units do exactly that).  {!check} remains the
+    convenient entry point and builds a private prep per call.
+
+    Rules are not scanned linearly per event: each state's rule list is
+    compiled once (per checked function) into a {!Pattern.root_shapes}
+    index, so an event is only offered to rules whose pattern root could
+    match it — for most events (plain identifiers, arithmetic) that is
+    the empty list.
+
+    Witness steps are recorded as raw (location, expression, state)
+    tuples and only rendered to strings when a diagnostic is actually
+    emitted, so a match on a clean path costs no pretty-printing.
+
     Statistics are immutable snapshots accumulated into a caller-supplied
     [stats ref]: the engine itself only touches domain-local counters, so
     concurrent checks from several domains are race-free as long as each
@@ -37,48 +54,10 @@ let stats_add a b =
 
 let fresh_stats () = ref stats_zero
 
-(* Sub-expressions of [e] in evaluation (post-) order, including [e]. *)
-let subexprs_post (e : Ast.expr) : Ast.expr list =
-  let acc = ref [] in
-  let rec post e =
-    (match e.Ast.edesc with
-    | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Str_lit _ | Ast.Char_lit _
-    | Ast.Ident _ | Ast.Sizeof_type _ ->
-      ()
-    | Ast.Call (f, args) ->
-      post f;
-      List.iter post args
-    | Ast.Unop (_, a)
-    | Ast.Cast (_, a)
-    | Ast.Field (a, _)
-    | Ast.Arrow (a, _)
-    | Ast.Sizeof_expr a ->
-      post a
-    | Ast.Binop (_, a, b)
-    | Ast.Assign (a, b)
-    | Ast.Op_assign (_, a, b)
-    | Ast.Index (a, b)
-    | Ast.Comma (a, b) ->
-      post a;
-      post b
-    | Ast.Cond (a, b, c) ->
-      post a;
-      post b;
-      post c);
-    acc := e :: !acc
-  in
-  post e;
-  List.rev !acc
-
-(* The expressions a CFG node exposes to the state machine. *)
-let node_exprs ~observe_branches (node : Cfg.node) : Ast.expr list =
-  match node.Cfg.kind with
-  | Cfg.Stmt { Ast.sdesc = Ast.Sexpr e; _ } -> [ e ]
-  | Cfg.Stmt { Ast.sdesc = Ast.Sdecl d; _ } -> (
-    match d.Ast.v_init with Some e -> [ e ] | None -> [])
-  | Cfg.Branch e | Cfg.Switch e -> if observe_branches then [ e ] else []
-  | Cfg.Return (Some e) -> [ e ]
-  | Cfg.Stmt _ | Cfg.Return None | Cfg.Entry | Cfg.Exit | Cfg.Join -> []
+(* Sub-expressions in evaluation (post-) order — now owned by [Prep],
+   re-exported here because the engine is where callers historically
+   found it. *)
+let subexprs_post = Prep.subexprs_post
 
 type 'state exit_hook = Sm.action_ctx -> 'state -> unit
 
@@ -90,51 +69,169 @@ let event_string (e : Ast.expr) : string =
   in
   if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
 
-(* Run one state machine over one function.  [at_exit] is invoked once per
-   distinct state in which a path reaches the function exit.  All counters
-   are local; the optional [stats] ref is touched exactly once, at the
-   end.
+(* ------------------------------------------------------------------ *)
+(* Rule dispatch: the pattern root-index                               *)
+(* ------------------------------------------------------------------ *)
 
-   Alongside the state, the traversal threads the *witness* — the
-   (location, matched event, state transition) steps fired so far on this
-   path, newest first.  Every diagnostic an action emits gets the witness
-   up to and including the step being fired, which is what
-   [mcheck --explain] prints. *)
-let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
-    (sm : 'state Sm.t) (func : Ast.func) : Diag.t list =
+(* Candidate rules per event root shape, in original rule order (state
+   rules before [all] rules), so "first matching rule fires" is
+   preserved exactly.  A call event with an identifier callee looks its
+   name up in [d_by_name]; names no pattern mentions — and calls through
+   non-identifier callees — fall back to the generic [Ast.Call] bucket
+   of [d_by_tag], which holds only callee-wildcard call patterns and
+   root-wildcard patterns. *)
+type 'state dispatch = {
+  d_by_name : (string, 'state Sm.rule list) Hashtbl.t;
+  d_by_tag : 'state Sm.rule list array;
+}
+
+let build_dispatch (rules : 'state Sm.rule list) : 'state dispatch =
+  let classified =
+    List.map (fun (r : 'state Sm.rule) -> (r, Pattern.root_shapes r.Sm.pattern)) rules
+  in
+  let admits_tag shapes tag =
+    List.exists
+      (function
+        | Pattern.Root_any -> true
+        | Pattern.Root_tag t -> t = tag
+        | Pattern.Root_call _ -> false)
+      shapes
+  in
+  let d_by_tag =
+    Array.init Pattern.n_tags (fun tag ->
+        List.filter_map
+          (fun (r, shapes) -> if admits_tag shapes tag then Some r else None)
+          classified)
+  in
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun (_, shapes) ->
+      List.iter
+        (function
+          | Pattern.Root_call n -> Hashtbl.replace names n ()
+          | Pattern.Root_tag _ | Pattern.Root_any -> ())
+        shapes)
+    classified;
+  let d_by_name = Hashtbl.create (Hashtbl.length names) in
+  Hashtbl.iter
+    (fun n () ->
+      let admits shapes =
+        List.exists
+          (function
+            | Pattern.Root_any -> true
+            | Pattern.Root_tag t -> t = Pattern.tag_call
+            | Pattern.Root_call m -> String.equal m n)
+          shapes
+      in
+      Hashtbl.replace d_by_name n
+        (List.filter_map
+           (fun (r, shapes) -> if admits shapes then Some r else None)
+           classified))
+    names;
+  { d_by_name; d_by_tag }
+
+let candidates (d : 'state dispatch) (e : Ast.expr) : 'state Sm.rule list =
+  match e.Ast.edesc with
+  | Ast.Call ({ Ast.edesc = Ast.Ident name; _ }, _) -> (
+    match Hashtbl.find_opt d.d_by_name name with
+    | Some rules -> rules
+    | None -> d.d_by_tag.(Pattern.tag_call))
+  | _ -> d.d_by_tag.(Pattern.tag_of_expr e)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy witness steps                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The traversal threads raw steps — matched expression and the states
+   around the transition, unrendered.  [event_string]/[state_to_string]
+   run only when a diagnostic is actually emitted (or the exit hook
+   fires one), which is where [mcheck --explain] gets its witness. *)
+type 'state raw_step = {
+  r_loc : Loc.t;
+  r_event : Ast.expr option;  (** [None] = the synthetic return event *)
+  r_from : 'state;
+  r_to : 'state option;  (** [None] = the path was stopped *)
+}
+
+let render_steps (state_str : 'state -> string)
+    (steps : 'state raw_step list) : Diag.step list =
+  (* [steps] is newest-first; the witness reads oldest-first *)
+  List.rev_map
+    (fun rs ->
+      Diag.step ~loc:rs.r_loc
+        ~event:
+          (match rs.r_event with Some e -> event_string e | None -> "return")
+        ~from_state:(state_str rs.r_from)
+        ~to_state:
+          (match rs.r_to with Some s -> state_str s | None -> "stop"))
+    steps
+
+(* ------------------------------------------------------------------ *)
+(* The traversal                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one state machine over one prepared function.  [at_exit] is
+   invoked once per distinct state in which a path reaches the function
+   exit.  All counters are local; the optional [stats] ref is touched
+   exactly once, at the end. *)
+let check_prep ?(stats : stats ref option)
+    ?(at_exit : 'state exit_hook option) (sm : 'state Sm.t) (prep : Prep.t) :
+    Diag.t list =
+  let func = prep.Prep.func in
   match sm.Sm.start func with
   | None -> []
   | Some start_state ->
-    let cfg = Cfg.build func in
+    let cfg = prep.Prep.cfg in
+    let events =
+      Prep.events prep ~observe_branches:sm.Sm.observe_branches
+    in
     let nodes_visited = ref 0 in
     let events_matched = ref 0 in
     let paths_stopped = ref 0 in
     let diags = ref [] in
     let emit d = diags := d :: !diags in
     let state_str = sm.Sm.state_to_string in
-    let visited : (int * 'state, unit) Hashtbl.t = Hashtbl.create 256 in
+    (* sized from the CFG: most functions see a handful of states per
+       node, so 4x nodes keeps the load factor low without rehashing *)
+    let visited : (int * 'state, unit) Hashtbl.t =
+      Hashtbl.create (max 16 (4 * Array.length cfg.Cfg.nodes))
+    in
     let exit_states : ('state, unit) Hashtbl.t = Hashtbl.create 8 in
-    (* Process all events of [node] starting from [state]; returns the
-       resulting state and extended witness, or [None] when a rule
+    (* per-state compiled dispatch, built on first encounter — this also
+       hoists the [rules state @ all] allocation out of the event loop *)
+    let dispatch_cache : ('state, 'state dispatch) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let dispatch_for state =
+      match Hashtbl.find_opt dispatch_cache state with
+      | Some d -> d
+      | None ->
+        let d = build_dispatch (sm.Sm.rules state @ sm.Sm.all) in
+        Hashtbl.add dispatch_cache state d;
+        d
+    in
+    (* Process all events of node [id] starting from [state]; returns
+       the resulting (state, dispatch, witness), or [None] when a rule
        stopped the path. *)
-    let step (node : Cfg.node) (state : 'state) (trace : Loc.t list)
-        (steps : Diag.step list) : ('state * Diag.step list) option =
-      let exprs = node_exprs ~observe_branches:sm.Sm.observe_branches node in
-      let events = List.concat_map subexprs_post exprs in
-      let rec consume state steps = function
-        | [] -> Some (state, steps)
-        | event :: rest -> (
-          let rules = sm.Sm.rules state @ sm.Sm.all in
+    let step (id : int) (state : 'state) (disp : 'state dispatch)
+        (trace : Loc.t list) (steps : 'state raw_step list) :
+        ('state * 'state dispatch * 'state raw_step list) option =
+      let evs = events.(id) in
+      let n = Array.length evs in
+      let rec consume i state disp steps =
+        if i >= n then Some (state, disp, steps)
+        else begin
+          let event = evs.(i) in
           let fired =
             List.find_map
               (fun (r : 'state Sm.rule) ->
                 match Pattern.match_expr r.Sm.pattern event with
                 | Some bindings -> Some (r, bindings)
                 | None -> None)
-              rules
+              (candidates disp event)
           in
           match fired with
-          | None -> consume state steps rest
+          | None -> consume (i + 1) state disp steps
           | Some (r, bindings) ->
             incr events_matched;
             (* buffer emissions during the action so the completed step
@@ -152,40 +249,47 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
               }
             in
             let outcome = r.Sm.action ctx in
-            let to_state =
+            let r_to =
               match outcome with
-              | Sm.Stay -> state_str state
-              | Sm.Goto next -> state_str next
-              | Sm.Stop -> "stop"
+              | Sm.Stay -> Some state
+              | Sm.Goto next -> Some next
+              | Sm.Stop -> None
             in
-            let fired_step =
-              Diag.step ~loc:event.Ast.eloc ~event:(event_string event)
-                ~from_state:(state_str state) ~to_state
+            let steps =
+              { r_loc = event.Ast.eloc; r_event = Some event;
+                r_from = state; r_to }
+              :: steps
             in
-            let steps = fired_step :: steps in
-            let witness = List.rev steps in
-            List.iter
-              (fun d -> emit (Diag.with_witness witness d))
-              (List.rev !pending);
+            (match !pending with
+            | [] -> ()
+            | pending ->
+              let witness = render_steps state_str steps in
+              List.iter
+                (fun d -> emit (Diag.with_witness witness d))
+                (List.rev pending));
             (match outcome with
-            | Sm.Stay -> consume state steps rest
-            | Sm.Goto next -> consume next steps rest
+            | Sm.Stay -> consume (i + 1) state disp steps
+            | Sm.Goto next -> consume (i + 1) next (dispatch_for next) steps
             | Sm.Stop ->
               incr paths_stopped;
-              None))
+              None)
+        end
       in
-      consume state steps events
+      consume 0 state disp steps
     in
-    let rec visit (id : int) (state : 'state) (trace : Loc.t list)
-        (steps : Diag.step list) =
-      if not (Hashtbl.mem visited (id, state)) then begin
-        Hashtbl.replace visited (id, state) ();
+    let rec visit (id : int) (state : 'state) (disp : 'state dispatch)
+        (trace : Loc.t list) (steps : 'state raw_step list) =
+      (* single hash probe: [replace] adds iff the key is new, which the
+         length reveals — the old [mem]-then-[replace] hashed twice *)
+      let before = Hashtbl.length visited in
+      Hashtbl.replace visited (id, state) ();
+      if Hashtbl.length visited > before then begin
         incr nodes_visited;
         let node = Cfg.node cfg id in
         let trace = node.Cfg.loc :: trace in
-        match step node state trace steps with
+        match step id state disp trace steps with
         | None -> ()
-        | Some (state, steps) ->
+        | Some (state, disp, steps) ->
           if id = cfg.Cfg.exit then begin
             if not (Hashtbl.mem exit_states state) then begin
               Hashtbl.replace exit_states state ();
@@ -194,11 +298,10 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
                 (* diagnostics from the exit hook witness the whole path
                    plus a synthetic return step *)
                 let ret_step =
-                  Diag.step ~loc:node.Cfg.loc ~event:"return"
-                    ~from_state:(state_str state)
-                    ~to_state:(state_str state)
+                  { r_loc = node.Cfg.loc; r_event = None; r_from = state;
+                    r_to = Some state }
                 in
-                let witness = List.rev (ret_step :: steps) in
+                let witness = render_steps state_str (ret_step :: steps) in
                 let ctx =
                   {
                     Sm.func;
@@ -216,7 +319,7 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
           else
             List.iter
               (fun (label, succ) ->
-                let state =
+                let state' =
                   match (sm.Sm.branch, node.Cfg.kind, label) with
                   | Some refine, Cfg.Branch cond, Cfg.True ->
                     refine state cond true
@@ -224,12 +327,15 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
                     refine state cond false
                   | _ -> state
                 in
-                visit succ state trace steps)
+                let disp' =
+                  if state' == state then disp else dispatch_for state'
+                in
+                visit succ state' disp' trace steps)
               node.Cfg.succs
       end
     in
     let traverse () =
-      visit cfg.Cfg.entry start_state [] [];
+      visit cfg.Cfg.entry start_state (dispatch_for start_state) [] [];
       (match stats with
       | Some r ->
         r :=
@@ -247,21 +353,20 @@ let check_func ?(stats : stats ref option) ?(at_exit : 'state exit_hook option)
       Diag.normalize !diags
     in
     if Mcobs.enabled () then
-      let edges =
-        Array.fold_left
-          (fun acc (n : Cfg.node) -> acc + List.length n.Cfg.succs)
-          0 cfg.Cfg.nodes
-      in
       Mcobs.with_span "engine.check_fn"
         ~args:
           [
             ("checker", sm.Sm.name);
             ("func", func.Ast.f_name);
             ("cfg_nodes", string_of_int (Array.length cfg.Cfg.nodes));
-            ("cfg_edges", string_of_int edges);
+            ("cfg_edges", string_of_int prep.Prep.n_edges);
           ]
         traverse
     else traverse ()
+
+let check_func ?stats ?at_exit (sm : 'state Sm.t) (func : Ast.func) :
+    Diag.t list =
+  check_prep ?stats ?at_exit sm (Prep.build func)
 
 type target =
   [ `Func of Ast.func | `Unit of Ast.tunit | `Program of Ast.tunit list ]

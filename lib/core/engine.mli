@@ -47,6 +47,18 @@ val check :
 (** the single entry point; diagnostics come back sorted and deduplicated
     per function, concatenated in source order across functions *)
 
+val check_prep :
+  ?stats:stats ref ->
+  ?at_exit:'state exit_hook ->
+  'state Sm.t ->
+  Prep.t ->
+  Diag.t list
+(** the fused fast path: check one prepared function, reusing its CFG
+    and event arrays — [check sm (`Func f)] is
+    [check_prep sm (Prep.build f)].  Drivers running several machines
+    over the same function build the prep once and call this per
+    machine. *)
+
 val run :
   ?stats:stats ref ->
   ?at_exit:'state exit_hook ->

@@ -69,6 +69,65 @@ let call name ~arity : t =
   expr ~decls:(List.map (fun a -> (a, Any)) args) src
 
 (* ------------------------------------------------------------------ *)
+(* Root classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine dispatches each event through a hashtable of candidate
+   rules instead of linearly scanning every rule per sub-expression;
+   this classification is what the index is keyed on.  It must be
+   conservative: a pattern may only be classified [Root_call name] /
+   [Root_tag t] if it can match *no* expression outside that bucket. *)
+
+type root_shape =
+  | Root_call of string
+      (** a call whose callee is literally this identifier *)
+  | Root_tag of int  (** any expression with this head constructor *)
+  | Root_any  (** wildcard at the root — a candidate for every event *)
+
+let n_tags = 18
+
+let tag_of_expr (e : Ast.expr) : int =
+  match e.Ast.edesc with
+  | Ast.Int_lit _ -> 0
+  | Ast.Float_lit _ -> 1
+  | Ast.Str_lit _ -> 2
+  | Ast.Char_lit _ -> 3
+  | Ast.Ident _ -> 4
+  | Ast.Call _ -> 5
+  | Ast.Unop _ -> 6
+  | Ast.Binop _ -> 7
+  | Ast.Assign _ -> 8
+  | Ast.Op_assign _ -> 9
+  | Ast.Cond _ -> 10
+  | Ast.Cast _ -> 11
+  | Ast.Field _ -> 12
+  | Ast.Arrow _ -> 13
+  | Ast.Index _ -> 14
+  | Ast.Comma _ -> 15
+  | Ast.Sizeof_expr _ -> 16
+  | Ast.Sizeof_type _ -> 17
+
+let tag_call = 5
+
+let root_shape_of (p : Ast.expr) (decls : decl list) : root_shape =
+  match p.Ast.edesc with
+  | Ast.Ident name when List.mem_assoc name decls -> Root_any
+  | Ast.Call ({ Ast.edesc = Ast.Ident f; _ }, _)
+    when not (List.mem_assoc f decls) ->
+    Root_call f
+  | _ -> Root_tag (tag_of_expr p)
+
+(** The root shapes a pattern can match — one entry per [Alt] branch
+    (duplicates possible, harmless).  An event whose own root key is in
+    none of them cannot match the pattern. *)
+let root_shapes (t : t) : root_shape list =
+  let rec go acc = function
+    | Expr (p, decls) -> root_shape_of p decls :: acc
+    | Alt ps -> List.fold_left go acc ps
+  in
+  go [] t
+
+(* ------------------------------------------------------------------ *)
 (* Matching                                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -43,6 +43,33 @@ val alt : t list -> t
 val call : string -> arity:int -> t
 (** [call name ~arity] matches any call to [name] with [arity] arguments. *)
 
+(** {2 Root classification}
+
+    The engine indexes rules by the shape of their pattern root so an
+    event is only offered to rules that could possibly match it.  The
+    classification is conservative: [Root_call name] / [Root_tag t]
+    promise the pattern matches nothing outside that bucket, and
+    anything uncertain is [Root_any]. *)
+
+type root_shape =
+  | Root_call of string
+      (** a call whose callee is literally this identifier *)
+  | Root_tag of int  (** any expression with this head constructor *)
+  | Root_any  (** wildcard at the root — a candidate for every event *)
+
+val n_tags : int
+(** number of distinct head-constructor tags (the [Root_tag] range) *)
+
+val tag_call : int
+(** the tag of [Ast.Call] — the bucket call events without an indexed
+    callee name fall back to *)
+
+val tag_of_expr : Ast.expr -> int
+(** head-constructor tag of an expression, in [0 .. n_tags-1] *)
+
+val root_shapes : t -> root_shape list
+(** the shapes a pattern can match at its root, one per [Alt] branch *)
+
 val match_expr : t -> Ast.expr -> Binding.t option
 (** match at the root of an expression *)
 

@@ -1,7 +1,7 @@
 (** The Mcfuzz campaign loop, shared by [bin/mcfuzz], [bench fuzz] and
     the test-suite smoke run.
 
-    Per seed: generate a clean program, run the four differential
+    Per seed: generate a clean program, run the five differential
     oracles on it, then (optionally) seed every applicable mutation,
     re-materialise, score detection against the clean baseline, and
     cross-check each mutant's parallel run against a cache warmed by its

@@ -1,6 +1,6 @@
 (** Differential oracles over the checking pipeline.
 
-    Every generated program (clean or mutated) is pushed through four
+    Every generated program (clean or mutated) is pushed through five
     pipelines that must agree:
 
     + O1 [mcd-jobs2]: {!Mcd.check_corpus} with two domains must equal the
@@ -12,7 +12,10 @@
       programs (so entries from *other* programs — and from the clean
       sibling of a mutant — must never leak in) all equal the sequential
       results;
-    + O4 [roundtrip]: pretty-print, re-lex, re-parse, re-check: printing
+    + O4 [fused]: {!Registry.run_all_fused} — one shared {!Prep.t} per
+      function across all checkers — must equal the per-checker
+      sequential path;
+    + O5 [roundtrip]: pretty-print, re-lex, re-parse, re-check: printing
       must reach a fixpoint, the AST must survive structurally, and the
       re-checked diagnostics must match modulo source locations. *)
 
@@ -51,7 +54,7 @@ let first_diff (a : string list) (b : string list) : string =
 
 let seq_check ~spec tus = Registry.run_all ~spec tus
 
-(** [check ?shared_cache ~seed ~spec ~tus ()] runs all four oracles and
+(** [check ?shared_cache ~seed ~spec ~tus ()] runs all five oracles and
     returns the disagreements (empty = all pipelines agree).  Also
     returns the sequential results so callers can reuse them. *)
 let check ?shared_cache ~seed ~(spec : Flash_api.spec) ~(tus : Ast.tunit list)
@@ -79,7 +82,9 @@ let check ?shared_cache ~seed ~(spec : Flash_api.spec) ~(tus : Ast.tunit list)
     compare_mcd "cache-shared"
       (fst (Mcd.check_corpus ~cache ~jobs:2 ~spec tus))
   | None -> ());
-  (* O4: print -> re-lex -> re-parse -> re-check *)
+  (* O4: the fused single-prep driver must equal the per-checker path *)
+  compare_mcd "fused" (Registry.run_all_fused ~spec tus);
+  (* O5: print -> re-lex -> re-parse -> re-check *)
   let printed = List.map Pp.tunit_to_string tus in
   (match
      List.map2

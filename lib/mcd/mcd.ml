@@ -1,33 +1,38 @@
 (** Mcd — the meta-checking daemon core.
 
-    Schedules *(checker x function)* work units across OCaml 5 domains
-    and caches unit results by content hash, so a corpus re-check after
+    Schedules function-batched work units across OCaml 5 domains and
+    caches unit results by content hash, so a corpus re-check after
     editing one handler only re-runs the affected units.
 
     {2 Scheduling model}
 
     The two-phase checker API ({!Registry.phase}) is what makes the unit
     decomposition sound: every intra-procedural checker runs its state
-    machine over one function CFG at a time with no shared state, so a
-    [Per_function] checker contributes one unit per function, while a
-    [Whole_program] checker ([lanes]) contributes a single unit.  Units
-    are drained from an {!Mcd_pool} work queue by worker domains, and
-    every unit writes into a pre-assigned result slot; reassembly walks
-    the slots in the canonical (job, checker, function) order and applies
-    the checker's [finalize], so the output is diagnostic-for-diagnostic
-    identical — including order — to the sequential [Registry.run_all],
-    whatever the domain count.
+    machine over one function CFG at a time with no shared state.  A work
+    unit is one *function batch*: all per-function checkers run back to
+    back over one shared {!Prep.t}, so the CFG and event arrays are built
+    once per function per run instead of once per (checker x function)
+    pair — and a unit is big enough that scheduling overhead cannot
+    dominate it.  A [Whole_program] checker ([lanes]) contributes a
+    single unit of its own.  Units are claimed in chunks from an
+    {!Mcd_pool} atomic cursor by worker domains, and every unit writes
+    into a pre-assigned result slot; reassembly walks the slots in the
+    canonical (job, function) order and applies each checker's
+    [finalize], so the output is diagnostic-for-diagnostic identical —
+    including order — to the sequential [Registry.run_all], whatever the
+    domain count.
 
     {2 Hashing and invalidation}
 
-    A per-function unit's cache key is
-    [checker @ digest(spec) @ digest(file:loc:pretty-printed AST)].  The
-    key covers everything the result depends on, so invalidation is
-    automatic: editing a function changes its digest and the unit misses;
-    every untouched function hits.  A whole-program unit's key replaces
-    the function digest with a digest of the checker's *dependency set* —
-    the callgraph closure reachable from the spec's handlers — so an
-    edit anywhere in that closure (equivalently: any function whose
+    A function batch's cache key is
+    [fnbatch @ digest(per-function checker set) @ digest(spec)
+     @ digest(file:loc:pretty-printed AST)].  The key covers everything
+    the result depends on, so invalidation is automatic: editing a
+    function changes its digest and the unit misses; every untouched
+    function hits.  A whole-program unit's key replaces the function
+    digest with a digest of the checker's *dependency set* — the
+    callgraph closure reachable from the spec's handlers — so an edit
+    anywhere in that closure (equivalently: any function whose
     reverse-dependency closure meets a handler) re-runs the
     inter-procedural checker, and an edit to dead code does not. *)
 
@@ -56,6 +61,30 @@ let domain_units s =
     s.workers
 
 let checkers = Array.of_list Registry.all
+
+(* indices into [checkers] of the per-function checkers, registry
+   order — the order of slices within a batch unit's result *)
+let pf_indices : int array =
+  checkers
+  |> Array.to_seqi
+  |> Seq.filter_map (fun (i, (c : Registry.checker)) ->
+         match c.Registry.phase with
+         | Registry.Per_function _ -> Some i
+         | Registry.Whole_program _ -> None)
+  |> Array.of_seq
+
+let n_pf = Array.length pf_indices
+
+(* the checker-set half of every batch key: a batch result is only
+   reusable by a run scheduling the same per-function checkers in the
+   same order *)
+let pf_set_digest : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ","
+          (List.map
+             (fun i -> checkers.(i).Registry.name)
+             (Array.to_list pf_indices))))
 
 let spec_digest (spec : Flash_api.spec) : string =
   Digest.to_hex (Digest.string (Marshal.to_string spec []))
@@ -130,32 +159,33 @@ let global_key (p : prepared) (c : Registry.checker) : string =
     (Lazy.force p.p_sdigest)
     (Digest.to_hex (Digest.string (String.concat ";" parts)))
 
-let fn_key (p : prepared) (c : Registry.checker) (fi : int) : string =
-  Printf.sprintf "%s@%s@%s" c.Registry.name
+let batch_key (p : prepared) (fi : int) : string =
+  Printf.sprintf "fnbatch@%s@%s@%s" pf_set_digest
     (Lazy.force p.p_sdigest)
     (Lazy.force p.p_fdigests).(fi)
 
-(* Walk every work unit in the canonical (job, checker, function) order,
-   assigning consecutive slots.  Used twice — once to build the schedule,
-   once to reassemble — so the orders cannot drift apart. *)
+(* Walk every work unit in the canonical (job, function batch, global
+   checker) order, assigning consecutive slots.  Used twice — once to
+   build the schedule, once to reassemble — so the orders cannot drift
+   apart. *)
 let iter_units (prepared : prepared array)
-    (per_fn : slot:int -> job:int -> checker:int -> fn:int -> unit)
+    (per_batch : slot:int -> job:int -> fn:int -> unit)
     (global : slot:int -> job:int -> checker:int -> unit) : int =
   let slot = ref 0 in
   Array.iteri
     (fun ji p ->
       Array.iteri
+        (fun fi _ ->
+          per_batch ~slot:!slot ~job:ji ~fn:fi;
+          incr slot)
+        p.p_funcs;
+      Array.iteri
         (fun ci (c : Registry.checker) ->
           match c.Registry.phase with
-          | Registry.Per_function _ ->
-            Array.iteri
-              (fun fi _ ->
-                per_fn ~slot:!slot ~job:ji ~checker:ci ~fn:fi;
-                incr slot)
-              p.p_funcs
           | Registry.Whole_program _ ->
             global ~slot:!slot ~job:ji ~checker:ci;
-            incr slot)
+            incr slot
+          | Registry.Per_function _ -> ())
         checkers)
     prepared;
   !slot
@@ -171,10 +201,12 @@ let check_jobs ?cache ~jobs (job_list : job list) :
   in
   let total =
     iter_units prepared
-      (fun ~slot:_ ~job:_ ~checker:_ ~fn:_ -> ())
+      (fun ~slot:_ ~job:_ ~fn:_ -> ())
       (fun ~slot:_ ~job:_ ~checker:_ -> ())
   in
-  let results = Array.make total [] in
+  (* a slot holds one unit's per-checker slices: [n_pf] for a function
+     batch, one for a whole-program unit *)
+  let results : Diag.t list array array = Array.make total [||] in
   (* resolve cache hits up front, in the coordinating domain; only the
      misses become pool tasks.  A miss's task is wrapped in an
      [mcd.unit] span carrying its (checker, unit) identity, plus a
@@ -185,8 +217,8 @@ let check_jobs ?cache ~jobs (job_list : job list) :
   let miss_keys = ref [] in
   let consider ~slot ~cname ~uname key_of run_of =
     match Option.bind cache (fun c -> Mcd_cache.find c (key_of ())) with
-    | Some diags ->
-      results.(slot) <- diags;
+    | Some slices ->
+      results.(slot) <- slices;
       incr hits
     | None ->
       let run_of =
@@ -206,37 +238,41 @@ let check_jobs ?cache ~jobs (job_list : job list) :
   in
   (* staged per-function closures are domain-local: a fresh DLS key per
      call keeps one staging table per worker, so spec-dependent state
-     machines compile once per (domain, job, checker) and are never
-     shared across domains *)
-  let stage_key :
-      (int * int, Ast.func -> Diag.t list) Hashtbl.t Domain.DLS.key =
-    Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+     machines compile once per (domain, job) and are never shared across
+     domains *)
+  let stage_key : (int, (Prep.t -> Diag.t list) array) Hashtbl.t Domain.DLS.key
+      =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 8)
   in
-  let staged ~job ~checker : Ast.func -> Diag.t list =
+  let staged ~job : (Prep.t -> Diag.t list) array =
     let tbl = Domain.DLS.get stage_key in
-    match Hashtbl.find_opt tbl (job, checker) with
-    | Some fn -> fn
+    match Hashtbl.find_opt tbl job with
+    | Some fns -> fns
     | None ->
       let p = prepared.(job) in
-      let fn =
-        match checkers.(checker).Registry.phase with
-        | Registry.Per_function { check_fn; _ } ->
-          check_fn ~spec:p.p_job.spec ~ctx:p.p_ctx
-        | Registry.Whole_program _ -> assert false
+      let fns =
+        Array.map
+          (fun ci ->
+            match checkers.(ci).Registry.phase with
+            | Registry.Per_function { check_fn; _ } ->
+              check_fn ~spec:p.p_job.spec ~ctx:p.p_ctx
+            | Registry.Whole_program _ -> assert false)
+          pf_indices
       in
-      Hashtbl.add tbl (job, checker) fn;
-      fn
+      Hashtbl.add tbl job fns;
+      fns
   in
   Mcobs.with_span "mcd.resolve" (fun () ->
       ignore
         (iter_units prepared
-           (fun ~slot ~job ~checker ~fn ->
-             consider ~slot ~cname:checkers.(checker).Registry.name
+           (fun ~slot ~job ~fn ->
+             consider ~slot ~cname:"fnbatch"
                ~uname:prepared.(job).p_funcs.(fn).Ast.f_name
-               (fun () -> fn_key prepared.(job) checkers.(checker) fn)
+               (fun () -> batch_key prepared.(job) fn)
                (fun () ->
-                 results.(slot) <-
-                   staged ~job ~checker prepared.(job).p_funcs.(fn)))
+                 let fns = staged ~job in
+                 let prep = Prep.build prepared.(job).p_funcs.(fn) in
+                 results.(slot) <- Array.map (fun f -> f prep) fns))
            (fun ~slot ~job ~checker ->
              consider ~slot ~cname:checkers.(checker).Registry.name
                ~uname:"<whole-program>"
@@ -245,19 +281,27 @@ let check_jobs ?cache ~jobs (job_list : job list) :
                  let p = prepared.(job) in
                  match checkers.(checker).Registry.phase with
                  | Registry.Whole_program g ->
-                   results.(slot) <- g ~spec:p.p_job.spec p.p_job.tus
+                   results.(slot) <- [| g ~spec:p.p_job.spec p.p_job.tus |]
                  | Registry.Per_function _ -> assert false))));
   let tasks =
     Array.of_list (List.rev_map (fun (_, run) -> run) !miss_slots)
   in
+  (* never spawn more domains than the host has cores: extra domains
+     only add minor-GC contention, so requesting [--jobs 4] on a 1-core
+     box must degrade to the sequential loop, not run slower than it *)
+  let domains = min (max 1 jobs) (Domain.recommended_domain_count ()) in
+  (* chunked claiming: aim for ~8 chunks per worker so the tail still
+     balances while the cursor is touched rarely *)
+  let chunk = max 1 (Array.length tasks / (domains * 8)) in
   let worker_stats =
     Mcobs.with_span "mcd.pool"
       ~args:
         [
-          ("domains", string_of_int (max 1 jobs));
+          ("domains", string_of_int domains);
           ("tasks", string_of_int (Array.length tasks));
+          ("chunk", string_of_int chunk);
         ]
-      (fun () -> Mcd_pool.run ~domains:jobs tasks)
+      (fun () -> Mcd_pool.run ~chunk ~domains tasks)
   in
   (* store the fresh results; done after the join so the cache is only
      ever touched from this domain *)
@@ -267,39 +311,57 @@ let check_jobs ?cache ~jobs (job_list : job list) :
         List.iter (fun (slot, key) -> Mcd_cache.add c key results.(slot))
           !miss_keys)
   | None -> ());
-  (* reassemble in canonical order: identical to the sequential run *)
+  (* reassemble in canonical order: identical to the sequential run.
+     [acc_pf.(k)] collects per-function slices for the k-th per-function
+     checker, newest first; [acc_g.(ci)] holds a whole-program checker's
+     single slice. *)
   let out = Array.make (Array.length prepared) [] in
-  let acc : Diag.t list list array =
-    Array.make (Array.length checkers) []
-  in
+  let acc_pf : Diag.t list list array = Array.make n_pf [] in
+  let acc_g : Diag.t list array = Array.make (Array.length checkers) [] in
   let flush_job ji =
+    let pf_pos = ref 0 in
     out.(ji) <-
       Array.to_list
-        (Array.mapi
-           (fun ci (c : Registry.checker) ->
-             let ds = List.concat (List.rev acc.(ci)) in
-             let ds =
-               match c.Registry.phase with
-               | Registry.Per_function { finalize; _ } -> finalize ds
-               | Registry.Whole_program _ -> ds
-             in
-             (c.Registry.name, ds))
+        (Array.map
+           (fun (c : Registry.checker) ->
+             match c.Registry.phase with
+             | Registry.Per_function { finalize; _ } ->
+               let k = !pf_pos in
+               incr pf_pos;
+               (c.Registry.name, finalize (List.concat (List.rev acc_pf.(k))))
+             | Registry.Whole_program _ ->
+               let ci =
+                 (* position of [c] in [checkers]; whole-program checkers
+                    are rare enough that a scan is fine *)
+                 let rec find i =
+                   if checkers.(i).Registry.name = c.Registry.name then i
+                   else find (i + 1)
+                 in
+                 find 0
+               in
+               (c.Registry.name, acc_g.(ci)))
            checkers);
-    Array.fill acc 0 (Array.length acc) []
+    Array.fill acc_pf 0 n_pf [];
+    Array.fill acc_g 0 (Array.length acc_g) []
   in
   let current_job = ref 0 in
-  let feed ~slot ~job ~checker =
+  let switch_to job =
     if job <> !current_job then begin
       flush_job !current_job;
       current_job := job
-    end;
-    acc.(checker) <- results.(slot) :: acc.(checker)
+    end
   in
   Mcobs.with_span "mcd.reassemble" (fun () ->
       ignore
         (iter_units prepared
-           (fun ~slot ~job ~checker ~fn:_ -> feed ~slot ~job ~checker)
-           (fun ~slot ~job ~checker -> feed ~slot ~job ~checker));
+           (fun ~slot ~job ~fn:_ ->
+             switch_to job;
+             Array.iteri
+               (fun k slice -> acc_pf.(k) <- slice :: acc_pf.(k))
+               results.(slot))
+           (fun ~slot ~job ~checker ->
+             switch_to job;
+             acc_g.(checker) <- results.(slot).(0)));
       if Array.length prepared > 0 then flush_job !current_job);
   let dur_us = Mcobs.now_us () -. t0 in
   Mcobs.record_span ~name:"mcd.schedule"
@@ -307,7 +369,7 @@ let check_jobs ?cache ~jobs (job_list : job list) :
       [
         ("units", string_of_int total);
         ("hits", string_of_int !hits);
-        ("domains", string_of_int (max 1 jobs));
+        ("domains", string_of_int domains);
       ]
     ~begin_us:t0 ~dur_us ();
   Mcobs.count ~by:total "mcd.units_total";
@@ -317,7 +379,7 @@ let check_jobs ?cache ~jobs (job_list : job list) :
       units_total = total;
       units_run = Array.length tasks;
       cache_hits = !hits;
-      domains = max 1 jobs;
+      domains;
       workers = worker_stats;
       wall_ms = dur_us /. 1000.;
     }

@@ -1,18 +1,23 @@
 (** Mcd — the meta-checking daemon core: a parallel, incremental
-    scheduler for *(checker x function)* work units.
+    scheduler for function-batched work units.
+
+    A work unit is one function batch: every per-function checker run
+    back to back over one shared {!Prep.t} (the CFG and event arrays are
+    built once per function per run).  Whole-program checkers contribute
+    one unit each.
 
     Determinism guarantee: for any domain count and any cache state, the
     result lists are diagnostic-for-diagnostic identical — including
     order — to the sequential [Registry.run_all].  Work units write into
     pre-assigned slots and reassembly walks slots in canonical
-    (job, checker, function) order, so domain scheduling never shows.
+    (job, function) order, so domain scheduling never shows.
 
     Incrementality: unit results are cached under content-hash keys
-    (checker identity x spec digest x the function's pretty-printed AST;
-    whole-program checkers hash their callgraph-reachable dependency set
-    instead), so a re-check after editing one function re-runs only that
-    function's units plus any inter-procedural checker whose closure the
-    edit invalidates. *)
+    (the per-function checker set x spec digest x the function's
+    pretty-printed AST; whole-program checkers hash their
+    callgraph-reachable dependency set instead), so a re-check after
+    editing one function re-runs only that function's batch plus any
+    inter-procedural checker whose closure the edit invalidates. *)
 
 type job = {
   spec : Flash_api.spec;
@@ -24,7 +29,7 @@ type stats = {
   units_total : int;  (** work units scheduled *)
   units_run : int;  (** units actually executed (= cache misses) *)
   cache_hits : int;
-  domains : int;
+  domains : int;  (** domains actually spawned (after the core clamp) *)
   workers : Mcd_pool.worker_stats array;
       (** per-domain pool statistics, in domain order — derived from the
           domains' [mcd.worker] Mcobs spans, measured once *)
@@ -47,9 +52,12 @@ val check_jobs :
   job list ->
   (string * Diag.t list) list list * stats
 (** check every job; per-job results are exactly
-    [Registry.run_all ~spec tus].  [jobs] is the domain count (clamped to
-    at least 1).  With [?cache], hits are resolved before scheduling and
-    misses are stored after the pool joins. *)
+    [Registry.run_all ~spec tus].  [jobs] is the requested domain count,
+    clamped to [1 .. Domain.recommended_domain_count ()]: oversubscribing
+    a small host only adds minor-GC contention, so [--jobs 4] on one core
+    degrades to the sequential loop instead of running slower than it.
+    With [?cache], hits are resolved before scheduling and misses are
+    stored after the pool joins. *)
 
 val check_corpus :
   ?cache:Mcd_cache.t ->

@@ -1,11 +1,16 @@
 (** The incremental result cache.
 
-    Maps a content-hash key — checker identity x protocol spec x the
-    pretty-printed AST of a function (or, for whole-program checkers, of
-    the checker's callgraph-reachable dependency set) — to the
-    diagnostics that unit produced.  Because the key covers everything a
-    unit's result depends on, invalidation is automatic: an edited
-    function hashes to a fresh key and simply misses.
+    Maps a content-hash key — the per-function-checker set x protocol
+    spec x the pretty-printed AST of a function (or, for whole-program
+    checkers, the checker identity x spec x its callgraph-reachable
+    dependency set) — to the per-checker diagnostic slices that unit
+    produced.  Because the key covers everything a unit's result depends
+    on, invalidation is automatic: an edited function hashes to a fresh
+    key and simply misses.
+
+    A value is one [Diag.t list array]: a function-batched unit stores
+    one slice per per-function checker (in registry order); a
+    whole-program unit stores a single-element array.
 
     The scheduler does every lookup and store from the coordinating
     domain (hits are resolved before work is enqueued, misses are stored
@@ -17,11 +22,11 @@
 
 type t = {
   mutex : Mutex.t;
-  table : (string, Diag.t list) Hashtbl.t;
+  table : (string, Diag.t list array) Hashtbl.t;
 }
 
 (* bump when the key derivation or the marshalled shape changes *)
-let format_tag = "mcd-cache-v2"  (* v2: Diag.t gained the witness field *)
+let format_tag = "mcd-cache-v3" (* v3: function-batched units, array values *)
 
 let create () = { mutex = Mutex.create (); table = Hashtbl.create 1024 }
 
@@ -59,7 +64,8 @@ let load path =
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () ->
-          (Marshal.from_channel ic : string * (string, Diag.t list) Hashtbl.t))
+          (Marshal.from_channel ic
+            : string * (string, Diag.t list array) Hashtbl.t))
     with
     | tag, table when String.equal tag format_tag ->
       { mutex = Mutex.create (); table }

@@ -1,13 +1,19 @@
-(** The incremental result cache: content-hash keys (checker x spec x
-    function text) to diagnostics.  Invalidation is automatic — editing a
-    function changes its key.  Persistable with [save]/[load] for warm
-    re-checks across process runs ([mcheck --incremental]). *)
+(** The incremental result cache: content-hash keys (checker set x spec x
+    function text) to per-checker diagnostic slices.  Invalidation is
+    automatic — editing a function changes its key.  Persistable with
+    [save]/[load] for warm re-checks across process runs
+    ([mcheck --incremental]). *)
 
 type t
 
 val create : unit -> t
-val find : t -> string -> Diag.t list option
-val add : t -> string -> Diag.t list -> unit
+
+val find : t -> string -> Diag.t list array option
+(** a hit returns the unit's per-checker slices: one slice per
+    per-function checker for a function-batched unit, a single-element
+    array for a whole-program unit *)
+
+val add : t -> string -> Diag.t list array -> unit
 val size : t -> int
 
 val copy : t -> t

@@ -1,5 +1,5 @@
-(** A hand-rolled OCaml 5 domain work pool: [Domain] + [Mutex] +
-    [Condition] work queue, no external dependencies.
+(** A hand-rolled OCaml 5 domain work pool: [Domain] + an [Atomic] chunk
+    cursor over the task array, no locks, no external dependencies.
 
     Result determinism is the caller's job: tasks should write into
     pre-assigned slots so domain scheduling never shows in the output. *)
@@ -12,9 +12,12 @@ type worker_stats = {
           [mcd.worker] span *)
 }
 
-val run : domains:int -> (unit -> unit) array -> worker_stats array
+val run :
+  ?chunk:int -> domains:int -> (unit -> unit) array -> worker_stats array
 (** Execute every task exactly once across [domains] worker domains
     (clamped to at least 1; the calling domain is worker 0, so
-    [~domains:1] is a plain sequential loop).  Per-domain statistics come
-    back in domain order.  The first exception a task raises is re-raised
-    after all domains have joined. *)
+    [~domains:1] is a plain sequential loop).  Workers claim [chunk]
+    consecutive tasks per cursor bump (default 1, clamped to at least 1);
+    larger chunks amortise contention when tasks are small.  Per-domain
+    statistics come back in domain order.  The first exception a task
+    raises is re-raised after all domains have joined. *)

@@ -24,6 +24,7 @@ let () =
       Test_sim2.suite;
       Test_flashapi.suite;
       Test_mcd.suite;
+      Test_prep.suite;
       Test_misc.suite;
       Test_fuzz.suite;
       Test_props.suite;

@@ -525,6 +525,121 @@ let run_obs () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2d': robustness — fault campaign and clean-path overhead       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements: (a) the fault-injection campaign (every seeded
+   fault contained, no uncaught exception, deterministic remainder), and
+   (b) what the fault barrier costs a clean run — full-corpus
+   [run_all_fused] with and without [~guard].  The barrier is a
+   per-(checker x function) try plus a DLS read, so the budget is tight:
+   < 2% on the full run ([--quick] uses a 10% noise-tolerant tripwire
+   and a 100-injection campaign). *)
+let run_robust ~quick () =
+  print_endline
+    "================ robustness: fault campaign + barrier overhead \
+     ================";
+  print_newline ();
+  let count = if quick then 100 else 500 in
+  let s = Faultinject.campaign ~count () in
+  Faultinject.pp_summary Format.std_formatter s;
+  print_newline ();
+  let c = Lazy.force corpus in
+  let iters = if quick then 3 else 9 in
+  let run_corpus ~guard () =
+    List.map
+      (fun (p : Corpus.protocol) ->
+        Registry.run_all_fused ~guard ~spec:p.Corpus.spec p.Corpus.tus)
+      c.Corpus.protocols
+  in
+  (* Host drift (GC state, CPU contention) between runs is several times
+     the barrier's cost, so neither side's absolute time is trustworthy
+     at 2% resolution.  The A/B is paired instead: each round times both
+     sides back-to-back in alternating order and records the
+     guarded/unguarded ratio — drift within a round hits both sides and
+     cancels — and the overhead is the median ratio over the rounds. *)
+  let unguarded_results = run_corpus ~guard:false () in
+  let guarded_results = run_corpus ~guard:true () in
+  let identical =
+    String.equal
+      (render_results guarded_results)
+      (render_results unguarded_results)
+  in
+  let unguarded_ms = ref infinity and guarded_ms = ref infinity in
+  let side guard =
+    let _, ms = time_ms (run_corpus ~guard) in
+    let best = if guard then guarded_ms else unguarded_ms in
+    if ms < !best then best := ms;
+    ms
+  in
+  let ratios =
+    List.init iters (fun round ->
+        if round land 1 = 0 then (
+          let mu = side false in
+          let mg = side true in
+          mg /. mu)
+        else
+          let mg = side true in
+          let mu = side false in
+          mg /. mu)
+  in
+  let median =
+    let a = List.sort compare ratios in
+    List.nth a (List.length a / 2)
+  in
+  let unguarded_ms = !unguarded_ms and guarded_ms = !guarded_ms in
+  let overhead_pct = 100.0 *. (median -. 1.0) in
+  let budget_pct = if quick then 10.0 else 2.0 in
+  Printf.printf
+    "  clean-path barrier overhead (full corpus, median of %d paired \
+     rounds):\n\
+    \    unguarded run_all_fused: %8.1f ms (best)\n\
+    \    guarded   run_all_fused: %8.1f ms (best)\n\
+    \    overhead:                %+8.2f %%   (budget: < %.0f%%, \
+     identical=%b)\n\n"
+    iters unguarded_ms guarded_ms overhead_pct budget_pct identical;
+  if not quick then begin
+    let oc = open_out "BENCH_ROBUST.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"campaign\": {\n\
+      \    \"seed\": %d,\n\
+      \    \"injections\": %d,\n\
+      \    \"failures\": %d,\n\
+      \    \"wall_ms\": %.1f\n\
+      \  },\n\
+      \  \"barrier_overhead\": {\n\
+      \    \"unguarded_ms\": %.1f,\n\
+      \    \"guarded_ms\": %.1f,\n\
+      \    \"overhead_pct\": %.2f,\n\
+      \    \"budget_pct\": %.1f,\n\
+      \    \"within_budget\": %b,\n\
+      \    \"diagnostics_identical\": %b\n\
+      \  }\n\
+       }\n"
+      s.Faultinject.seed s.Faultinject.total s.Faultinject.failed
+      s.Faultinject.wall_ms unguarded_ms guarded_ms overhead_pct budget_pct
+      (overhead_pct < budget_pct)
+      identical;
+    close_out oc;
+    print_endline "  wrote BENCH_ROBUST.json"
+  end;
+  if s.Faultinject.failed > 0 then begin
+    Printf.eprintf "FAIL: %d fault injection(s) broke a containment invariant\n"
+      s.Faultinject.failed;
+    exit 1
+  end;
+  if not identical then begin
+    prerr_endline "FAIL: the fault barrier changed clean-path diagnostics";
+    exit 1
+  end;
+  if overhead_pct >= budget_pct then begin
+    Printf.eprintf "FAIL: barrier overhead %.2f%% exceeds the %.0f%% budget\n"
+      overhead_pct budget_pct;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 2e: the Mcfuzz differential campaign                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -676,6 +791,8 @@ let () =
   | [ "engine" ] -> run_engine ~quick:false ()
   | [ "engine"; "--quick" ] -> run_engine ~quick:true ()
   | [ "obs" ] -> run_obs ()
+  | [ "robust" ] -> run_robust ~quick:false ()
+  | [ "robust"; "--quick" ] -> run_robust ~quick:true ()
   | [ "fuzz" ] -> run_fuzz ()
   | [ "bench" ] -> run_bench ()
   | [ arg ]
@@ -685,5 +802,6 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
-       ablations | parallel | engine [--quick] | obs | fuzz | bench]";
+       ablations | parallel | engine [--quick] | obs | robust [--quick] | \
+       fuzz | bench]";
     exit 2

@@ -53,9 +53,17 @@ let load_metal paths : (string * string Sm.t) list =
     (fun path ->
       match Mdsl.load_file path with
       | sm -> (path, sm)
-      | exception Mdsl.Parse_error msg ->
-        Printf.eprintf "%s: metal parse error: %s\n" path msg;
-        exit 2)
+      | exception Mdsl.Parse_error (msg, loc) ->
+        (* a broken spec makes the whole run meaningless: exit 3 *)
+        if Loc.is_none loc then
+          Printf.eprintf "%s: metal parse error: %s\n" path msg
+        else
+          Printf.eprintf "%s: metal parse error: %s\n" (Loc.to_string loc)
+            msg;
+        exit (Robust.exit_code Robust.Unusable)
+      | exception Sys_error msg ->
+        Printf.eprintf "%s: cannot read metal spec: %s\n" path msg;
+        exit (Robust.exit_code Robust.Unusable))
     paths
 
 let run_metal_on metal_paths (tus : Ast.tunit list) verbose explain =
@@ -71,10 +79,58 @@ let run_metal_on metal_paths (tus : Ast.tunit list) verbose explain =
   !total
 
 (* -------------------------------------------------------------- *)
+(* Input parsing: recovery by default, --strict restores fail-fast *)
+(* -------------------------------------------------------------- *)
+
+(* Read and parse the input files.  By default an unreadable file is
+   reported and skipped and parse errors are recovered from (every
+   syntactically-intact function is still checked); [--strict] restores
+   the old fail-fast behaviour, exiting 3 on the first problem.
+   Returns the surviving units, the parse/lex diagnostics (file order),
+   and how many files were skipped outright. *)
+let parse_files ~strict files : Ast.tunit list * Diag.t list * int =
+  let skipped = ref 0 in
+  let units =
+    List.filter_map
+      (fun path ->
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | src -> Some (path, Prelude.text ^ src)
+        | exception Sys_error msg ->
+          Printf.eprintf "%s: cannot read: %s\n" path msg;
+          if strict then exit (Robust.exit_code Robust.Unusable);
+          incr skipped;
+          None)
+      files
+  in
+  if strict then
+    match Frontend.of_strings units with
+    | tus -> (tus, [], !skipped)
+    | exception Parser.Error (msg, loc) ->
+      Printf.eprintf "%s: parse error: %s\n" (Loc.to_string loc) msg;
+      exit (Robust.exit_code Robust.Unusable)
+    | exception Lexer.Error (msg, loc) ->
+      Printf.eprintf "%s: lexical error: %s\n" (Loc.to_string loc) msg;
+      exit (Robust.exit_code Robust.Unusable)
+  else
+    let tus, diags = Frontend.parse_strings units in
+    (tus, diags, !skipped)
+
+(* -------------------------------------------------------------- *)
 (* Scheduling configuration: --jobs / --incremental / --cache      *)
 (* -------------------------------------------------------------- *)
 
-type sched = { jobs : int; incremental : bool; cache_file : string }
+type sched = {
+  jobs : int;
+  incremental : bool;
+  cache_file : string;
+  strict : bool;
+  budget : Engine.budget;  (** per-unit fuel / deadline under Mcd *)
+}
 
 let use_mcd sched = sched.jobs > 1 || sched.incremental
 
@@ -112,17 +168,7 @@ let print_protocol_results ~verbose ~explain ~selected result =
     result
 
 let run_on_files checker_names files verbose explain sched =
-  let units =
-    List.map
-      (fun path ->
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let src = really_input_string ic n in
-        close_in ic;
-        (path, Prelude.text ^ src))
-      files
-  in
-  let tus = Frontend.of_strings units in
+  let tus, parse_diags, skipped = parse_files ~strict:sched.strict files in
   let spec =
     (* without a protocol spec, treat every void/no-arg function as a
        hardware handler, which is what xg++'s default tables did *)
@@ -150,35 +196,59 @@ let run_on_files checker_names files verbose explain sched =
       p_cond_free_funcs = [];
     }
   in
+  (* containment-layer entries ("internal") are always reported, even
+     under -c selection: they say where coverage was lost *)
   let selected name =
     checker_names = [] || List.mem name checker_names
+    || String.equal name "internal"
   in
-  let per_checker =
+  let per_checker, units_degraded =
     if use_mcd sched then begin
       let result, stats =
         with_cache sched (fun cache ->
-            Mcd.check_corpus ?cache ~jobs:sched.jobs ~spec tus)
+            Mcd.check_corpus ?cache ~budget:sched.budget ~jobs:sched.jobs
+              ~spec tus)
       in
       report_sched_stats stats;
-      List.filter (fun (name, _) -> selected name) result
+      ( List.filter (fun (name, _) -> selected name) result,
+        stats.Mcd.units_faulted > 0 || stats.Mcd.workers_crashed > 0 )
     end
     else
       (* the fused driver computes every checker over one shared prep
          per function; selection only filters the report *)
-      List.filter
-        (fun (name, _) -> selected name)
-        (Registry.run_all_fused ~spec tus)
+      let result = Registry.run_all_fused ~spec tus in
+      ( List.filter (fun (name, _) -> selected name) result,
+        List.exists
+          (fun (name, diags) -> String.equal name "internal" && diags <> [])
+          result )
   in
-  let total = ref 0 in
+  (* parse/lex diagnostics first (file order), then checker reports *)
+  List.iter
+    (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
+    parse_diags;
+  let findings = ref 0 in
   List.iter
     (fun (_, diags) ->
-      total := !total + List.length diags;
       List.iter
-        (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
+        (fun d ->
+          if not (Robust.is_internal d) then incr findings;
+          Format.printf "%a@." (pp_diag ~explain ~verbose) d)
         diags)
     per_checker;
-  if !total = 0 then say "no violations found\n";
-  if !total > 0 then 1 else 0
+  if !findings = 0 then say "no violations found\n";
+  (* a run where no function survived parsing checked nothing *)
+  let survived = List.exists (fun tu -> Ast.functions tu <> []) tus in
+  let outcome =
+    Robust.classify
+      ~usable:(survived || (parse_diags = [] && skipped = 0 && files <> []))
+      ~degraded:(parse_diags <> [] || skipped > 0 || units_degraded)
+      ~has_findings:(!findings > 0)
+  in
+  if outcome <> Robust.Clean && outcome <> Robust.Findings then
+    Mcobs.logf Mcobs.Normal "mcheck: run was %s (exit %d)"
+      (Robust.to_string outcome)
+      (Robust.exit_code outcome);
+  Robust.exit_code outcome
 
 let run_corpus checker_names seed verbose explain sched =
   let corpus = Corpus.generate ~seed () in
@@ -239,20 +309,7 @@ let run_table n seed =
         (Experiments.all corpus)
     else prerr_endline "tables are numbered 1-7 (0 = all)"
 
-let parse_files files =
-  let units =
-    List.map
-      (fun path ->
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let src = really_input_string ic n in
-        close_in ic;
-        (path, Prelude.text ^ src))
-      files
-  in
-  Frontend.of_strings units
-
-let run_metal metal_paths files verbose explain seed =
+let run_metal metal_paths files verbose explain seed ~strict =
   let total =
     match files with
     | [] ->
@@ -263,16 +320,23 @@ let run_metal metal_paths files verbose explain seed =
           say "=== %s ===\n" p.Corpus.name;
           acc + run_metal_on metal_paths p.Corpus.tus verbose explain)
         0 corpus.Corpus.protocols
-    | files -> run_metal_on metal_paths (parse_files files) verbose explain
+    | files ->
+      let tus, parse_diags, _skipped = parse_files ~strict files in
+      List.iter
+        (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
+        parse_diags;
+      run_metal_on metal_paths tus verbose explain
   in
   if total = 0 then say "no violations found\n"
 
 let run_fix files out_dir =
   if files = [] then begin
     prerr_endline "--fix needs source files";
-    exit 2
+    exit (Robust.exit_code Robust.Unusable)
   end;
-  let tus = parse_files files in
+  (* patching a partially-parsed source would drop the unparsed regions
+     from the output, so --fix always parses strictly *)
+  let tus, _, _ = parse_files ~strict:true files in
   (* the CLI's default spec: void/no-arg functions are handlers *)
   let spec =
     {
@@ -311,8 +375,12 @@ let run_fix files out_dir =
     fixed
 
 let main checker_names files table list_flag seed verbose metal_paths fix
-    out_dir jobs incremental cache_file quiet explain trace_file metrics =
-  let sched = { jobs; incremental; cache_file } in
+    out_dir jobs incremental cache_file quiet explain trace_file metrics
+    strict unit_fuel unit_deadline =
+  let budget =
+    { Engine.fuel = unit_fuel; deadline_ms = unit_deadline }
+  in
+  let sched = { jobs; incremental; cache_file; strict; budget } in
   Mcobs.set_verbosity
     (if quiet then Mcobs.Quiet
      else if verbose then Mcobs.Verbose
@@ -334,7 +402,7 @@ let main checker_names files table list_flag seed verbose metal_paths fix
         run_table n seed;
         0
       | None, (_ :: _ as metal), files ->
-        run_metal metal files verbose explain seed;
+        run_metal metal files verbose explain seed ~strict;
         0
       | None, [], [] ->
         run_corpus checker_names seed verbose explain sched;
@@ -359,8 +427,11 @@ let checker_arg =
     & info [ "c"; "checker" ] ~docv:"NAME"
         ~doc:"Run only the named checker (repeatable). See --list.")
 
+(* [string], not [file]: missing inputs are our recovery path's job
+   (reported and skipped, or fail-fast under --strict), not cmdliner's *)
 let files_arg =
-  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"C source files.")
+  Arg.(
+    value & pos_all string [] & info [] ~docv:"FILE" ~doc:"C source files.")
 
 let table_arg =
   Arg.(
@@ -451,6 +522,31 @@ let metrics_arg =
         ~doc:"Dump the merged Mcobs counter/histogram/span registry \
               after the run.")
 
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Fail fast on the first unreadable or unparseable input \
+              file (exit 3) instead of recovering, reporting, and \
+              checking the surviving functions.")
+
+let unit_fuel_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "unit-fuel" ] ~docv:"N"
+        ~doc:"Per-unit step budget: a checker that visits more than \
+              $(docv) (node, state) pairs on one work unit is cut off, \
+              reported, and replaced by a degraded flow-insensitive \
+              pass.  Only applies with --jobs/--incremental.")
+
+let unit_deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "unit-deadline" ] ~docv:"MS"
+        ~doc:"Per-unit wall-clock budget in milliseconds; exceeded \
+              units are cut off, reported, and degraded like \
+              --unit-fuel.  Only applies with --jobs/--incremental.")
+
 let cmd =
   let doc =
     "metal checkers for FLASH protocol code (ASPLOS 2000 reproduction)"
@@ -461,6 +557,6 @@ let cmd =
       const main $ checker_arg $ files_arg $ table_arg $ list_arg $ seed_arg
       $ verbose_arg $ metal_arg $ fix_arg $ out_arg $ jobs_arg
       $ incremental_arg $ cache_arg $ quiet_arg $ explain_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ strict_arg $ unit_fuel_arg $ unit_deadline_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,6 +36,44 @@ let of_strings (units : (string * string) list) : Ast.tunit list =
   ignore (Typecheck.annotate_program tus);
   tus
 
+(* ------------------------------------------------------------------ *)
+(* Recovering (total) entry points                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse and type-annotate one source string, recovering from lexical
+    and syntax errors: malformed regions are skipped and reported as
+    diagnostics, every intact function survives.  Never raises. *)
+let parse ?(file = "<string>") src : Ast.tunit * Diag.t list =
+  let tu, diags = Parser.parse_string_recovering ~file src in
+  ignore (Typecheck.annotate tu);
+  (tu, diags)
+
+(** Recovering variant of {!of_strings}: each unit is parsed with
+    panic-mode recovery (typedefs from earlier units stay visible), the
+    surviving globals are annotated as one program, and every parse
+    diagnostic is returned, in file order.  Never raises. *)
+let parse_strings (units : (string * string) list) :
+    Ast.tunit list * Diag.t list =
+  let typedefs = ref [] in
+  let all_diags = ref [] in
+  let tus =
+    List.map
+      (fun (file, src) ->
+        let tu, diags =
+          Parser.parse_string_recovering ~file ~typedefs:!typedefs src
+        in
+        all_diags := List.rev_append diags !all_diags;
+        List.iter
+          (function
+            | Ast.Gtypedef (name, _, _) -> typedefs := name :: !typedefs
+            | _ -> ())
+          tu.Ast.tu_globals;
+        tu)
+      units
+  in
+  ignore (Typecheck.annotate_program tus);
+  (tus, List.rev !all_diags)
+
 (** Count of non-blank source lines in [src] — the paper's LOC metric
     (all source lines excluding headers; we exclude blank lines). *)
 let loc_count src =

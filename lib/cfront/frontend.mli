@@ -11,5 +11,16 @@ val of_strings : (string * string) list -> Ast.tunit list
     earlier units are visible in later ones, and type annotation sees all
     globals *)
 
+val parse : ?file:string -> string -> Ast.tunit * Diag.t list
+(** total variant of {!of_string}: lexical and syntax errors are
+    recovered from (panic-mode resynchronisation at [;] / [}] /
+    top-level declaration boundaries) and returned as [lex]/[parse]
+    diagnostics; every syntactically-intact function is kept.  Never
+    raises. *)
+
+val parse_strings : (string * string) list -> Ast.tunit list * Diag.t list
+(** total variant of {!of_strings}; diagnostics are returned in file
+    order *)
+
 val loc_count : string -> int
 (** non-blank source lines — the paper's LOC metric *)

@@ -317,3 +317,33 @@ let tokens ?file src =
     else go ((tok, l) :: acc)
   in
   go []
+
+(* More than this many lexical diagnostics means the input is not C at
+   all (a binary splice, say); keep consuming so the token stream still
+   ends in EOF, but stop recording. *)
+let max_lex_diags = 100
+
+(** Tokenise a whole string, recovering from lexical errors: the
+    offending character (or truncated literal) is skipped, a [Diag.t] is
+    recorded, and lexing continues.  Always returns an EOF-terminated
+    stream; never raises. *)
+let tokens_recovering ?(file = "<string>") src :
+    (Token.t * Loc.t) list * Diag.t list =
+  let lx = create ~file src in
+  let diags = ref [] in
+  let n_diags = ref 0 in
+  let rec go acc =
+    match next lx with
+    | Token.EOF, l -> (List.rev ((Token.EOF, l) :: acc), List.rev !diags)
+    | tok, l -> go ((tok, l) :: acc)
+    | exception Error (msg, l) ->
+      incr n_diags;
+      if !n_diags <= max_lex_diags then
+        diags :=
+          Diag.make ~checker:"lex" ~loc:l ~func:"<toplevel>" msg :: !diags;
+      (* guaranteed progress: [next] raises either at the bad character
+         (skip it) or at end of input (the next [next] returns EOF) *)
+      advance lx;
+      go acc
+  in
+  go []

@@ -18,3 +18,9 @@ val next : t -> Token.t * Loc.t
 
 val tokens : ?file:string -> string -> (Token.t * Loc.t) list
 (** the whole input, ending with [EOF] *)
+
+val tokens_recovering :
+  ?file:string -> string -> (Token.t * Loc.t) list * Diag.t list
+(** total variant: a malformed character or truncated literal is skipped
+    and recorded as a [lex] diagnostic (capped at 100 per input) instead
+    of raising; the stream always ends with [EOF] *)

@@ -833,6 +833,88 @@ let parse_string_with_typedefs ?(file = "<string>") ~typedefs src : Ast.tunit
       done;
       { Ast.tu_file = file; tu_globals = List.rev !globals })
 
+(* ------------------------------------------------------------------ *)
+(* Panic-mode recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One bad construct must not abort a whole-corpus run (XCheck's
+   micro-grammar lesson: bug finders stay useful by skipping what they
+   cannot parse).  On [Error] the recovering driver records a [parse]
+   diagnostic and resynchronises: it skips forward to a ';' or '}' at
+   the error's own brace depth — which closes the enclosing function
+   body when the error was inside one — or to a token that can begin a
+   top-level declaration.  Every syntactically-intact global that
+   follows is still parsed, so every intact function is still checked. *)
+
+let max_parse_diags = 100
+
+let parse_diag msg loc =
+  Diag.make ~checker:"parse" ~loc ~func:"<toplevel>" msg
+
+(* Skip to a resynchronisation point.  Depth is relative to the error
+   position: a '}' seen at relative depth 0 is assumed to close the
+   broken enclosing construct and is consumed. *)
+let resync p =
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue && cur p <> Token.EOF do
+    match cur p with
+    | Token.LBRACE ->
+      incr depth;
+      advance p
+    | Token.RBRACE ->
+      if !depth = 0 then begin
+        advance p;
+        continue := false
+      end
+      else begin
+        decr depth;
+        advance p
+      end
+    | Token.SEMI when !depth = 0 ->
+      advance p;
+      continue := false
+    | _ when !depth = 0 && starts_type p -> continue := false
+    | _ -> advance p
+  done
+
+let parse_tokens_recovering ~file ~typedefs toks : Ast.tunit * Diag.t list =
+  let p = create toks in
+  List.iter (fun name -> Hashtbl.replace p.typedefs name ()) typedefs;
+  let globals = ref [] in
+  let diags = ref [] in
+  let n_diags = ref 0 in
+  while cur p <> Token.EOF do
+    let start = p.pos in
+    match parse_global p with
+    | gs -> globals := List.rev_append gs !globals
+    | exception Error (msg, loc) ->
+      incr n_diags;
+      if !n_diags <= max_parse_diags then
+        diags := parse_diag msg loc :: !diags;
+      (* progress is guaranteed: at least one token is consumed before
+         each resynchronisation attempt *)
+      if p.pos = start then advance p;
+      resync p
+  done;
+  ({ Ast.tu_file = file; tu_globals = List.rev !globals }, List.rev !diags)
+
+(** Parse a translation unit, recovering from both lexical and syntax
+    errors: malformed regions are skipped and reported as [lex]/[parse]
+    diagnostics while every intact global is kept.  Never raises.
+    [typedefs] seeds typedef names already declared by earlier units. *)
+let parse_string_recovering ?(file = "<string>") ?(typedefs = []) src :
+    Ast.tunit * Diag.t list =
+  Mcobs.with_span "cfront.parse" ~args:[ ("file", file) ] (fun () ->
+      let toks, lex_diags =
+        Mcobs.with_span "cfront.lex"
+          ~args:
+            [ ("file", file); ("bytes", string_of_int (String.length src)) ]
+          (fun () -> Lexer.tokens_recovering ~file src)
+      in
+      let tu, parse_diags = parse_tokens_recovering ~file ~typedefs toks in
+      (tu, lex_diags @ parse_diags))
+
 (** Parse a single expression (handy in tests and example checkers). *)
 let parse_expr_string ?(file = "<string>") src : Ast.expr =
   let toks = Lexer.tokens ~file src in

@@ -16,6 +16,14 @@ val parse_string_with_typedefs :
 (** parse with typedef names already in scope (multi-file programs that
     share headers) *)
 
+val parse_string_recovering :
+  ?file:string -> ?typedefs:string list -> string -> Ast.tunit * Diag.t list
+(** total variant with panic-mode recovery: on a lexical or syntax error
+    the malformed region is skipped — resynchronising at [;] / [}] /
+    top-level declaration boundaries — and recorded as a [lex]/[parse]
+    diagnostic, so every syntactically-intact global is still returned.
+    Never raises. *)
+
 val parse_expr_string : ?file:string -> string -> Ast.expr
 (** a single expression — used by {!Pattern} and in tests *)
 

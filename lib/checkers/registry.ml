@@ -133,35 +133,86 @@ let run_all ~spec (tus : Ast.tunit list) : (string * Diag.t list) list =
 (** Run every checker on one protocol, building each function's [Prep]
     exactly once and sharing it across all per-function checkers — the
     fused sequential driver.  Per-checker results accumulate in source
-    order, so the output is exactly [run_all]'s. *)
-let run_all_fused ~spec (tus : Ast.tunit list) : (string * Diag.t list) list
-    =
+    order, so the output is exactly [run_all]'s.
+
+    With [guard] (the default), each (checker, function) pair runs
+    behind a fault barrier: an exception is converted into a
+    Warning-severity ["internal"] diagnostic plus a degraded
+    flow-insensitive retry, and the run completes — a non-empty fault
+    collection appends one extra [("internal", _)] entry to the result
+    list.  [~guard:false] drops the barrier (and its [try]), which is
+    what the overhead benchmark A/Bs against. *)
+let run_all_fused ?(guard = true) ~spec (tus : Ast.tunit list) :
+    (string * Diag.t list) list =
   let ctx = make_ctx tus in
+  let faults = ref [] in
+  let fault ~loc ~func msg =
+    faults :=
+      Diag.make ~severity:Diag.Warning ~checker:"internal" ~loc ~func msg
+      :: !faults
+  in
   let staged =
     List.map
       (fun c ->
         match c.phase with
         | Per_function { check_fn; finalize } ->
-          `Pf (check_fn ~spec ~ctx, finalize, ref [])
+          `Pf (c.name, check_fn ~spec ~ctx, finalize, ref [])
         | Whole_program g -> `Wp g)
       all
+  in
+  let run_one name fn prep (f : Ast.func) =
+    if not guard then fn prep
+    else
+      try fn prep
+      with exn ->
+        fault ~loc:f.Ast.f_loc ~func:f.Ast.f_name
+          (Printf.sprintf
+             "checker %s failed (%s); a degraded flow-insensitive pass \
+              was substituted"
+             name (Engine.describe_fault exn));
+        (try Engine.with_degraded (fun () -> fn prep) with _ -> [])
   in
   List.iter
     (fun tu ->
       List.iter
         (fun f ->
-          let prep = Prep.build f in
-          List.iter
-            (function
-              | `Pf (fn, _, acc) -> acc := fn prep :: !acc
-              | `Wp _ -> ())
-            staged)
+          match Prep.build f with
+          | exception exn when guard ->
+            fault ~loc:f.Ast.f_loc ~func:f.Ast.f_name
+              (Printf.sprintf
+                 "function could not be prepared (%s); all checkers \
+                  skipped for this function"
+                 (Engine.describe_fault exn))
+          | prep ->
+            List.iter
+              (function
+                | `Pf (name, fn, _, acc) -> acc := run_one name fn prep f :: !acc
+                | `Wp _ -> ())
+              staged)
         (Ast.functions tu))
     tus;
-  List.map2
-    (fun c st ->
-      match st with
-      | `Pf (_, finalize, acc) ->
-        (c.name, finalize (List.concat (List.rev !acc)))
-      | `Wp g -> (c.name, g ~spec tus))
-    all staged
+  let entries =
+    List.map2
+      (fun c st ->
+        match st with
+        | `Pf (_, _, finalize, acc) ->
+          (c.name, finalize (List.concat (List.rev !acc)))
+        | `Wp g ->
+          if not guard then (c.name, g ~spec tus)
+          else (
+            match g ~spec tus with
+            | slice -> (c.name, slice)
+            | exception exn ->
+              fault ~loc:Loc.none ~func:"<whole-program>"
+                (Printf.sprintf
+                   "whole-program checker %s failed (%s); a degraded \
+                    flow-insensitive pass was substituted"
+                   c.name (Engine.describe_fault exn));
+              ( c.name,
+                try Engine.with_degraded (fun () -> g ~spec tus)
+                with _ -> [] )))
+      all staged
+  in
+  match !faults with
+  | [] -> entries
+  | fs -> entries @ [ ("internal", Diag.normalize fs) ]

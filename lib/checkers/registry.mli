@@ -65,7 +65,18 @@ val names : string list
 val run_all : spec:Flash_api.spec -> Ast.tunit list -> (string * Diag.t list) list
 
 val run_all_fused :
-  spec:Flash_api.spec -> Ast.tunit list -> (string * Diag.t list) list
+  ?guard:bool ->
+  spec:Flash_api.spec ->
+  Ast.tunit list ->
+  (string * Diag.t list) list
 (** [run_all] with each function's {!Prep.t} built exactly once and
     shared across all per-function checkers; identical output, one CFG
-    construction per function instead of eight *)
+    construction per function instead of eight.
+
+    [guard] (default [true]) puts a fault barrier around each
+    (checker, function) pair: an exception becomes a Warning-severity
+    ["internal"] diagnostic plus a degraded flow-insensitive retry, and
+    a non-empty fault collection appends one [("internal", _)] entry to
+    the result list.  The clean path is unchanged either way;
+    [~guard:false] exists so the overhead benchmark can A/B the
+    barrier. *)

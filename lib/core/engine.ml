@@ -61,6 +61,108 @@ let subexprs_post = Prep.subexprs_post
 
 type 'state exit_hook = Sm.action_ctx -> 'state -> unit
 
+(* ------------------------------------------------------------------ *)
+(* Containment: budgets, degraded mode, fault injection                *)
+(* ------------------------------------------------------------------ *)
+
+exception Budget_exhausted of string
+(** raised from inside a traversal when the installed unit budget runs
+    out; schedulers catch it at the unit boundary *)
+
+exception Injected_fault of string
+(** raised at [check_prep] entry when the test-only fault hook matches —
+    the fault-injection harness's stand-in for a checker bug *)
+
+(* The per-unit resource budget.  [fuel] bounds node visits — the same
+   guard [Paths.enumerate]'s [limit] gives path enumeration, extended to
+   the engine's (node x state) traversal, where pathological machines
+   (unbounded state growth) could otherwise run away.  [deadline_ms]
+   bounds wall time; it is checked every 256 visits so the clock is
+   off the hot path. *)
+type budget = { fuel : int option; deadline_ms : float option }
+
+let no_budget = { fuel = None; deadline_ms = None }
+
+type limiter = { mutable fuel_left : int; deadline_us : float }
+
+(* Domain-local: the budget reaches every checker through the engine
+   without threading a parameter through the nine [check_fn] closures,
+   and two domains never share a limiter. *)
+let limiter_key : limiter option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let degraded_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(** Run [f] with [b] installed as the current domain's traversal budget;
+    any [check_prep] within raises {!Budget_exhausted} once the budget
+    runs out.  Budgets do not nest meaningfully: the innermost wins. *)
+let with_budget (b : budget) f =
+  match b with
+  | { fuel = None; deadline_ms = None } -> f ()
+  | _ ->
+    let lim =
+      {
+        fuel_left = Option.value b.fuel ~default:max_int;
+        deadline_us =
+          (match b.deadline_ms with
+          | Some ms -> Mcobs.now_us () +. (ms *. 1000.)
+          | None -> infinity);
+      }
+    in
+    let prev = Domain.DLS.get limiter_key in
+    Domain.DLS.set limiter_key (Some lim);
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set limiter_key prev)
+      f
+
+(** Run [f] in degraded, flow-insensitive mode: every [check_prep]
+    within runs the machine once over the function's events in source
+    order (single state thread, branches not explored) — linear in event
+    count, hence total.  The budget is suspended: the flat pass cannot
+    run away.  This is the fallback a fault-isolated unit retries with
+    after a crash or a blown budget. *)
+let with_degraded f =
+  let prev_d = Domain.DLS.get degraded_key in
+  let prev_l = Domain.DLS.get limiter_key in
+  Domain.DLS.set degraded_key true;
+  Domain.DLS.set limiter_key None;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set degraded_key prev_d;
+      Domain.DLS.set limiter_key prev_l)
+    f
+
+(* Test-only: the fault-injection harness installs a predicate and the
+   matching (checker, function) pair raises at [check_prep] entry.
+   Installed before worker domains spawn, cleared after the run. *)
+let fault_hook : (checker:string -> func:string -> bool) option ref =
+  ref None
+
+let set_fault_hook h = fault_hook := h
+
+let check_fault_hook ~checker ~func =
+  match !fault_hook with
+  | Some h when h ~checker ~func ->
+    raise (Injected_fault (Printf.sprintf "%s/%s" checker func))
+  | _ -> ()
+
+(* How a contained failure reads in an ["internal"] diagnostic. *)
+let describe_fault = function
+  | Budget_exhausted msg -> "budget exhausted: " ^ msg
+  | Injected_fault what -> "injected fault: " ^ what
+  | exn -> "exception: " ^ Printexc.to_string exn
+
+let consume_fuel (lim : limiter) =
+  lim.fuel_left <- lim.fuel_left - 1;
+  if lim.fuel_left <= 0 then begin
+    Mcobs.count "engine.budget_exhausted";
+    raise (Budget_exhausted "step fuel exhausted")
+  end;
+  if lim.fuel_left land 255 = 0 && Mcobs.now_us () > lim.deadline_us then begin
+    Mcobs.count "engine.budget_exhausted";
+    raise (Budget_exhausted "unit deadline exceeded")
+  end
+
 (* A compact source rendering of the matched event for witness steps. *)
 let event_string (e : Ast.expr) : string =
   let s = Pp.expr_to_string e in
@@ -174,13 +276,14 @@ let render_steps (state_str : 'state -> string)
    invoked once per distinct state in which a path reaches the function
    exit.  All counters are local; the optional [stats] ref is touched
    exactly once, at the end. *)
-let check_prep ?(stats : stats ref option)
+let check_prep_full ?(stats : stats ref option)
     ?(at_exit : 'state exit_hook option) (sm : 'state Sm.t) (prep : Prep.t) :
     Diag.t list =
   let func = prep.Prep.func in
   match sm.Sm.start func with
   | None -> []
   | Some start_state ->
+    let limiter = Domain.DLS.get limiter_key in
     let cfg = prep.Prep.cfg in
     let events =
       Prep.events prep ~observe_branches:sm.Sm.observe_branches
@@ -285,6 +388,7 @@ let check_prep ?(stats : stats ref option)
       Hashtbl.replace visited (id, state) ();
       if Hashtbl.length visited > before then begin
         incr nodes_visited;
+        (match limiter with Some lim -> consume_fuel lim | None -> ());
         let node = Cfg.node cfg id in
         let trace = node.Cfg.loc :: trace in
         match step id state disp trace steps with
@@ -363,6 +467,152 @@ let check_prep ?(stats : stats ref option)
           ]
         traverse
     else traverse ()
+
+(* ------------------------------------------------------------------ *)
+(* The degraded (flow-insensitive) traversal                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass over the nodes in id (roughly source) order, threading a
+   single machine state; branches are not explored and [branch]
+   refinement is skipped.  Linear in event count, hence total — the
+   fallback when the path-sensitive traversal crashed or blew its
+   budget.  Diagnostics it emits are real (every event it matches is in
+   the function), it can only miss path-dependent ones. *)
+let check_prep_flat ?(stats : stats ref option)
+    ?(at_exit : 'state exit_hook option) (sm : 'state Sm.t) (prep : Prep.t) :
+    Diag.t list =
+  let func = prep.Prep.func in
+  match sm.Sm.start func with
+  | None -> []
+  | Some start_state ->
+    let cfg = prep.Prep.cfg in
+    let events =
+      Prep.events prep ~observe_branches:sm.Sm.observe_branches
+    in
+    let nodes_visited = ref 0 in
+    let events_matched = ref 0 in
+    let paths_stopped = ref 0 in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    let state_str = sm.Sm.state_to_string in
+    let dispatch_cache : ('state, 'state dispatch) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let dispatch_for state =
+      match Hashtbl.find_opt dispatch_cache state with
+      | Some d -> d
+      | None ->
+        let d = build_dispatch (sm.Sm.rules state @ sm.Sm.all) in
+        Hashtbl.add dispatch_cache state d;
+        d
+    in
+    let state = ref start_state in
+    let disp = ref (dispatch_for start_state) in
+    let steps = ref ([] : 'state raw_step list) in
+    let stopped = ref false in
+    let n_nodes = Array.length cfg.Cfg.nodes in
+    (try
+       for id = 0 to n_nodes - 1 do
+         incr nodes_visited;
+         let evs = events.(id) in
+         for i = 0 to Array.length evs - 1 do
+           let event = evs.(i) in
+           let fired =
+             List.find_map
+               (fun (r : 'state Sm.rule) ->
+                 match Pattern.match_expr r.Sm.pattern event with
+                 | Some bindings -> Some (r, bindings)
+                 | None -> None)
+               (candidates !disp event)
+           in
+           match fired with
+           | None -> ()
+           | Some (r, bindings) ->
+             incr events_matched;
+             let pending = ref [] in
+             let ctx =
+               {
+                 Sm.func;
+                 matched = event;
+                 loc = event.Ast.eloc;
+                 bindings;
+                 trace = [];
+                 emit = (fun d -> pending := d :: !pending);
+               }
+             in
+             let outcome = r.Sm.action ctx in
+             let r_to =
+               match outcome with
+               | Sm.Stay -> Some !state
+               | Sm.Goto next -> Some next
+               | Sm.Stop -> None
+             in
+             steps :=
+               { r_loc = event.Ast.eloc; r_event = Some event;
+                 r_from = !state; r_to }
+               :: !steps;
+             (match !pending with
+             | [] -> ()
+             | pending ->
+               let witness = render_steps state_str !steps in
+               List.iter
+                 (fun d -> emit (Diag.with_witness witness d))
+                 (List.rev pending));
+             (match outcome with
+             | Sm.Stay -> ()
+             | Sm.Goto next ->
+               state := next;
+               disp := dispatch_for next
+             | Sm.Stop ->
+               incr paths_stopped;
+               stopped := true;
+               raise Exit)
+         done
+       done
+     with Exit -> ());
+    (if not !stopped then
+       match at_exit with
+       | Some hook ->
+         let exit_loc = (Cfg.node cfg cfg.Cfg.exit).Cfg.loc in
+         let ret_step =
+           { r_loc = exit_loc; r_event = None; r_from = !state;
+             r_to = Some !state }
+         in
+         let witness = render_steps state_str (ret_step :: !steps) in
+         let ctx =
+           {
+             Sm.func;
+             matched = Ast.ident "return";
+             loc = exit_loc;
+             bindings = Binding.empty;
+             trace = [];
+             emit = (fun d -> emit (Diag.with_witness witness d));
+           }
+         in
+         hook ctx !state
+       | None -> ());
+    (match stats with
+    | Some r ->
+      r :=
+        stats_add !r
+          {
+            nodes_visited = !nodes_visited;
+            events_matched = !events_matched;
+            paths_stopped = !paths_stopped;
+          }
+    | None -> ());
+    Mcobs.count "engine.degraded_runs";
+    Diag.normalize !diags
+
+(** Run one machine over one prepared function.  Honours the domain's
+    containment context: raises {!Injected_fault} if the test hook
+    matches, runs flow-insensitively inside {!with_degraded}, and
+    raises {!Budget_exhausted} when a {!with_budget} limit runs out. *)
+let check_prep ?stats ?at_exit (sm : 'state Sm.t) (prep : Prep.t) :
+    Diag.t list =
+  check_fault_hook ~checker:sm.Sm.name ~func:prep.Prep.func.Ast.f_name;
+  if Domain.DLS.get degraded_key then check_prep_flat ?stats ?at_exit sm prep
+  else check_prep_full ?stats ?at_exit sm prep
 
 let check_func ?stats ?at_exit (sm : 'state Sm.t) (func : Ast.func) :
     Diag.t list =

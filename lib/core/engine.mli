@@ -33,6 +33,47 @@ type 'state exit_hook = Sm.action_ctx -> 'state -> unit
 (** called once per distinct state in which a path reaches the function
     exit; used for "must do X before returning" rules *)
 
+(** {2 Containment: budgets, degraded mode, fault injection}
+
+    Fault-isolated units (see [Mcd]) wrap each (checker x function-batch)
+    in a budget and, when a traversal crashes or the budget blows, retry
+    it under {!with_degraded}.  All containment context is domain-local:
+    concurrent workers never share a limiter. *)
+
+exception Budget_exhausted of string
+(** raised from inside a traversal when the installed unit budget runs
+    out; schedulers catch it at the unit boundary *)
+
+exception Injected_fault of string
+(** raised at {!check_prep} entry when the test-only fault hook matches
+    — the fault-injection harness's stand-in for a checker bug *)
+
+type budget = { fuel : int option; deadline_ms : float option }
+(** a per-unit resource budget: [fuel] bounds engine node visits (the
+    [Paths.enumerate] limit idea extended to the (node x state)
+    traversal), [deadline_ms] bounds wall-clock time *)
+
+val no_budget : budget
+
+val with_budget : budget -> (unit -> 'a) -> 'a
+(** run with the budget installed for the current domain; traversals
+    within raise {!Budget_exhausted} once it runs out *)
+
+val with_degraded : (unit -> 'a) -> 'a
+(** run in degraded, flow-insensitive mode: {!check_prep} makes a single
+    pass over each function's events in source order (no branch
+    exploration, no path sensitivity) — linear, hence total.  Budgets
+    are suspended inside.  Diagnostics it emits are real; it can only
+    miss path-dependent ones. *)
+
+val set_fault_hook : (checker:string -> func:string -> bool) option -> unit
+(** test-only: install a predicate that makes the matching
+    (checker, function) pair raise {!Injected_fault} at {!check_prep}
+    entry; [None] clears it.  Install before worker domains spawn. *)
+
+val describe_fault : exn -> string
+(** how a contained failure reads in an ["internal"] diagnostic *)
+
 type target =
   [ `Func of Ast.func | `Unit of Ast.tunit | `Program of Ast.tunit list ]
 (** what to check: one function, every function of a translation unit, or
@@ -57,7 +98,12 @@ val check_prep :
     and event arrays — [check sm (`Func f)] is
     [check_prep sm (Prep.build f)].  Drivers running several machines
     over the same function build the prep once and call this per
-    machine. *)
+    machine.
+
+    Honours the domain's containment context: raises {!Injected_fault}
+    if the fault hook matches, runs flow-insensitively inside
+    {!with_degraded}, raises {!Budget_exhausted} under an exhausted
+    {!with_budget}. *)
 
 val run :
   ?stats:stats ref ->

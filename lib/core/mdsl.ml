@@ -36,7 +36,29 @@
 
     The first ordinary state defined is the start state, as in metal. *)
 
-exception Parse_error of string
+exception Parse_error of string * Loc.t
+(** the location points at the offending token (or [Loc.none] when no
+    position is known), so metal-spec errors print file:line *)
+
+(* line/col of a byte offset; metal sources are small, so a scan per
+   reported error is fine *)
+let loc_of_offset ~file (src : string) (off : int) : Loc.t =
+  let off = max 0 (min off (String.length src)) in
+  let line = ref 1 in
+  let bol = ref 0 in
+  for k = 0 to off - 1 do
+    if src.[k] = '\n' then begin
+      incr line;
+      bol := k + 1
+    end
+  done;
+  Loc.make ~file ~line:!line ~col:(off - !bol + 1)
+
+(* attach [loc] to location-free errors raised by helpers below *)
+let at_loc (loc : Loc.t) f =
+  try f () with
+  | Parse_error (msg, l) when Loc.is_none l -> raise (Parse_error (msg, loc))
+  | Pattern.Parse_error msg -> raise (Parse_error (msg, loc))
 
 type target = { goto : string option; err : string option }
 
@@ -65,11 +87,15 @@ type token =
   | Arrow  (** [==>] *)
   | Eof
 
-let tokenize (src : string) : token list =
+(* [loc] maps a body-relative byte offset to a source location; every
+   token carries its start offset so the parser can point errors at the
+   offending token *)
+let tokenize ~(loc : int -> Loc.t) (src : string) : (token * int) list =
   let n = String.length src in
   let toks = ref [] in
   let i = ref 0 in
-  let fail msg = raise (Parse_error msg) in
+  let fail msg = raise (Parse_error (msg, loc !i)) in
+  let emit tok start = toks := (tok, start) :: !toks in
   let is_ident c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
     || (c >= '0' && c <= '9') || c = '_'
@@ -98,6 +124,7 @@ let tokenize (src : string) : token list =
     else if c = '{' then begin
       (* balanced code block; braces inside strings are not expected in
          metal patterns *)
+      let brace = !i in
       let depth = ref 1 in
       let start = !i + 1 in
       incr i;
@@ -108,32 +135,35 @@ let tokenize (src : string) : token list =
         | _ -> ());
         incr i
       done;
-      if !depth > 0 then fail "unbalanced { in metal source";
-      toks := Code (String.trim (String.sub src start (!i - 1 - start))) :: !toks
+      if !depth > 0 then begin
+        i := brace;
+        fail "unbalanced { in metal source"
+      end;
+      emit (Code (String.trim (String.sub src start (!i - 1 - start)))) brace
     end
     else if c = '=' && !i + 2 < n && src.[!i + 1] = '=' && src.[!i + 2] = '>'
     then begin
-      toks := Arrow :: !toks;
+      emit Arrow !i;
       i := !i + 3
     end
     else if c = '=' then begin
-      toks := Equals :: !toks;
+      emit Equals !i;
       incr i
     end
     else if c = ':' then begin
-      toks := Colon :: !toks;
+      emit Colon !i;
       incr i
     end
     else if c = ';' then begin
-      toks := Semi :: !toks;
+      emit Semi !i;
       incr i
     end
     else if c = '|' then begin
-      toks := Bar :: !toks;
+      emit Bar !i;
       incr i
     end
     else if c = ',' then begin
-      toks := Comma :: !toks;
+      emit Comma !i;
       incr i
     end
     else if is_ident c then begin
@@ -141,39 +171,49 @@ let tokenize (src : string) : token list =
       while !i < n && is_ident src.[!i] do
         incr i
       done;
-      toks := Ident (String.sub src start (!i - start)) :: !toks
+      emit (Ident (String.sub src start (!i - start))) start
     end
     else fail (Printf.sprintf "unexpected character %C in metal source" c)
   done;
-  List.rev (Eof :: !toks)
+  List.rev ((Eof, n) :: !toks)
 
 (* ------------------------------------------------------------------ *)
 (* Parser                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type pstate = { mutable toks : token list }
+type pstate = {
+  mutable toks : (token * int) list;
+  loc : int -> Loc.t;  (** body-relative offset to source location *)
+}
 
-let peek p = match p.toks with t :: _ -> t | [] -> Eof
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> Eof
+
+let cur_loc p =
+  match p.toks with (_, off) :: _ -> p.loc off | [] -> Loc.none
+
 let advance p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
 
 let expect p tok what =
   if peek p = tok then advance p
-  else raise (Parse_error (Printf.sprintf "expected %s" what))
+  else raise (Parse_error (Printf.sprintf "expected %s" what, cur_loc p))
 
 let expect_ident p what =
   match peek p with
   | Ident s ->
     advance p;
     s
-  | _ -> raise (Parse_error (Printf.sprintf "expected %s" what))
+  | _ -> raise (Parse_error (Printf.sprintf "expected %s" what, cur_loc p))
 
+(* the helpers below have no token position; they raise with [Loc.none]
+   and the call sites re-attach the current token's location via
+   [at_loc] *)
 let kind_of_string = function
   | "scalar" -> Pattern.Scalar
   | "unsigned" -> Pattern.Unsigned_int
   | "float" | "double" -> Pattern.Floating
   | "const" -> Pattern.Constant
   | "any" -> Pattern.Any
-  | k -> raise (Parse_error ("unknown wildcard kind " ^ k))
+  | k -> raise (Parse_error ("unknown wildcard kind " ^ k, Loc.none))
 
 (* the err("...") action inside a code block *)
 let parse_action (code : string) : string option =
@@ -192,12 +232,13 @@ let parse_action (code : string) : string option =
       | Some q1 -> (
         match String.index_from_opt rest (q1 + 1) '"' with
         | Some q2 -> Some (String.sub rest (q1 + 1) (q2 - q1 - 1))
-        | None -> raise (Parse_error "unterminated string in err()"))
-      | None -> raise (Parse_error "err() needs a string literal"))
+        | None -> raise (Parse_error ("unterminated string in err()", Loc.none)))
+      | None -> raise (Parse_error ("err() needs a string literal", Loc.none)))
     | _ ->
       raise
         (Parse_error
-           ("unsupported action (only err(\"...\") is supported): " ^ code))
+           ( "unsupported action (only err(\"...\") is supported): " ^ code,
+             Loc.none ))
 
 (* a code block used as a pattern: strip a trailing ';' and parse as a
    Clite expression with the declared wildcards *)
@@ -215,14 +256,18 @@ let rec parse_pattern_alt p ~decls ~named : Pattern.t =
   let one () =
     match peek p with
     | Code code ->
+      let loc = cur_loc p in
       advance p;
-      code_to_pattern ~decls code
+      at_loc loc (fun () -> code_to_pattern ~decls code)
     | Ident name -> (
+      let loc = cur_loc p in
       advance p;
       match List.assoc_opt name named with
       | Some pat -> pat
-      | None -> raise (Parse_error ("unknown pattern name " ^ name)))
-    | _ -> raise (Parse_error "expected a pattern ({ code } or a name)")
+      | None -> raise (Parse_error ("unknown pattern name " ^ name, loc)))
+    | _ ->
+      raise
+        (Parse_error ("expected a pattern ({ code } or a name)", cur_loc p))
   in
   let first = one () in
   if peek p = Bar then begin
@@ -243,18 +288,22 @@ let parse_target p : target =
   let err =
     match peek p with
     | Code code ->
+      let loc = cur_loc p in
       advance p;
-      parse_action code
+      at_loc loc (fun () -> parse_action code)
     | _ -> None
   in
   if goto = None && err = None then
-    raise (Parse_error "==> needs a state, an action, or both");
+    raise
+      (Parse_error ("==> needs a state, an action, or both", cur_loc p));
   { goto; err }
 
-let parse (src : string) : t =
+let parse ?(file = "<metal>") (src : string) : t =
   (* Phase 1 is textual: strip comments, skip an optional prelude block,
      find "sm <name> { ... }" by brace matching.  Phase 2 tokenises the
-     body, where every remaining { ... } is a pattern or an action. *)
+     body, where every remaining { ... } is a pattern or an action.
+     Comment-stripping preserves length and newlines, so byte offsets —
+     and the locations derived from them — survive phase 1. *)
   let n = String.length src in
   let no_comments = Bytes.of_string src in
   let i = ref 0 in
@@ -264,7 +313,10 @@ let parse (src : string) : t =
       while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do
         incr j
       done;
-      if !j + 1 >= n then raise (Parse_error "unterminated comment");
+      if !j + 1 >= n then
+        raise
+          (Parse_error
+             ("unterminated comment", loc_of_offset ~file src !i));
       for k = !i to !j + 1 do
         if src.[k] <> '\n' then Bytes.set no_comments k ' '
       done;
@@ -273,6 +325,7 @@ let parse (src : string) : t =
     else incr i
   done;
   let src = Bytes.to_string no_comments in
+  let floc off = loc_of_offset ~file src off in
   let pos = ref 0 in
   let skip_ws () =
     while
@@ -297,7 +350,8 @@ let parse (src : string) : t =
       | _ -> ());
       incr j
     done;
-    if !finish < 0 then raise (Parse_error "unbalanced braces");
+    if !finish < 0 then
+      raise (Parse_error ("unbalanced braces", floc start));
     !finish
   in
   skip_ws ();
@@ -305,7 +359,7 @@ let parse (src : string) : t =
   if !pos < n && src.[!pos] = '{' then pos := match_brace !pos;
   skip_ws ();
   if not (!pos + 2 <= n && String.sub src !pos 2 = "sm") then
-    raise (Parse_error "expected 'sm'");
+    raise (Parse_error ("expected 'sm'", floc !pos));
   pos := !pos + 2;
   skip_ws ();
   let name_start = !pos in
@@ -319,14 +373,19 @@ let parse (src : string) : t =
     incr pos
   done;
   let sm_name = String.sub src name_start (!pos - name_start) in
-  if sm_name = "" then raise (Parse_error "expected the state machine name");
+  if sm_name = "" then
+    raise (Parse_error ("expected the state machine name", floc !pos));
   skip_ws ();
   if !pos >= n || src.[!pos] <> '{' then
-    raise (Parse_error "expected '{' after the state machine name");
+    raise
+      (Parse_error ("expected '{' after the state machine name", floc !pos));
   let body_end = match_brace !pos in
-  let body = String.sub src (!pos + 1) (body_end - !pos - 2) in
-  (* phase 2: token stream over the body *)
-  let p = { toks = tokenize body } in
+  let body_start = !pos + 1 in
+  let body = String.sub src body_start (body_end - !pos - 2) in
+  (* phase 2: token stream over the body; token offsets are
+     body-relative, [body_loc] rebases them onto the whole file *)
+  let body_loc off = floc (body_start + off) in
+  let p = { toks = tokenize ~loc:body_loc body; loc = body_loc } in
   let decls = ref [] in
   let named = ref [] in
   let states : (string * rule list) list ref = ref [] in
@@ -356,9 +415,10 @@ let parse (src : string) : t =
       let kind =
         match peek p with
         | Code k ->
+          let loc = cur_loc p in
           advance p;
-          kind_of_string (String.trim k)
-        | _ -> raise (Parse_error "decl needs a '{ kind }'")
+          at_loc loc (fun () -> kind_of_string (String.trim k))
+        | _ -> raise (Parse_error ("decl needs a '{ kind }'", cur_loc p))
       in
       let rec names () =
         let name = expect_ident p "a wildcard name" in
@@ -386,7 +446,9 @@ let parse (src : string) : t =
       if state_name = "all" then all_rules := !all_rules @ rules
       else states := (state_name, rules) :: !states;
       toplevel ()
-    | _ -> raise (Parse_error "expected decl, pat, or a state definition")
+    | _ ->
+      raise
+        (Parse_error ("expected decl, pat, or a state definition", cur_loc p))
   in
   toplevel ();
   {
@@ -415,7 +477,7 @@ let to_sm (t : t) : string Sm.t =
   let start_state =
     match t.states with
     | (first, _) :: _ -> first
-    | [] -> raise (Parse_error (t.sm_name ^ " defines no states"))
+    | [] -> raise (Parse_error (t.sm_name ^ " defines no states", Loc.none))
   in
   let compile_rule (r : rule) : string Sm.rule =
     Sm.rule r.rule_pattern (fun ctx ->
@@ -441,12 +503,12 @@ let to_sm (t : t) : string Sm.t =
     ()
 
 (** Parse a metal source string and return the runnable checker. *)
-let load (src : string) : string Sm.t = to_sm (parse src)
+let load ?file (src : string) : string Sm.t = to_sm (parse ?file src)
 
-(** Load a .metal file from disk. *)
+(** Load a .metal file from disk; parse errors carry [path:line:col]. *)
 let load_file (path : string) : string Sm.t =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  load src
+  load ~file:path src

@@ -6,7 +6,9 @@
     [stop] target — and compiles them to engine-ready state machines.
     The files under [metal/] are the paper's figures verbatim. *)
 
-exception Parse_error of string
+exception Parse_error of string * Loc.t
+(** the location points at the offending token ([Loc.none] when no
+    position is known), so metal-spec errors print file:line:col *)
 
 type target = { goto : string option; err : string option }
 type rule = { rule_pattern : Pattern.t; target : target }
@@ -19,14 +21,15 @@ type t = {
   all_rules : rule list;
 }
 
-val parse : string -> t
+val parse : ?file:string -> string -> t
 (** @raise Parse_error on malformed metal source *)
 
 val to_sm : t -> string Sm.t
 (** compile to a runnable machine; states are their metal names and
     execution starts in the first state defined, as in metal *)
 
-val load : string -> string Sm.t
-(** [to_sm (parse src)] *)
+val load : ?file:string -> string -> string Sm.t
+(** [to_sm (parse ?file src)] *)
 
 val load_file : string -> string Sm.t
+(** parse errors carry [path:line:col] *)

@@ -1,0 +1,56 @@
+(** The exit-code policy of the hardened pipeline.
+
+    Checking is degrade-don't-abort: malformed input regions, crashed
+    checkers, and blown budgets are contained, reported, and the rest of
+    the corpus is still checked.  The exit code is then the one-word
+    summary of how much of the answer the caller can trust:
+
+    {v
+      0  clean      every unit checked path-sensitively, no diagnostics
+      1  findings   checking completed in full, diagnostics were emitted
+      2  partial    some region was skipped or some unit degraded —
+                    parse/lex recovery fired, a checker crashed, or a
+                    budget blew; remaining results are complete and exact
+      3  unusable   no input survived (or the spec itself is broken):
+                    nothing meaningful was checked
+    v}
+
+    Partial takes precedence over findings: a caller scripting [mcheck]
+    must know that an exit-1 diagnostic list is exhaustive, and an
+    exit-2 one may not be. *)
+
+type outcome =
+  | Clean
+  | Findings  (** complete run, diagnostics emitted *)
+  | Partial
+      (** parse recovery, a degraded unit, or a skipped file reduced
+          coverage; surviving results are exact *)
+  | Unusable  (** nothing meaningful was checked *)
+
+let exit_code = function
+  | Clean -> 0
+  | Findings -> 1
+  | Partial -> 2
+  | Unusable -> 3
+
+let to_string = function
+  | Clean -> "clean"
+  | Findings -> "findings"
+  | Partial -> "partial"
+  | Unusable -> "unusable"
+
+(** Classify a finished run.  [degraded] is true when any containment
+    event fired: a parse/lex diagnostic, a skipped input file, a faulted
+    ([degraded]) unit, or a crashed worker.  [usable] is false when no
+    input survived at all. *)
+let classify ~usable ~degraded ~has_findings =
+  if not usable then Unusable
+  else if degraded then Partial
+  else if has_findings then Findings
+  else Clean
+
+(* The containment checkers' pseudo-names: diagnostics under these do
+   not count as protocol findings — they count as coverage loss. *)
+let internal_checkers = [ "lex"; "parse"; "internal" ]
+
+let is_internal (d : Diag.t) = List.mem d.Diag.checker internal_checkers

@@ -1,0 +1,31 @@
+(** The exit-code policy of the hardened pipeline: a one-word summary of
+    how much of the answer the caller can trust.
+
+    0 clean / 1 findings / 2 partial (some region skipped or unit
+    degraded; remaining results exact) / 3 unusable.  Partial takes
+    precedence over findings: an exit-1 diagnostic list is exhaustive,
+    an exit-2 one may not be. *)
+
+type outcome =
+  | Clean
+  | Findings  (** complete run, diagnostics emitted *)
+  | Partial
+      (** parse recovery, a degraded unit, or a skipped file reduced
+          coverage; surviving results are exact *)
+  | Unusable  (** nothing meaningful was checked *)
+
+val exit_code : outcome -> int
+val to_string : outcome -> string
+
+val classify : usable:bool -> degraded:bool -> has_findings:bool -> outcome
+(** [degraded]: any containment event fired (parse/lex diagnostic,
+    skipped input file, faulted unit, crashed worker); [usable]: some
+    input survived to be checked *)
+
+val internal_checkers : string list
+(** the containment layer's pseudo-checker names: ["lex"], ["parse"],
+    ["internal"] *)
+
+val is_internal : Diag.t -> bool
+(** diagnostics from the containment layer itself (checkers ["lex"],
+    ["parse"], ["internal"]) — coverage loss, not protocol findings *)

@@ -42,6 +42,10 @@ type stats = {
   units_total : int;
   units_run : int;  (** units actually executed (= cache misses) *)
   cache_hits : int;
+  units_faulted : int;
+      (** units where at least one checker crashed or blew its budget
+          and a degraded result was substituted *)
+  workers_crashed : int;  (** pool workers whose claim loop died *)
   domains : int;
   workers : Mcd_pool.worker_stats array;
       (** per-domain pool statistics, themselves derived from the
@@ -190,8 +194,10 @@ let iter_units (prepared : prepared array)
     prepared;
   !slot
 
-let check_jobs ?cache ~jobs (job_list : job list) :
-    (string * Diag.t list) list list * stats =
+let describe_fault = Engine.describe_fault
+
+let check_jobs ?cache ?(budget = Engine.no_budget) ~jobs
+    (job_list : job list) : (string * Diag.t list) list list * stats =
   (* one wall measurement, on the Mcobs clock: it produces both the
      [mcd.schedule] span and [stats.wall_ms] *)
   let t0 = Mcobs.now_us () in
@@ -207,6 +213,10 @@ let check_jobs ?cache ~jobs (job_list : job list) :
   (* a slot holds one unit's per-checker slices: [n_pf] for a function
      batch, one for a whole-program unit *)
   let results : Diag.t list array array = Array.make total [||] in
+  (* per-slot fault diagnostics ([checker = "internal"]): written only
+     by the worker that owns the slot, like [results] — non-empty means
+     the unit degraded and its result must not be cached *)
+  let faults : Diag.t list array = Array.make total [] in
   (* resolve cache hits up front, in the coordinating domain; only the
      misses become pool tasks.  A miss's task is wrapped in an
      [mcd.unit] span carrying its (checker, unit) identity, plus a
@@ -262,6 +272,78 @@ let check_jobs ?cache ~jobs (job_list : job list) :
       Hashtbl.add tbl job fns;
       fns
   in
+  (* The per-unit fault barrier.  Each checker within a batch runs under
+     the unit budget; an exception (checker bug, injected fault) or an
+     exhausted budget is converted into an ["internal"] diagnostic and a
+     degraded flow-insensitive retry, and the unit completes either way —
+     the pool keeps draining, the other checkers of the batch are
+     untouched, and the faulted slot is never cached. *)
+  let fault ~loc ~func msg =
+    Mcobs.count "mcd.unit.checker_faults";
+    Diag.make ~severity:Diag.Warning ~checker:"internal" ~loc ~func msg
+  in
+  let run_batch ~slot ~job ~fn () =
+    let p = prepared.(job) in
+    let f = p.p_funcs.(fn) in
+    match
+      let fns = staged ~job in
+      let prep = Prep.build f in
+      (fns, prep)
+    with
+    | exception exn ->
+      (* the batch never got off the ground: empty slices for every
+         checker, one fault covering the whole unit *)
+      results.(slot) <- Array.make n_pf [];
+      faults.(slot) <-
+        [
+          fault ~loc:f.Ast.f_loc ~func:f.Ast.f_name
+            (Printf.sprintf "function batch could not be prepared (%s); \
+                             all checkers skipped for this function"
+               (describe_fault exn));
+        ]
+    | fns, prep ->
+      let out = Array.make n_pf [] in
+      let unit_faults = ref [] in
+      Array.iteri
+        (fun k chk ->
+          match Engine.with_budget budget (fun () -> chk prep) with
+          | slices -> out.(k) <- slices
+          | exception exn ->
+            let cname = checkers.(pf_indices.(k)).Registry.name in
+            unit_faults :=
+              fault ~loc:f.Ast.f_loc ~func:f.Ast.f_name
+                (Printf.sprintf
+                   "checker %s failed (%s); a degraded flow-insensitive \
+                    pass was substituted"
+                   cname (describe_fault exn))
+              :: !unit_faults;
+            out.(k) <-
+              (try Engine.with_degraded (fun () -> chk prep)
+               with _ -> []))
+        fns;
+      results.(slot) <- out;
+      faults.(slot) <- List.rev !unit_faults
+  in
+  let run_global ~slot ~job ~checker () =
+    let p = prepared.(job) in
+    match checkers.(checker).Registry.phase with
+    | Registry.Whole_program g ->
+      let go () = g ~spec:p.p_job.spec p.p_job.tus in
+      (match Engine.with_budget budget go with
+      | slice -> results.(slot) <- [| slice |]
+      | exception exn ->
+        faults.(slot) <-
+          [
+            fault ~loc:Loc.none ~func:"<whole-program>"
+              (Printf.sprintf
+                 "whole-program checker %s failed (%s); a degraded \
+                  flow-insensitive pass was substituted"
+                 checkers.(checker).Registry.name (describe_fault exn));
+          ];
+        results.(slot) <-
+          [| (try Engine.with_degraded go with _ -> []) |])
+    | Registry.Per_function _ -> assert false
+  in
   Mcobs.with_span "mcd.resolve" (fun () ->
       ignore
         (iter_units prepared
@@ -269,20 +351,12 @@ let check_jobs ?cache ~jobs (job_list : job list) :
              consider ~slot ~cname:"fnbatch"
                ~uname:prepared.(job).p_funcs.(fn).Ast.f_name
                (fun () -> batch_key prepared.(job) fn)
-               (fun () ->
-                 let fns = staged ~job in
-                 let prep = Prep.build prepared.(job).p_funcs.(fn) in
-                 results.(slot) <- Array.map (fun f -> f prep) fns))
+               (run_batch ~slot ~job ~fn))
            (fun ~slot ~job ~checker ->
              consider ~slot ~cname:checkers.(checker).Registry.name
                ~uname:"<whole-program>"
                (fun () -> global_key prepared.(job) checkers.(checker))
-               (fun () ->
-                 let p = prepared.(job) in
-                 match checkers.(checker).Registry.phase with
-                 | Registry.Whole_program g ->
-                   results.(slot) <- [| g ~spec:p.p_job.spec p.p_job.tus |]
-                 | Registry.Per_function _ -> assert false))));
+               (run_global ~slot ~job ~checker))));
   let tasks =
     Array.of_list (List.rev_map (fun (_, run) -> run) !miss_slots)
   in
@@ -304,11 +378,15 @@ let check_jobs ?cache ~jobs (job_list : job list) :
       (fun () -> Mcd_pool.run ~chunk ~domains tasks)
   in
   (* store the fresh results; done after the join so the cache is only
-     ever touched from this domain *)
+     ever touched from this domain.  Faulted slots are not stored: a
+     degraded slice must not impersonate a clean result on the next
+     run. *)
   (match cache with
   | Some c ->
     Mcobs.with_span "mcd.store" (fun () ->
-        List.iter (fun (slot, key) -> Mcd_cache.add c key results.(slot))
+        List.iter
+          (fun (slot, key) ->
+            if faults.(slot) = [] then Mcd_cache.add c key results.(slot))
           !miss_keys)
   | None -> ());
   (* reassemble in canonical order: identical to the sequential run.
@@ -318,9 +396,13 @@ let check_jobs ?cache ~jobs (job_list : job list) :
   let out = Array.make (Array.length prepared) [] in
   let acc_pf : Diag.t list list array = Array.make n_pf [] in
   let acc_g : Diag.t list array = Array.make (Array.length checkers) [] in
+  (* a job's unit faults, newest first; a non-empty collection appends
+     one ("internal", ...) entry to that job's result list — the clean
+     path stays byte-identical to the sequential pipeline *)
+  let acc_faults : Diag.t list list ref = ref [] in
   let flush_job ji =
     let pf_pos = ref 0 in
-    out.(ji) <-
+    let entries =
       Array.to_list
         (Array.map
            (fun (c : Registry.checker) ->
@@ -340,7 +422,13 @@ let check_jobs ?cache ~jobs (job_list : job list) :
                  find 0
                in
                (c.Registry.name, acc_g.(ci)))
-           checkers);
+           checkers)
+    in
+    out.(ji) <-
+      (match List.concat (List.rev !acc_faults) with
+      | [] -> entries
+      | fs -> entries @ [ ("internal", Diag.normalize fs) ]);
+    acc_faults := [];
     Array.fill acc_pf 0 n_pf [];
     Array.fill acc_g 0 (Array.length acc_g) []
   in
@@ -358,10 +446,16 @@ let check_jobs ?cache ~jobs (job_list : job list) :
              switch_to job;
              Array.iteri
                (fun k slice -> acc_pf.(k) <- slice :: acc_pf.(k))
-               results.(slot))
+               results.(slot);
+             match faults.(slot) with
+             | [] -> ()
+             | fs -> acc_faults := fs :: !acc_faults)
            (fun ~slot ~job ~checker ->
              switch_to job;
-             acc_g.(checker) <- results.(slot).(0)));
+             acc_g.(checker) <- results.(slot).(0);
+             match faults.(slot) with
+             | [] -> ()
+             | fs -> acc_faults := fs :: !acc_faults));
       if Array.length prepared > 0 then flush_job !current_job);
   let dur_us = Mcobs.now_us () -. t0 in
   Mcobs.record_span ~name:"mcd.schedule"
@@ -374,11 +468,23 @@ let check_jobs ?cache ~jobs (job_list : job list) :
     ~begin_us:t0 ~dur_us ();
   Mcobs.count ~by:total "mcd.units_total";
   Mcobs.count ~by:(Array.length tasks) "mcd.units_run";
+  let units_faulted =
+    Array.fold_left (fun acc fs -> if fs = [] then acc else acc + 1) 0 faults
+  in
+  let workers_crashed =
+    Array.fold_left
+      (fun acc (w : Mcd_pool.worker_stats) ->
+        if w.Mcd_pool.crashed then acc + 1 else acc)
+      0 worker_stats
+  in
+  if units_faulted > 0 then Mcobs.count ~by:units_faulted "mcd.units_faulted";
   let stats =
     {
       units_total = total;
       units_run = Array.length tasks;
       cache_hits = !hits;
+      units_faulted;
+      workers_crashed;
       domains;
       workers = worker_stats;
       wall_ms = dur_us /. 1000.;
@@ -388,9 +494,9 @@ let check_jobs ?cache ~jobs (job_list : job list) :
 
 (** Check one protocol; the result pairs are exactly
     [Registry.run_all ~spec tus]. *)
-let check_corpus ?cache ~jobs ~spec (tus : Ast.tunit list) :
+let check_corpus ?cache ?budget ~jobs ~spec (tus : Ast.tunit list) :
     (string * Diag.t list) list * stats =
-  match check_jobs ?cache ~jobs [ { spec; tus } ] with
+  match check_jobs ?cache ?budget ~jobs [ { spec; tus } ] with
   | [ r ], stats -> (r, stats)
   | _ -> assert false
 
@@ -422,4 +528,9 @@ let pp_stats_line ppf (s : stats) =
     "mcd: %d unit(s), %d cached (%.1f%% hit), %d run on %d domain(s); \
      %.1f ms wall, %.2fx parallel efficiency"
     s.units_total s.cache_hits hit_pct s.units_run s.domains s.wall_ms
-    (if s.wall_ms > 0. then busy_ms /. s.wall_ms else 0.)
+    (if s.wall_ms > 0. then busy_ms /. s.wall_ms else 0.);
+  if s.units_faulted > 0 then
+    Format.fprintf ppf "; %d unit(s) DEGRADED" s.units_faulted;
+  if s.workers_crashed > 0 then
+    Format.fprintf ppf "; %d worker(s) crashed and re-claimed"
+      s.workers_crashed

@@ -29,6 +29,14 @@ type stats = {
   units_total : int;  (** work units scheduled *)
   units_run : int;  (** units actually executed (= cache misses) *)
   cache_hits : int;
+  units_faulted : int;
+      (** units where a checker crashed or blew its budget and a degraded
+          flow-insensitive result was substituted; their ["internal"]
+          diagnostics appear as an extra result entry, and their slices
+          are never cached *)
+  workers_crashed : int;
+      (** pool workers whose claim loop died; their orphaned units were
+          re-claimed by the coordinator *)
   domains : int;  (** domains actually spawned (after the core clamp) *)
   workers : Mcd_pool.worker_stats array;
       (** per-domain pool statistics, in domain order — derived from the
@@ -48,6 +56,7 @@ val domain_units : stats -> int array
 
 val check_jobs :
   ?cache:Mcd_cache.t ->
+  ?budget:Engine.budget ->
   jobs:int ->
   job list ->
   (string * Diag.t list) list list * stats
@@ -57,10 +66,19 @@ val check_jobs :
     a small host only adds minor-GC contention, so [--jobs 4] on one core
     degrades to the sequential loop instead of running slower than it.
     With [?cache], hits are resolved before scheduling and misses are
-    stored after the pool joins. *)
+    stored after the pool joins.
+
+    Fault isolation: each checker within a unit runs under [?budget]
+    (default {!Engine.no_budget}); an exception or an exhausted budget
+    becomes a Warning-severity ["internal"] diagnostic — appended as an
+    extra [("internal", _)] entry on that job's result list — plus a
+    degraded flow-insensitive retry, while the pool keeps draining.
+    Faulted slots are never cached.  On the clean path the results are
+    byte-identical to a run without the barrier. *)
 
 val check_corpus :
   ?cache:Mcd_cache.t ->
+  ?budget:Engine.budget ->
   jobs:int ->
   spec:Flash_api.spec ->
   Ast.tunit list ->

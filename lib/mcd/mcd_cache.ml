@@ -18,7 +18,21 @@
     guards it anyway so ad-hoc callers cannot corrupt it.
 
     [save]/[load] marshal the table to disk, which is what makes
-    [mcheck --incremental] re-checks warm across process runs. *)
+    [mcheck --incremental] re-checks warm across process runs.
+
+    {2 Crash safety}
+
+    [Marshal.from_channel] on attacker- or crash-shaped bytes can do
+    anything from raising to segfaulting, so the on-disk format defends
+    itself *before* unmarshalling: the marshalled payload is followed by
+    a fixed 32-byte footer — magic, payload length, MD5 digest — and
+    [load] verifies all three against the bytes actually read.  A torn
+    write (power loss mid-[save]) fails the length or digest check; a
+    flipped byte fails the digest; a file from an older build fails the
+    magic or the format tag inside the payload.  Every such file is
+    treated as a cold cache, never an error — and [save] itself writes
+    to a temp file in the destination directory and [rename]s it into
+    place, so a crash mid-save leaves the previous cache intact. *)
 
 type t = {
   mutex : Mutex.t;
@@ -26,7 +40,11 @@ type t = {
 }
 
 (* bump when the key derivation or the marshalled shape changes *)
-let format_tag = "mcd-cache-v3" (* v3: function-batched units, array values *)
+let format_tag = "mcd-cache-v4" (* v4: footer-validated container *)
+
+(* the container: [payload][magic 8][payload length 8][MD5(payload) 16] *)
+let footer_magic = "MCDCACH1"
+let footer_len = 8 + 8 + 16
 
 let create () = { mutex = Mutex.create (); table = Hashtbl.create 1024 }
 
@@ -48,26 +66,81 @@ let size c = locked c (fun () -> Hashtbl.length c.table)
 
 let copy c = locked c (fun () -> { mutex = Mutex.create (); table = Hashtbl.copy c.table })
 
+(* Atomic save: marshal to a string, append the footer, write the whole
+   container to a temp file next to [path], then [rename] it into place.
+   Readers either see the old cache or the complete new one, never a
+   torn file — and if we crash mid-write only the temp file is lost. *)
 let save c path =
   locked c (fun () ->
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Marshal.to_channel oc (format_tag, c.table) []))
+      let payload = Marshal.to_string (format_tag, c.table) [] in
+      let footer = Buffer.create footer_len in
+      Buffer.add_string footer footer_magic;
+      Buffer.add_int64_le footer (Int64.of_int (String.length payload));
+      Buffer.add_string footer (Digest.string payload);
+      let dir = Filename.dirname path in
+      let tmp = Filename.temp_file ~temp_dir:dir "mcd-cache" ".tmp" in
+      (try
+         let oc = open_out_bin tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () ->
+             output_string oc payload;
+             Buffer.output_buffer oc footer);
+         Sys.rename tmp path
+       with exn ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise exn))
 
-(* A missing, unreadable or stale-format file is just a cold cache. *)
+(* Why a load was cold, for the Mcobs counters: a crash-truncated file
+   looks different from a corrupted or stale one, and the fault-injection
+   harness asserts each class lands in the right bucket. *)
+type load_failure = Partial | Corrupt
+
+let classify_container (data : string) : (string, load_failure) result =
+  let len = String.length data in
+  if len < footer_len then Error Partial
+  else begin
+    let payload_len = len - footer_len in
+    let magic = String.sub data payload_len 8 in
+    let stored_len = String.get_int64_le data (payload_len + 8) in
+    let stored_digest = String.sub data (payload_len + 16) 16 in
+    if not (String.equal magic footer_magic) then Error Corrupt
+    else if stored_len <> Int64.of_int payload_len then Error Partial
+    else
+      let payload = String.sub data 0 payload_len in
+      if not (String.equal (Digest.string payload) stored_digest) then
+        Error Corrupt
+      else Ok payload
+  end
+
+(* A missing, truncated, corrupt or stale-format file is just a cold
+   cache — [Marshal.from_string] only ever runs on a payload whose
+   length and digest already checked out. *)
 let load path =
-  if not (Sys.file_exists path) then create ()
+  let cold reason =
+    Mcobs.count ("mcd.cache.load." ^ reason);
+    create ()
+  in
+  if not (Sys.file_exists path) then cold "missing"
   else
     match
       let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in ic)
-        (fun () ->
-          (Marshal.from_channel ic
-            : string * (string, Diag.t list array) Hashtbl.t))
+        (fun () -> really_input_string ic (in_channel_length ic))
     with
-    | tag, table when String.equal tag format_tag ->
-      { mutex = Mutex.create (); table }
-    | _ -> create ()
-    | exception _ -> create ()
+    | exception _ -> cold "error"
+    | data -> (
+      match classify_container data with
+      | Error Partial -> cold "partial"
+      | Error Corrupt -> cold "corrupt"
+      | Ok payload -> (
+        match
+          (Marshal.from_string payload 0
+            : string * (string, Diag.t list array) Hashtbl.t)
+        with
+        | tag, table when String.equal tag format_tag ->
+          Mcobs.count "mcd.cache.load.ok";
+          { mutex = Mutex.create (); table }
+        | _ -> cold "stale"
+        | exception _ -> cold "corrupt"))

@@ -20,6 +20,12 @@ val copy : t -> t
 (** an independent snapshot (used by tests to replay warm runs) *)
 
 val save : t -> string -> unit
+(** atomic: the marshalled table plus a magic / length / digest footer is
+    written to a temp file in the destination directory and renamed into
+    place, so a crash mid-save leaves the previous cache file intact *)
 
 val load : string -> t
-(** a missing, unreadable, or stale-format file yields an empty cache *)
+(** a missing, truncated, corrupt, or stale-format file yields an empty
+    cache — the footer is validated before any unmarshalling runs, and
+    the failure class is recorded as an [mcd.cache.load.*] counter
+    ([ok] / [missing] / [partial] / [corrupt] / [stale] / [error]) *)

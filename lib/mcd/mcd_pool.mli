@@ -2,7 +2,13 @@
     cursor over the task array, no locks, no external dependencies.
 
     Result determinism is the caller's job: tasks should write into
-    pre-assigned slots so domain scheduling never shows in the output. *)
+    pre-assigned slots so domain scheduling never shows in the output.
+
+    Failure containment: a task exception is remembered and re-raised
+    after the join; a *worker* death (an exception escaping the claim
+    loop itself) is recorded in that worker's stats and every task it
+    had claimed but not completed is re-run by the coordinating domain
+    before {!run} returns, so result slots are always complete. *)
 
 type worker_stats = {
   tasks_done : int;  (** work units this domain executed *)
@@ -10,7 +16,19 @@ type worker_stats = {
       (** wall-clock time this domain spent alive — a derived view over
           the single [Mcobs] measurement that also produces the domain's
           [mcd.worker] span *)
+  crashed : bool;
+      (** the claim loop died (not a mere task exception); its orphaned
+          tasks were re-claimed by the coordinator *)
 }
+
+exception Killed of string
+(** what the test kill hook raises, outside the per-task guard — it
+    models a dying worker, not a failing task *)
+
+val set_test_kill : (worker:int -> task:int -> bool) option -> unit
+(** test-only: a worker about to start the matching task dies instead
+    (raises {!Killed} from its claim loop).  [None] clears the hook.
+    Install before {!run}, clear after. *)
 
 val run :
   ?chunk:int -> domains:int -> (unit -> unit) array -> worker_stats array
@@ -20,4 +38,5 @@ val run :
     consecutive tasks per cursor bump (default 1, clamped to at least 1);
     larger chunks amortise contention when tasks are small.  Per-domain
     statistics come back in domain order.  The first exception a task
-    raises is re-raised after all domains have joined. *)
+    raises is re-raised after all domains have joined and orphaned tasks
+    have been re-claimed. *)

@@ -1,0 +1,53 @@
+(** Golden-file generator for panic-mode parse recovery: a set of broken
+    sources, each printed with its recovery diagnostics (under the
+    ["lex"]/["parse"] pseudo-checkers) and the names of the functions
+    that survived.  [dune runtest] diffs the output against
+    [recover.expected]; intentional recovery changes are reviewed as
+    diffs and accepted with [dune promote]. *)
+
+let cases =
+  [
+    ( "garbage-between-functions",
+      "void before(void) { long a; a = 1; }\n\
+       void broken(void) { long x; x = @#$ ;;; }\n\
+       void after(void) { long b; b = 2; }\n" );
+    ( "unclosed-brace",
+      "void before(void) { long a; a = 1; }\n\
+       void broken(void) { long x; if (x) {\n" );
+    ( "truncated-mid-statement",
+      "void before(void) { long a; a = 1; }\nvoid broken(void) { long x; x =" );
+    ( "unterminated-string",
+      "void before(void) { long a; a = 1; }\n\
+       void broken(void) { f(\"never closed); }\n\
+       void after(void) { long b; b = 2; }\n" );
+    ( "bad-toplevel-decl",
+      "@@@ not a declaration @@@\nvoid after(void) { long b; b = 2; }\n" );
+    ( "two-bad-regions",
+      "void a1(void) { long a; a = 1; }\n\
+       void bad1(void) { $$$ }\n\
+       void a2(void) { long b; b = 2; }\n\
+       void bad2(void) { %%% }\n\
+       void a3(void) { long c; c = 3; }\n" );
+    ("empty-file", "");
+    ("only-garbage", "((((( @@@ )))))");
+  ]
+
+let () =
+  List.iter
+    (fun (label, src) ->
+      let tus, diags = Frontend.parse_strings [ (label ^ ".c", src) ] in
+      Printf.printf "== %s\n" label;
+      List.iter
+        (fun d -> print_endline ("  " ^ Diag.to_string d))
+        (Diag.normalize diags);
+      let survivors =
+        List.concat_map
+          (fun tu ->
+            List.map (fun (f : Ast.func) -> f.Ast.f_name) (Ast.functions tu))
+          tus
+      in
+      Printf.printf "  survivors: %s\n"
+        (match survivors with
+        | [] -> "(none)"
+        | fs -> String.concat ", " fs))
+    cases

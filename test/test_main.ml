@@ -29,4 +29,5 @@ let () =
       Test_fuzz.suite;
       Test_props.suite;
       Test_obs.suite;
+      Test_robust.suite;
     ]

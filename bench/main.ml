@@ -177,25 +177,10 @@ let print_sensitivity () =
    after editing one handler.  The numbers land in BENCH_PARALLEL.json
    so future PRs can track the perf trajectory. *)
 
-let mcd_jobs c =
-  List.map
-    (fun (p : Corpus.protocol) ->
-      { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus })
-    c.Corpus.protocols
-
-let render_results (results : (string * Diag.t list) list list) : string =
-  String.concat "\n"
-    (List.concat_map
-       (fun per_checker ->
-         List.concat_map
-           (fun (name, ds) -> name :: List.map Diag.to_string ds)
-           per_checker)
-       results)
-
-let time_ms f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+(* the wiring helpers now live in Mcheck_api, shared with the bins *)
+let mcd_jobs = Mcheck_api.corpus_jobs
+let render_results = Mcheck_api.render_results
+let time_ms = Mcheck_api.time_ms
 
 (* the "one handler edited" workload: append a harmless statement to the
    first handler of the first protocol *)
@@ -666,6 +651,208 @@ let run_fuzz () =
   if failures <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Part 2f: the mcheckd serving path                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's reason to exist, measured: per-request latency (p50/p99)
+   and throughput against a warm in-process daemon, versus cold-spawning
+   the mcheck binary per check — the editor-traffic comparison — plus a
+   drain under concurrent load that must lose zero admitted responses.
+   The numbers land in BENCH_SERVE.json; the acceptance gate is a warm
+   p50 at least 5x below the cold spawn p50. *)
+
+let percentile latencies p =
+  let a = Array.of_list latencies in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else a.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float n)) - 1)))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+let plain_opts =
+  {
+    Serve.Proto.co_checkers = [];
+    co_explain = false;
+    co_verbose = false;
+    co_quiet = true;
+    co_strict = false;
+  }
+
+let run_serve ~quick () =
+  print_endline
+    "================ mcheckd serving path ================";
+  print_newline ();
+  Mcobs.set_verbosity Mcobs.Quiet;
+  (* corpus files on disk: the same inputs a cold mcheck spawn reads *)
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mcheck-serve-bench-%d" (Unix.getpid ()))
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  Corpus.write_to_dir (Lazy.force corpus) dir;
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  let daemon =
+    Serve.Serve_oracle.start
+      ~config:
+        { Mcheck_api.default_config with jobs = 2; incremental = true }
+      ()
+  in
+  let addr = Serve.Serve_oracle.addr daemon in
+  let with_client f =
+    match Serve.Client.connect addr with
+    | Error msg -> failwith ("bench serve: " ^ msg)
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+  in
+  let check_one c file =
+    match Serve.Client.check_files c plain_opts [ file ] with
+    | Ok (Serve.Client.Checked _) -> ()
+    | Ok (Serve.Client.Refused msg) -> failwith ("refused: " ^ msg)
+    | Error msg -> failwith ("transport: " ^ msg)
+  in
+  (* warm: first pass fills the daemon's content-hash cache *)
+  with_client (fun c -> List.iter (check_one c) files);
+  let n_requests = if quick then 60 else 300 in
+  let latencies, total_ms =
+    with_client (fun c ->
+        time_ms (fun () ->
+            List.init n_requests (fun i ->
+                let file = List.nth files (i mod List.length files) in
+                snd (time_ms (fun () -> check_one c file)))))
+  in
+  let warm_p50 = percentile latencies 50.0 in
+  let warm_p99 = percentile latencies 99.0 in
+  let checks_per_sec = float n_requests /. (total_ms /. 1000.0) in
+  Printf.printf
+    "  warm daemon (2 domains, incremental), %d request(s) over %d \
+     file(s):\n\
+    \    p50 %8.2f ms   p99 %8.2f ms   %8.1f checks/sec\n\n"
+    n_requests (List.length files) warm_p50 warm_p99 checks_per_sec;
+  (* cold: spawn the real mcheck binary per check, same single files *)
+  let mcheck_exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/mcheck.exe"
+  in
+  let cold_p50 =
+    if not (Sys.file_exists mcheck_exe) then begin
+      Printf.printf
+        "  cold spawn: %s not built, skipping the comparison\n\n" mcheck_exe;
+      nan
+    end
+    else begin
+      let spawns = if quick then 5 else 15 in
+      let cold =
+        List.init spawns (fun i ->
+            let file = List.nth files (i mod List.length files) in
+            snd
+              (time_ms (fun () ->
+                   let code =
+                     Sys.command
+                       (Printf.sprintf "%s -q %s >/dev/null 2>&1"
+                          (Filename.quote mcheck_exe)
+                          (Filename.quote file))
+                   in
+                   if code > 1 then
+                     failwith
+                       (Printf.sprintf "cold mcheck exited %d" code))))
+      in
+      let p50 = percentile cold 50.0 in
+      Printf.printf
+        "  cold mcheck spawn, %d run(s):\n\
+        \    p50 %8.2f ms   (warm daemon is %.1fx faster at p50)\n\n"
+        spawns p50 (p50 /. warm_p50);
+      p50
+    end
+  in
+  (* drain under load: concurrent checks in flight when the drain lands;
+     every admitted request must complete, refusals must be explicit *)
+  let n_threads = 8 in
+  let completed = Atomic.make 0
+  and refused = Atomic.make 0
+  and lost = Atomic.make 0 in
+  let worker i =
+    match Serve.Client.connect addr with
+    | Error _ -> Atomic.incr lost
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let file = List.nth files (i mod List.length files) in
+          match Serve.Client.check_files c plain_opts [ file ] with
+          | Ok (Serve.Client.Checked _) -> Atomic.incr completed
+          | Ok (Serve.Client.Refused _) -> Atomic.incr refused
+          | Error _ -> Atomic.incr lost)
+  in
+  let threads = List.init n_threads (fun i -> Thread.create worker i) in
+  Thread.delay 0.002;
+  (* stop is a Drain plus a join of the daemon's accept loop: admitted
+     requests finish first, by construction *)
+  Serve.Serve_oracle.stop daemon;
+  List.iter Thread.join threads;
+  let zero_loss = Atomic.get lost = 0 in
+  Printf.printf
+    "  drain under load: %d concurrent client(s) -> %d completed, %d \
+     refused, %d lost (zero-loss=%b)\n\n"
+    n_threads (Atomic.get completed) (Atomic.get refused) (Atomic.get lost)
+    zero_loss;
+  let speedup_p50 =
+    if Float.is_nan cold_p50 then nan else cold_p50 /. warm_p50
+  in
+  let oc = open_out "BENCH_SERVE.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cores\": %d,\n\
+    \  \"files\": %d,\n\
+    \  \"warm_requests\": %d,\n\
+    \  \"warm_p50_ms\": %.3f,\n\
+    \  \"warm_p99_ms\": %.3f,\n\
+    \  \"checks_per_sec\": %.1f,\n\
+    \  \"cold_spawn_p50_ms\": %.3f,\n\
+    \  \"speedup_p50\": %.2f,\n\
+    \  \"drain_clients\": %d,\n\
+    \  \"drain_completed\": %d,\n\
+    \  \"drain_refused\": %d,\n\
+    \  \"drain_lost\": %d,\n\
+    \  \"drain_zero_loss\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (List.length files) n_requests warm_p50 warm_p99 checks_per_sec
+    cold_p50 speedup_p50 n_threads (Atomic.get completed)
+    (Atomic.get refused) (Atomic.get lost) zero_loss;
+  close_out oc;
+  print_endline "  wrote BENCH_SERVE.json";
+  rm_rf dir;
+  if not zero_loss then begin
+    prerr_endline "FAIL: drain under load lost admitted responses";
+    exit 1
+  end;
+  if (not (Float.is_nan speedup_p50)) && speedup_p50 < 5.0 then begin
+    Printf.eprintf
+      "FAIL: warm daemon p50 only %.1fx below the cold spawn p50 \
+       (acceptance: >= 5x)\n"
+      speedup_p50;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel timings                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -794,6 +981,8 @@ let () =
   | [ "robust" ] -> run_robust ~quick:false ()
   | [ "robust"; "--quick" ] -> run_robust ~quick:true ()
   | [ "fuzz" ] -> run_fuzz ()
+  | [ "serve" ] -> run_serve ~quick:false ()
+  | [ "serve"; "--quick" ] -> run_serve ~quick:true ()
   | [ "bench" ] -> run_bench ()
   | [ arg ]
     when String.length arg = 6 && String.sub arg 0 5 = "table"
@@ -803,5 +992,5 @@ let () =
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
        ablations | parallel | engine [--quick] | obs | robust [--quick] | \
-       fuzz | bench]";
+       fuzz | serve [--quick] | bench]";
     exit 2

@@ -28,9 +28,7 @@ let run seed count quick classes out =
   (match out with
   | None -> ()
   | Some path ->
-    let oc = open_out path in
-    output_string oc (Faultinject.summary_to_json s);
-    close_out oc;
+    Mcheck_api.write_file path (Faultinject.summary_to_json s);
     Printf.printf "wrote %s\n" path);
   if s.Faultinject.failed = 0 then 0 else 1
 

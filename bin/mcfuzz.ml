@@ -6,6 +6,12 @@
     [--mutate] — seeds paper-style bugs with ground-truth labels and
     scores each checker's recall and precision.
 
+    With [--serve], every clean program additionally runs through a
+    live in-process [mcheckd] daemon (warm parallel/incremental
+    session) and over the wire back — the sixth oracle: daemon output,
+    findings, and exit code must be byte-identical to the local CLI
+    path.
+
     Exit status 1 when any pipeline disagrees, any seeded-bug recall
     drops below the threshold, or a generated program crashes the
     pipeline; 0 otherwise.  Failures print the seed, so
@@ -13,15 +19,24 @@
 
 open Cmdliner
 
-let main seed count mutate out quiet threshold =
+let main seed count mutate out quiet threshold serve =
   let t0 = Unix.gettimeofday () in
   let log i =
     if (not quiet) && (i mod 100 = 0 || i = count) then
       Printf.eprintf "mcfuzz: %d/%d programs (%.1fs)\n%!" i count
         (Unix.gettimeofday () -. t0)
   in
+  let daemon = if serve then Some (Serve.Serve_oracle.start ()) else None in
+  let extra_oracle =
+    match daemon with
+    | Some d -> Serve.Serve_oracle.check d
+    | None -> fun _ -> []
+  in
   let { Fuzz_driver.score; failures } =
-    Fuzz_driver.run ~log ~base_seed:seed ~count ~mutate ()
+    Fun.protect
+      ~finally:(fun () -> Option.iter Serve.Serve_oracle.stop daemon)
+      (fun () ->
+        Fuzz_driver.run ~log ~extra_oracle ~base_seed:seed ~count ~mutate ())
   in
   List.iter
     (fun f -> Format.eprintf "FAIL %a@." Fuzz_oracle.pp_failure f)
@@ -73,12 +88,20 @@ let threshold_arg =
     & info [ "recall-threshold" ] ~docv:"R"
         ~doc:"Fail when overall recall drops below R (with --mutate).")
 
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:"Also run every clean program through a live in-process \
+              mcheckd daemon and require its wire output, findings, and \
+              exit code to match the local CLI path byte-for-byte.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mcfuzz"
        ~doc:"differential fuzzing of the FLASH checking pipeline")
     Term.(
       const main $ seed_arg $ count_arg $ mutate_arg $ out_arg $ quiet_arg
-      $ threshold_arg)
+      $ threshold_arg $ serve_arg)
 
 let () = exit (Cmd.eval cmd)

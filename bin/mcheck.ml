@@ -11,7 +11,14 @@
       verbatim);
     - [mcheck --fix -o DIR FILE.c ...] — apply the automatic repairs
       (hooks, races, leaks) and write the patched sources;
+    - [mcheck --server ADDR FILE.c ...] — send the check to a running
+      [mcheckd] daemon instead of running the pipeline in-process; the
+      printed diagnostics and the exit code are byte-identical to the
+      local run, but a warm daemon answers without cold-start cost;
     - [mcheck --list] — list the available checkers.
+
+    All local modes run on one {!Mcheck_api.Session} — the same facade
+    the daemon serves — so CLI and service behaviour cannot drift.
 
     Scheduling: [--jobs N] runs the checkers on the [Mcd] work pool
     across N domains, and [--incremental] keeps the content-hash result
@@ -29,6 +36,7 @@
     through. *)
 
 open Cmdliner
+module Session = Mcheck_api.Session
 
 (* Status lines that belong on stdout (headers, summaries) are silenced
    by --quiet; log lines go through the Mcobs sink (stderr). *)
@@ -36,254 +44,56 @@ let say fmt =
   if Mcobs.get_verbosity () = Mcobs.Quiet then Printf.ifprintf stdout fmt
   else Printf.printf fmt
 
-(* How to print one diagnostic: --explain wins, then -v (with path). *)
-let pp_diag ~explain ~verbose ppf d =
-  if explain then Diag.pp_explain ppf d
-  else if verbose then Diag.pp_with_trace ppf d
-  else Diag.pp ppf d
-
 let list_checkers () =
   List.iter
     (fun (c : Registry.checker) ->
       Printf.printf "%-14s %s\n" c.Registry.name c.Registry.description)
     Registry.all
 
-let load_metal paths : (string * string Sm.t) list =
-  List.map
-    (fun path ->
-      match Mdsl.load_file path with
-      | sm -> (path, sm)
-      | exception Mdsl.Parse_error (msg, loc) ->
-        (* a broken spec makes the whole run meaningless: exit 3 *)
-        if Loc.is_none loc then
-          Printf.eprintf "%s: metal parse error: %s\n" path msg
-        else
-          Printf.eprintf "%s: metal parse error: %s\n" (Loc.to_string loc)
-            msg;
-        exit (Robust.exit_code Robust.Unusable)
-      | exception Sys_error msg ->
-        Printf.eprintf "%s: cannot read metal spec: %s\n" path msg;
-        exit (Robust.exit_code Robust.Unusable))
-    paths
-
-let run_metal_on metal_paths (tus : Ast.tunit list) verbose explain =
-  let total = ref 0 in
-  List.iter
-    (fun (_, sm) ->
-      let diags = Engine.check sm (`Program tus) in
-      total := !total + List.length diags;
-      List.iter
-        (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
-        diags)
-    (load_metal metal_paths);
-  !total
+let with_session config f =
+  let session = Session.create ~config () in
+  Fun.protect ~finally:(fun () -> Session.close session) (fun () -> f session)
 
 (* -------------------------------------------------------------- *)
-(* Input parsing: recovery by default, --strict restores fail-fast *)
+(* Local modes: one Session, Mcheck_api does the wiring            *)
 (* -------------------------------------------------------------- *)
 
-(* Read and parse the input files.  By default an unreadable file is
-   reported and skipped and parse errors are recovered from (every
-   syntactically-intact function is still checked); [--strict] restores
-   the old fail-fast behaviour, exiting 3 on the first problem.
-   Returns the surviving units, the parse/lex diagnostics (file order),
-   and how many files were skipped outright. *)
-let parse_files ~strict files : Ast.tunit list * Diag.t list * int =
-  let skipped = ref 0 in
-  let units =
-    List.filter_map
-      (fun path ->
-        match
-          let ic = open_in_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_in ic)
-            (fun () -> really_input_string ic (in_channel_length ic))
-        with
-        | src -> Some (path, Prelude.text ^ src)
-        | exception Sys_error msg ->
-          Printf.eprintf "%s: cannot read: %s\n" path msg;
-          if strict then exit (Robust.exit_code Robust.Unusable);
-          incr skipped;
-          None)
-      files
-  in
-  if strict then
-    match Frontend.of_strings units with
-    | tus -> (tus, [], !skipped)
-    | exception Parser.Error (msg, loc) ->
-      Printf.eprintf "%s: parse error: %s\n" (Loc.to_string loc) msg;
-      exit (Robust.exit_code Robust.Unusable)
-    | exception Lexer.Error (msg, loc) ->
-      Printf.eprintf "%s: lexical error: %s\n" (Loc.to_string loc) msg;
-      exit (Robust.exit_code Robust.Unusable)
-  else
-    let tus, diags = Frontend.parse_strings units in
-    (tus, diags, !skipped)
+let run_on_files files ropts config =
+  with_session config (fun session ->
+      let report = Session.check_files session files in
+      Mcheck_api.print_report ropts report;
+      Robust.exit_code report.Mcheck_api.r_outcome)
 
-(* -------------------------------------------------------------- *)
-(* Scheduling configuration: --jobs / --incremental / --cache      *)
-(* -------------------------------------------------------------- *)
-
-type sched = {
-  jobs : int;
-  incremental : bool;
-  cache_file : string;
-  strict : bool;
-  budget : Engine.budget;  (** per-unit fuel / deadline under Mcd *)
-}
-
-let use_mcd sched = sched.jobs > 1 || sched.incremental
-
-(* In incremental mode the content-hash cache is loaded before and
-   persisted after the run, which is what keeps re-checks warm across
-   mcheck invocations. *)
-let with_cache sched f =
-  if sched.incremental then begin
-    let cache = Mcd_cache.load sched.cache_file in
-    let r = f (Some cache) in
-    Mcd_cache.save cache sched.cache_file;
-    r
-  end
-  else f None
-
-(* The default one-line scheduler summary (cache-hit rate, parallel
-   efficiency) plus the full per-domain breakdown at -v. *)
-let report_sched_stats stats =
-  Mcobs.logf Mcobs.Normal "%a" Mcd.pp_stats_line stats;
-  Mcobs.logf Mcobs.Verbose "scheduler: %a" Mcd.pp_stats stats
-
-let print_protocol_results ~verbose ~explain ~selected result =
-  List.iter
-    (fun (name, diags) ->
-      if selected name then begin
-        say "-- %s: %d report(s)\n" name (List.length diags);
-        if verbose || explain then
-          List.iter
-            (fun d ->
-              Format.printf "   %a@."
-                (pp_diag ~explain ~verbose:false)
-                d)
-            diags
-      end)
-    result
-
-let run_on_files checker_names files verbose explain sched =
-  let tus, parse_diags, skipped = parse_files ~strict:sched.strict files in
-  let spec =
-    (* without a protocol spec, treat every void/no-arg function as a
-       hardware handler, which is what xg++'s default tables did *)
-    {
-      Flash_api.p_name = "<cli>";
-      p_handlers =
-        List.concat_map
-          (fun tu ->
-            List.filter_map
-              (fun (f : Ast.func) ->
-                if Ctype.equal f.Ast.f_ret Ctype.Void && f.Ast.f_params = []
-                then
-                  Some
-                    {
-                      Flash_api.h_name = f.Ast.f_name;
-                      h_kind = Flash_api.Hw_handler;
-                      h_lane_allowance = [| 1; 1; 1; 1 |];
-                      h_no_stack = false;
-                    }
-                else None)
-              (Ast.functions tu))
-          tus;
-      p_free_funcs = [];
-      p_use_funcs = [];
-      p_cond_free_funcs = [];
-    }
-  in
-  (* containment-layer entries ("internal") are always reported, even
-     under -c selection: they say where coverage was lost *)
-  let selected name =
-    checker_names = [] || List.mem name checker_names
-    || String.equal name "internal"
-  in
-  let per_checker, units_degraded =
-    if use_mcd sched then begin
-      let result, stats =
-        with_cache sched (fun cache ->
-            Mcd.check_corpus ?cache ~budget:sched.budget ~jobs:sched.jobs
-              ~spec tus)
-      in
-      report_sched_stats stats;
-      ( List.filter (fun (name, _) -> selected name) result,
-        stats.Mcd.units_faulted > 0 || stats.Mcd.workers_crashed > 0 )
-    end
-    else
-      (* the fused driver computes every checker over one shared prep
-         per function; selection only filters the report *)
-      let result = Registry.run_all_fused ~spec tus in
-      ( List.filter (fun (name, _) -> selected name) result,
-        List.exists
-          (fun (name, diags) -> String.equal name "internal" && diags <> [])
-          result )
-  in
-  (* parse/lex diagnostics first (file order), then checker reports *)
-  List.iter
-    (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
-    parse_diags;
-  let findings = ref 0 in
-  List.iter
-    (fun (_, diags) ->
-      List.iter
-        (fun d ->
-          if not (Robust.is_internal d) then incr findings;
-          Format.printf "%a@." (pp_diag ~explain ~verbose) d)
-        diags)
-    per_checker;
-  if !findings = 0 then say "no violations found\n";
-  (* a run where no function survived parsing checked nothing *)
-  let survived = List.exists (fun tu -> Ast.functions tu <> []) tus in
-  let outcome =
-    Robust.classify
-      ~usable:(survived || (parse_diags = [] && skipped = 0 && files <> []))
-      ~degraded:(parse_diags <> [] || skipped > 0 || units_degraded)
-      ~has_findings:(!findings > 0)
-  in
-  if outcome <> Robust.Clean && outcome <> Robust.Findings then
-    Mcobs.logf Mcobs.Normal "mcheck: run was %s (exit %d)"
-      (Robust.to_string outcome)
-      (Robust.exit_code outcome);
-  Robust.exit_code outcome
-
-let run_corpus checker_names seed verbose explain sched =
+let run_corpus checker_names seed ropts config =
   let corpus = Corpus.generate ~seed () in
-  let selected name =
-    checker_names = [] || List.mem name checker_names
-  in
-  if use_mcd sched then begin
-    (* the scheduler always computes every checker (the cache keeps that
-       cheap); selection only filters the report *)
-    let jobs =
-      List.map
-        (fun (p : Corpus.protocol) ->
-          { Mcd.spec = p.Corpus.spec; tus = p.Corpus.tus })
-        corpus.Corpus.protocols
-    in
-    let results, stats =
-      with_cache sched (fun cache ->
-          Mcd.check_jobs ?cache ~jobs:sched.jobs jobs)
-    in
-    List.iter2
-      (fun (p : Corpus.protocol) result ->
-        say "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
-        print_protocol_results ~verbose ~explain ~selected result)
-      corpus.Corpus.protocols results;
-    report_sched_stats stats
-  end
-  else
+  (* corpus mode never force-includes "internal": its per-checker count
+     lines list exactly what was asked for *)
+  let selected name = checker_names = [] || List.mem name checker_names in
+  let print_protocol_results result =
     List.iter
-      (fun (p : Corpus.protocol) ->
-        say "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
-        (* fused: one shared prep per function across all checkers;
-           selection only filters the report *)
-        print_protocol_results ~verbose ~explain ~selected
-          (Registry.run_all_fused ~spec:p.Corpus.spec p.Corpus.tus))
-      corpus.Corpus.protocols
+      (fun (name, diags) ->
+        if selected name then begin
+          say "-- %s: %d report(s)\n" name (List.length diags);
+          if ropts.Mcheck_api.ro_verbose || ropts.Mcheck_api.ro_explain then
+            List.iter
+              (fun d ->
+                Format.printf "   %a@."
+                  (if ropts.Mcheck_api.ro_explain then Diag.pp_explain
+                   else Diag.pp)
+                  d)
+              diags
+        end)
+      result
+  in
+  with_session config (fun session ->
+      let results, _report =
+        Session.check_jobs session (Mcheck_api.corpus_jobs corpus)
+      in
+      List.iter2
+        (fun (p : Corpus.protocol) result ->
+          say "=== %s (%d LOC) ===\n" p.Corpus.name p.Corpus.loc;
+          print_protocol_results result)
+        corpus.Corpus.protocols results)
 
 let run_table n seed =
   let corpus = Corpus.generate ~seed () in
@@ -309,25 +119,29 @@ let run_table n seed =
         (Experiments.all corpus)
     else prerr_endline "tables are numbered 1-7 (0 = all)"
 
-let run_metal metal_paths files verbose explain seed ~strict =
-  let total =
-    match files with
-    | [] ->
-      (* no files: run over the builtin corpus *)
-      let corpus = Corpus.generate ~seed () in
-      List.fold_left
-        (fun acc (p : Corpus.protocol) ->
-          say "=== %s ===\n" p.Corpus.name;
-          acc + run_metal_on metal_paths p.Corpus.tus verbose explain)
-        0 corpus.Corpus.protocols
-    | files ->
-      let tus, parse_diags, _skipped = parse_files ~strict files in
-      List.iter
-        (fun d -> Format.printf "%a@." (pp_diag ~explain ~verbose) d)
-        parse_diags;
-      run_metal_on metal_paths tus verbose explain
-  in
-  if total = 0 then say "no violations found\n"
+let run_metal files ropts seed config =
+  with_session config (fun session ->
+      match files with
+      | [] ->
+        (* no files: run over the builtin corpus *)
+        let corpus = Corpus.generate ~seed () in
+        let total =
+          List.fold_left
+            (fun acc (p : Corpus.protocol) ->
+              say "=== %s ===\n" p.Corpus.name;
+              let r =
+                Session.check_units session ~spec:p.Corpus.spec p.Corpus.tus
+              in
+              List.iter
+                (fun d -> print_string (Mcheck_api.render_diag ropts d))
+                (Mcheck_api.report_diags r);
+              acc + r.Mcheck_api.r_findings)
+            0 corpus.Corpus.protocols
+        in
+        if total = 0 then say "no violations found\n"
+      | files ->
+        let report = Session.check_files session files in
+        Mcheck_api.print_report ropts report)
 
 let run_fix files out_dir =
   if files = [] then begin
@@ -336,79 +150,136 @@ let run_fix files out_dir =
   end;
   (* patching a partially-parsed source would drop the unparsed regions
      from the output, so --fix always parses strictly *)
-  let tus, _, _ = parse_files ~strict:true files in
-  (* the CLI's default spec: void/no-arg functions are handlers *)
-  let spec =
-    {
-      Flash_api.p_name = "<cli>";
-      p_handlers =
-        List.concat_map
-          (fun tu ->
-            List.filter_map
-              (fun (f : Ast.func) ->
-                if Ctype.equal f.Ast.f_ret Ctype.Void && f.Ast.f_params = []
-                then
-                  Some
-                    {
-                      Flash_api.h_name = f.Ast.f_name;
-                      h_kind = Flash_api.Hw_handler;
-                      h_lane_allowance = [| 1; 1; 1; 1 |];
-                      h_no_stack = false;
-                    }
-                else None)
-              (Ast.functions tu))
-          tus;
-      p_free_funcs = [];
-      p_use_funcs = [];
-      p_cond_free_funcs = [];
-    }
-  in
+  let srcs, _ = Mcheck_api.read_sources ~strict:true files in
+  let tus = Mcheck_api.parse_strict srcs in
+  let spec = Mcheck_api.default_spec tus in
   let fixed = Fixer.fix_all ~spec tus in
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
   List.iter
     (fun tu ->
       let path = Filename.concat out_dir (Filename.basename tu.Ast.tu_file) in
-      let oc = open_out path in
-      output_string oc (Pp.tunit_to_string tu);
-      close_out oc;
+      Mcheck_api.write_file path (Pp.tunit_to_string tu);
       say "patched %s\n" path)
     fixed
 
+(* -------------------------------------------------------------- *)
+(* --server: same check, but against a running mcheckd             *)
+(* -------------------------------------------------------------- *)
+
+(* The daemon renders with the same [Mcheck_api.render_diag] this
+   binary uses locally; printing the streamed frames verbatim plus the
+   same trailer rule makes local and remote stdout byte-identical. *)
+let run_server addr_spec checker_names files ropts =
+  let fail_unusable msg =
+    Printf.eprintf "mcheck: %s\n" msg;
+    Robust.exit_code Robust.Unusable
+  in
+  if files = [] then fail_unusable "--server needs FILE arguments"
+  else
+    match Serve.Proto.parse_addr addr_spec with
+    | Error msg -> fail_unusable msg
+    | Ok addr -> (
+      match Serve.Client.connect addr with
+      | Error msg -> fail_unusable msg
+      | Ok c ->
+        let opts =
+          {
+            Serve.Proto.co_checkers = checker_names;
+            co_explain = ropts.Mcheck_api.ro_explain;
+            co_verbose = ropts.Mcheck_api.ro_verbose;
+            co_quiet = ropts.Mcheck_api.ro_quiet;
+            co_strict = false;
+          }
+        in
+        let r =
+          Serve.Client.check_files
+            ~on_diag:(fun d -> print_string d.Serve.Proto.d_text)
+            c opts files
+        in
+        Serve.Client.close c;
+        (match r with
+        | Error msg -> fail_unusable msg
+        | Ok (Serve.Client.Refused msg) ->
+          Printf.eprintf "mcheck: server refused: %s\n" msg;
+          Robust.exit_code Robust.Partial
+        | Ok (Serve.Client.Checked res) ->
+          if
+            res.Serve.Client.cr_findings = 0
+            && not ropts.Mcheck_api.ro_quiet
+          then print_string "no violations found\n";
+          res.Serve.Client.cr_exit))
+
 let main checker_names files table list_flag seed verbose metal_paths fix
     out_dir jobs incremental cache_file quiet explain trace_file metrics
-    strict unit_fuel unit_deadline =
-  let budget =
-    { Engine.fuel = unit_fuel; deadline_ms = unit_deadline }
-  in
-  let sched = { jobs; incremental; cache_file; strict; budget } in
+    strict unit_fuel unit_deadline server =
+  let budget = { Engine.fuel = unit_fuel; deadline_ms = unit_deadline } in
   Mcobs.set_verbosity
     (if quiet then Mcobs.Quiet
      else if verbose then Mcobs.Verbose
      else Mcobs.Normal);
   (* recording a trace or dumping metrics implies tracing on *)
   if trace_file <> None || metrics then Mcobs.set_enabled true;
+  let ropts =
+    { Mcheck_api.ro_explain = explain; ro_verbose = verbose; ro_quiet = quiet }
+  in
+  let config checkers metal =
+    {
+      Mcheck_api.jobs;
+      incremental;
+      cache_file = (if incremental then Some cache_file else None);
+      budget;
+      strict;
+      checkers;
+      metal;
+    }
+  in
   let code =
-    if list_flag then begin
-      list_checkers ();
-      0
-    end
-    else if fix then begin
-      run_fix files out_dir;
-      0
-    end
-    else begin
-      match (table, metal_paths, files) with
-      | Some n, _, _ ->
-        run_table n seed;
+    match
+      if list_flag then begin
+        list_checkers ();
         0
-      | None, (_ :: _ as metal), files ->
-        run_metal metal files verbose explain seed ~strict;
+      end
+      else if fix then begin
+        run_fix files out_dir;
         0
-      | None, [], [] ->
-        run_corpus checker_names seed verbose explain sched;
-        0
-      | None, [], files -> run_on_files checker_names files verbose explain sched
-    end
+      end
+      else begin
+        match (server, table, metal_paths, files) with
+        | Some addr, None, [], files ->
+          (* the daemon owns scheduling and parse-mode policy; flags
+             that would silently not apply are rejected loudly *)
+          if strict then begin
+            Printf.eprintf
+              "mcheck: --strict is a daemon-side setting (start mcheckd \
+               --strict)\n";
+            Robust.exit_code Robust.Unusable
+          end
+          else run_server addr checker_names files ropts
+        | Some _, _, _, _ ->
+          Printf.eprintf
+            "mcheck: --server runs file checks only (no --table/--metal)\n";
+          Robust.exit_code Robust.Unusable
+        | None, Some n, _, _ ->
+          run_table n seed;
+          0
+        | None, None, (_ :: _ as metal_paths), files -> (
+          match Mcheck_api.load_metal metal_paths with
+          | Error msg ->
+            (* a broken spec makes the whole run meaningless: exit 3 *)
+            Printf.eprintf "%s\n" msg;
+            Robust.exit_code Robust.Unusable
+          | Ok metal ->
+            run_metal files ropts seed (config checker_names metal);
+            0)
+        | None, None, [], [] ->
+          run_corpus checker_names seed ropts (config checker_names []);
+          0
+        | None, None, [], files ->
+          run_on_files files ropts (config checker_names [])
+      end
+    with
+    | code -> code
+    | exception Mcheck_api.Robust_exit outcome -> Robust.exit_code outcome
   in
   (* exporters run after the work so the snapshot covers everything,
      and before the exit so a violation run still writes the trace *)
@@ -547,6 +418,15 @@ let unit_deadline_arg =
               units are cut off, reported, and degraded like \
               --unit-fuel.  Only applies with --jobs/--incremental.")
 
+let server_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "server" ] ~docv:"ADDR"
+        ~doc:"Check the files against a running mcheckd daemon at \
+              $(docv) (a unix socket path, unix:PATH, or HOST:PORT) \
+              instead of in-process.  Diagnostics and exit code are \
+              identical to the local run.")
+
 let cmd =
   let doc =
     "metal checkers for FLASH protocol code (ASPLOS 2000 reproduction)"
@@ -557,6 +437,7 @@ let cmd =
       const main $ checker_arg $ files_arg $ table_arg $ list_arg $ seed_arg
       $ verbose_arg $ metal_arg $ fix_arg $ out_arg $ jobs_arg
       $ incremental_arg $ cache_arg $ quiet_arg $ explain_arg $ trace_arg
-      $ metrics_arg $ strict_arg $ unit_fuel_arg $ unit_deadline_arg)
+      $ metrics_arg $ strict_arg $ unit_fuel_arg $ unit_deadline_arg
+      $ server_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,240 @@
+(** mcheckd — the checking-as-a-service daemon.
+
+    Serve mode (the default): bind a Unix or TCP socket, hold one warm
+    {!Mcheck_api.Session} (pre-built Preps via the fused engine, the
+    content-hash Mcd cache in memory), and answer [Serve.Proto] check
+    requests until drained.
+
+    - [mcheckd --socket PATH] / [mcheckd --tcp HOST:PORT] — listen;
+    - [--jobs N] — Mcd domain count for each check;
+    - [--cache FILE] — load the result cache at startup, persist it at
+      drain/reload (in-memory only otherwise; the cache is always warm
+      within a daemon lifetime);
+    - [--metal FILE] — serve a metal-spec checker instead of the nine
+      builtins (re-read on reload);
+    - [--warm] — run the builtin corpus through the session before
+      accepting, so the first request is already incremental.
+
+    Control mode (acts as a client against the same address, then
+    exits): [--drain] finishes in-flight requests and shuts the daemon
+    down, [--reload] swaps specs without dropping connections,
+    [--stats] prints daemon/session statistics, [--ping] checks
+    liveness.  SIGINT/SIGTERM initiate the same graceful drain. *)
+
+open Cmdliner
+
+type control = Serve | Ctl_drain | Ctl_reload | Ctl_stats | Ctl_ping
+
+let fail_usable msg =
+  Printf.eprintf "mcheckd: %s\n" msg;
+  exit (Robust.exit_code Robust.Unusable)
+
+let run_control addr ctl =
+  match Serve.Client.connect addr with
+  | Error msg -> fail_usable msg
+  | Ok c ->
+    let r =
+      match ctl with
+      | Ctl_drain -> Result.map (fun () -> "draining") (Serve.Client.drain c)
+      | Ctl_reload ->
+        Result.map (fun () -> "reloaded") (Serve.Client.reload c)
+      | Ctl_stats -> Serve.Client.stats c
+      | Ctl_ping -> Result.map (fun () -> "pong") (Serve.Client.ping c)
+      | Serve -> assert false
+    in
+    Serve.Client.close c;
+    (match r with
+    | Ok text -> print_endline text
+    | Error msg -> fail_usable msg);
+    0
+
+let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
+    unit_deadline idle_timeout =
+  let api =
+    {
+      Mcheck_api.default_config with
+      jobs;
+      incremental = true;
+      cache_file;
+      strict;
+      budget = { Engine.fuel = unit_fuel; deadline_ms = unit_deadline };
+    }
+  in
+  let cfg =
+    {
+      Serve.Server.addr;
+      api;
+      metal_paths = metal;
+      idle_timeout;
+    }
+  in
+  match Serve.Server.create cfg with
+  | Error msg -> fail_usable msg
+  | Ok t ->
+    (* signal handlers only flip an atomic: taking the server mutex at
+       a signal point could deadlock against our own thread *)
+    let want_drain = Atomic.make false in
+    let on_signal _ = Atomic.set want_drain true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with _ -> ());
+    let _watcher =
+      Thread.create
+        (fun () ->
+          while not (Serve.Server.draining t) do
+            Thread.delay 0.1;
+            if Atomic.get want_drain then Serve.Server.initiate_drain t
+          done)
+        ()
+    in
+    if warm_flag then begin
+      Mcobs.logf Mcobs.Normal "mcheckd: warming on the builtin corpus";
+      Serve.Server.warm t
+    end;
+    Serve.Server.run t;
+    0
+
+let main socket tcp ctl_drain ctl_reload ctl_stats ctl_ping jobs cache metal
+    warm_flag strict unit_fuel unit_deadline idle_timeout quiet verbose =
+  Mcobs.set_verbosity
+    (if quiet then Mcobs.Quiet
+     else if verbose then Mcobs.Verbose
+     else Mcobs.Normal);
+  let addr =
+    match tcp with
+    | Some spec -> (
+      match Serve.Proto.parse_addr spec with
+      | Ok (Serve.Proto.Tcp _ as a) -> a
+      | Ok (Serve.Proto.Unix_sock _) -> fail_usable "--tcp wants HOST:PORT"
+      | Error msg -> fail_usable msg)
+    | None -> Serve.Proto.Unix_sock socket
+  in
+  let ctl =
+    match
+      List.filter_map Fun.id
+        [
+          (if ctl_drain then Some Ctl_drain else None);
+          (if ctl_reload then Some Ctl_reload else None);
+          (if ctl_stats then Some Ctl_stats else None);
+          (if ctl_ping then Some Ctl_ping else None);
+        ]
+    with
+    | [] -> Serve
+    | [ c ] -> c
+    | _ -> fail_usable "pick one of --drain / --reload / --stats / --ping"
+  in
+  match ctl with
+  | Serve ->
+    run_serve addr jobs cache metal warm_flag strict unit_fuel unit_deadline
+      idle_timeout
+  | ctl -> run_control addr ctl
+
+let socket_arg =
+  Arg.(
+    value & opt string "mcheckd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (or to control).")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on TCP instead of a Unix socket.")
+
+let drain_arg =
+  Arg.(
+    value & flag
+    & info [ "drain" ]
+        ~doc:
+          "Control mode: ask the daemon to finish in-flight requests and \
+           shut down, then exit.")
+
+let reload_arg =
+  Arg.(
+    value & flag
+    & info [ "reload" ]
+        ~doc:
+          "Control mode: ask the daemon to finish in-flight requests and \
+           rebuild its session (metal specs re-read, cache re-loaded).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Control mode: print daemon statistics.")
+
+let ping_arg =
+  Arg.(value & flag & info [ "ping" ] ~doc:"Control mode: liveness check.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Mcd domain count used for each check request.")
+
+let cache_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:
+          "Load the content-hash result cache from $(docv) at startup \
+           and persist it at drain/reload.  Without this the cache \
+           lives in memory for the daemon's lifetime.")
+
+let metal_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "m"; "metal" ] ~docv:"FILE"
+        ~doc:
+          "Serve a checker written in metal syntax instead of the nine \
+           builtins (repeatable; re-read on --reload).")
+
+let warm_arg =
+  Arg.(
+    value & flag
+    & info [ "warm" ]
+        ~doc:
+          "Run the builtin corpus through the session before accepting, \
+           so caches and code paths are hot for the first request.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Fail each request fast on unparseable input (exit 3 on \
+              the wire) instead of recovering.")
+
+let unit_fuel_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "unit-fuel" ] ~docv:"N" ~doc:"Per-unit step budget.")
+
+let unit_deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "unit-deadline" ] ~docv:"MS"
+        ~doc:"Per-unit wall-clock budget in milliseconds.")
+
+let idle_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "idle-timeout" ] ~docv:"S"
+        ~doc:"Reap client connections idle for more than $(docv) seconds.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No status output.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let cmd =
+  let doc = "checking-as-a-service daemon for the metal FLASH checkers" in
+  Cmd.v
+    (Cmd.info "mcheckd" ~doc)
+    Term.(
+      const main $ socket_arg $ tcp_arg $ drain_arg $ reload_arg $ stats_arg
+      $ ping_arg $ jobs_arg $ cache_arg $ metal_arg $ warm_arg $ strict_arg
+      $ unit_fuel_arg $ unit_deadline_arg $ idle_arg $ quiet_arg
+      $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,183 @@
+(** Mcheck_api — the session-oriented facade over the whole checking
+    pipeline.
+
+    One {!Session.t} wraps frontend → {!Prep} → {!Registry}/{!Mcd} →
+    {!Robust} exit policy behind four calls ([create] / [check_*] /
+    [stats] / [close]), and is the single entry point every driver —
+    [bin/mcheck], [bin/mcheckd], the serve bench — goes through.  A
+    session owns the warm state that makes repeated checks cheap: the
+    content-hash {!Mcd_cache} survives across [check_*] calls, so a
+    long-lived holder (the [mcheckd] daemon) pays the cold cost once and
+    serves every later request incrementally.
+
+    Sessions are not thread-safe: concurrent holders (the daemon)
+    serialize [check_*] calls externally. *)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  jobs : int;  (** Mcd domain count; 1 = sequential *)
+  incremental : bool;
+      (** keep the content-hash result cache warm across [check_*]
+          calls (and across processes via [cache_file]), plus a
+          session-local whole-request memo: a content-identical
+          re-check is answered without re-parsing or re-scheduling
+          (sound — the pipeline is deterministic in its inputs) *)
+  cache_file : string option;
+      (** load the cache here at [create], persist it at [close] *)
+  budget : Engine.budget;  (** per-unit fuel / deadline under Mcd *)
+  strict : bool;
+      (** fail fast on unreadable or unparseable input instead of
+          recovering *)
+  checkers : string list;
+      (** report only these checkers ([] = all); containment-layer
+          ["internal"] entries always pass the filter *)
+  metal : (string * string Sm.t) list;
+      (** when non-empty, run these compiled metal specs instead of the
+          nine built-in checkers *)
+}
+
+val default_config : config
+(** sequential, non-incremental, no budget, recovering parser, all
+    checkers — exactly what bare [mcheck FILE] runs *)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  r_parse : Diag.t list;
+      (** lex/parse recovery diagnostics, in file order *)
+  r_results : (string * Diag.t list) list;
+      (** checker-grouped results, selection applied; the containment
+          layer's [("internal", _)] entry rides along when present *)
+  r_findings : int;  (** non-internal checker diagnostics *)
+  r_outcome : Robust.outcome;
+  r_sched : Mcd.stats option;  (** present when the Mcd pool ran *)
+}
+
+val report_diags : report -> Diag.t list
+(** every diagnostic in print order: parse/lex first, then checker
+    groups in registry order *)
+
+type render_opts = {
+  ro_explain : bool;
+  ro_verbose : bool;
+  ro_quiet : bool;
+}
+
+val render_diag : render_opts -> Diag.t -> string
+(** exactly the bytes [mcheck] prints for one diagnostic (trailing
+    newline included) — shared by the local CLI path and the daemon's
+    streamed frames so the two are byte-identical *)
+
+val print_report : render_opts -> report -> unit
+(** the CLI's stdout for a file-mode run: every diagnostic, the
+    ["no violations found"] trailer when clean, and the partial/unusable
+    outcome log line (via the Mcobs sink) *)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Session : sig
+  type t
+
+  type stats = {
+    requests : int;  (** [check_*] calls served *)
+    files_checked : int;
+    diags_emitted : int;
+    findings : int;
+    units_run : int;  (** Mcd units executed (cache misses) *)
+    cache_hits : int;
+    cache_entries : int;  (** current warm-cache size *)
+    check_wall_ms : float;  (** time spent inside [check_*] *)
+    uptime_s : float;
+  }
+
+  val create : ?config:config -> unit -> t
+
+  (** Every [check_*] call takes an optional [?checkers] selection that
+      overrides [config.checkers] for that call only — the daemon uses
+      it to honour each request's [-c] flags against the one shared
+      session, keeping findings counts (and therefore exit codes)
+      identical to a local run with the same flags. *)
+
+  val check_files : ?checkers:string list -> t -> string list -> report
+  (** read, parse (recovering unless [strict]), derive the default
+      handler spec, run the configured pipeline.  Unreadable files are
+      reported on stderr and skipped (or fail the run under
+      [strict]). *)
+
+  val check_file : ?checkers:string list -> t -> string -> report
+
+  val check_buffer :
+    ?checkers:string list -> t -> name:string -> contents:string -> report
+  (** check an in-memory buffer as if it were a file named [name] —
+      the editor-traffic entry point *)
+
+  val check_units :
+    ?checkers:string list ->
+    t -> spec:Flash_api.spec -> Ast.tunit list -> report
+  (** check already-parsed units under an explicit protocol spec (the
+      corpus path); no parse diagnostics, selection still applies *)
+
+  val check_jobs :
+    t -> Mcd.job list -> (string * Diag.t list) list list * report
+  (** check several protocols in one pass — one Mcd pool over the whole
+      job list, exactly like [mcheck] with no file arguments; the
+      per-job result lists keep checker grouping for per-protocol
+      printing, the report aggregates *)
+
+  val stats : t -> stats
+  val pp_stats : Format.formatter -> stats -> unit
+
+  val close : t -> unit
+  (** persist the cache when [cache_file] is set; idempotent *)
+end
+
+val run_files : ?config:config -> string list -> report
+[@@deprecated
+  "one-shot shim over Session (kept one PR for out-of-tree callers of \
+   the pre-session wiring); use Session.create / check_files / close"]
+
+(* ------------------------------------------------------------------ *)
+(* Shared pipeline-wiring helpers (were duplicated across the bins)    *)
+(* ------------------------------------------------------------------ *)
+
+val default_spec : Ast.tunit list -> Flash_api.spec
+(** the CLI's default protocol spec: every void/no-arg function is a
+    hardware handler, as xg++'s default tables assumed *)
+
+val read_sources :
+  strict:bool -> string list -> (string * string) list * int
+(** read input files (prelude prepended), reporting and skipping
+    unreadable ones; returns the survivors and the skip count.
+    @raise Robust_exit under [strict] on the first unreadable file *)
+
+exception Robust_exit of Robust.outcome
+(** raised by strict-mode input failures after the error has been
+    printed; drivers map it to [Robust.exit_code] *)
+
+val parse_strict : (string * string) list -> Ast.tunit list
+(** [Frontend.of_strings] with the CLI's fail-fast error reporting.
+    @raise Robust_exit on the first parse or lexical error *)
+
+val load_metal :
+  string list -> ((string * string Sm.t) list, string) result
+(** compile metal spec files; the first unreadable or unparseable spec
+    fails the whole load (a broken spec makes any run meaningless) *)
+
+val corpus_jobs : Corpus.t -> Mcd.job list
+(** one {!Mcd.job} per corpus protocol *)
+
+val render_results : (string * Diag.t list) list list -> string
+(** the order-sensitive rendering benches byte-compare pipelines with *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+
+val write_file : string -> string -> unit
+(** write [contents] to [path] (the JSON-report helper the bins
+    shared) *)

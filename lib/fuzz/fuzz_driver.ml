@@ -12,8 +12,12 @@ type outcome = {
   failures : Fuzz_oracle.failure list;
 }
 
-let run ?(log = fun _ -> ()) ?(kinds = Fuzz_mutate.all_kinds) ~base_seed
-    ~count ~mutate () : outcome =
+(* [extra_oracle] lets a caller bolt an additional differential onto
+   every clean program — the daemon-vs-CLI oracle lives behind it, so
+   this library never depends on the serving stack *)
+let run ?(log = fun _ -> ()) ?(kinds = Fuzz_mutate.all_kinds)
+    ?(extra_oracle = fun (_ : Fuzz_gen.program) -> []) ~base_seed ~count
+    ~mutate () : outcome =
   let score = Fuzz_score.create () in
   let failures = ref [] in
   let shared_cache = Mcd_cache.create () in
@@ -24,9 +28,10 @@ let run ?(log = fun _ -> ()) ?(kinds = Fuzz_mutate.all_kinds) ~base_seed
       Fuzz_oracle.check ~shared_cache ~seed ~spec:p.Fuzz_gen.spec
         ~tus:p.Fuzz_gen.tus ()
     in
-    failures := fs @ !failures;
+    let efs = extra_oracle p in
+    failures := efs @ fs @ !failures;
     Fuzz_score.record_program score;
-    Fuzz_score.record_oracle_failures score (List.length fs);
+    Fuzz_score.record_oracle_failures score (List.length fs + List.length efs);
     if mutate then begin
       let mrng = Rng.create ~seed:(seed lxor 0x5EED0) in
       List.iter

@@ -1,0 +1,114 @@
+(* The mcheckd client library.  Synchronous: write one request frame,
+   read frames until the terminator.  All transport and protocol
+   failures surface as [Error _] — callers map them onto Robust exit
+   semantics. *)
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect addr =
+  let sock, sockaddr =
+    match addr with
+    | Proto.Unix_sock path ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Proto.Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, Unix.ADDR_INET (ip, port))
+  in
+  match Unix.connect sock sockaddr with
+  | () -> Ok { fd = sock; open_ = true }
+  | exception e ->
+    (try Unix.close sock with _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s"
+         (Proto.addr_to_string addr)
+         (match e with
+         | Unix.Unix_error (err, _, _) -> Unix.error_message err
+         | e -> Printexc.to_string e))
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with _ -> ()
+  end
+
+let send t req =
+  match Proto.write_frame t.fd (Proto.encode_request req) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("send failed: " ^ Unix.error_message err)
+
+let read_response t =
+  match Proto.read_frame t.fd with
+  | Error msg -> Error ("read failed: " ^ msg)
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("read failed: " ^ Unix.error_message err)
+  | Ok payload -> Proto.decode_response payload
+
+let request t req =
+  match send t req with Error _ as e -> e | Ok () -> read_response t
+
+type check_result = {
+  cr_exit : int;
+  cr_findings : int;
+  cr_diags : Proto.diag_frame list;
+}
+
+type check_outcome = Checked of check_result | Refused of string
+
+let run_check ?(on_diag = fun _ -> ()) t req =
+  match send t req with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec collect acc =
+      match read_response t with
+      | Error _ as e -> e
+      | Ok (Proto.R_diag d) ->
+        on_diag d;
+        collect (d :: acc)
+      | Ok (Proto.R_done { rd_exit; rd_findings; rd_diags }) ->
+        let diags = List.rev acc in
+        if List.length diags <> rd_diags then
+          Error
+            (Printf.sprintf
+               "stream out of sync: %d diagnostic frame(s), trailer \
+                claims %d"
+               (List.length diags) rd_diags)
+        else
+          Ok
+            (Checked
+               {
+                 cr_exit = rd_exit;
+                 cr_findings = rd_findings;
+                 cr_diags = diags;
+               })
+      | Ok (Proto.R_error msg) -> Ok (Refused msg)
+      | Ok (Proto.R_ok | Proto.R_text _) ->
+        Error "unexpected response kind mid-check"
+    in
+    collect []
+
+let check_files ?on_diag t opts paths =
+  run_check ?on_diag t (Proto.Check_files (opts, paths))
+
+let check_buffer ?on_diag t opts ~name ~contents =
+  run_check ?on_diag t (Proto.Check_buffer (opts, name, contents))
+
+let expect_ok = function
+  | Error _ as e -> e
+  | Ok Proto.R_ok -> Ok ()
+  | Ok (Proto.R_error msg) -> Error msg
+  | Ok _ -> Error "unexpected response kind"
+
+let stats t =
+  match request t Proto.Stats with
+  | Error _ as e -> e
+  | Ok (Proto.R_text s) -> Ok s
+  | Ok (Proto.R_error msg) -> Error msg
+  | Ok _ -> Error "unexpected response kind"
+
+let ping t = expect_ok (request t Proto.Ping)
+let drain t = expect_ok (request t Proto.Drain)
+let reload t = expect_ok (request t Proto.Reload)

@@ -1,0 +1,54 @@
+(** The mcheckd client library: one connection, synchronous
+    request/response with streamed diagnostics.
+
+    [mcheck --server ADDR] and the serve bench are thin wrappers over
+    this; the printed bytes come straight from the daemon's
+    {!Proto.diag_frame.d_text} fields, which the daemon renders with the
+    same code the local CLI uses — that is what makes daemon and CLI
+    output byte-identical. *)
+
+type t
+
+val connect : Proto.addr -> (t, string) result
+val close : t -> unit
+
+type check_result = {
+  cr_exit : int;  (** the {!Robust} exit code computed server-side *)
+  cr_findings : int;
+  cr_diags : Proto.diag_frame list;  (** in arrival (= print) order *)
+}
+
+type check_outcome =
+  | Checked of check_result
+  | Refused of string
+      (** the daemon's fault barrier answered [R_error]: exit-code-2
+          (partial) semantics *)
+
+val check_files :
+  ?on_diag:(Proto.diag_frame -> unit) ->
+  t ->
+  Proto.check_opts ->
+  string list ->
+  (check_outcome, string) result
+(** [on_diag] fires per streamed frame, before the result returns —
+    the latency-hiding hook interactive callers print from *)
+
+val check_buffer :
+  ?on_diag:(Proto.diag_frame -> unit) ->
+  t ->
+  Proto.check_opts ->
+  name:string ->
+  contents:string ->
+  (check_outcome, string) result
+
+val stats : t -> (string, string) result
+val ping : t -> (unit, string) result
+
+val drain : t -> (unit, string) result
+(** ask the daemon to finish in-flight work and shut down *)
+
+val reload : t -> (unit, string) result
+
+val request : t -> Proto.request -> (Proto.response, string) result
+(** escape hatch: send one raw request, read one raw response frame
+    (protocol tests drive malformed traffic through this) *)

@@ -1,0 +1,25 @@
+(** The daemon ≡ CLI differential oracle (Mcfuzz's sixth): every
+    generated program is checked twice — through a plain sequential
+    local {!Mcheck_api.Session} and over the wire against a live
+    in-process daemon running the warm parallel/incremental
+    configuration — and the rendered diagnostics, findings count, and
+    exit code must be byte-for-byte identical.
+
+    Plug {!check} into [Fuzz_driver.run ~extra_oracle]; failures carry
+    the reproducing seed like every other Mcfuzz oracle. *)
+
+type t
+(** a running in-process daemon plus its local mirror session *)
+
+val start : ?config:Mcheck_api.config -> unit -> t
+(** spawn the daemon on a fresh temp unix socket and wait until it
+    answers pings.  [config] is the daemon's (default: 2 domains,
+    incremental — the warm path worth differencing).
+    @raise Failure if the daemon cannot start *)
+
+val addr : t -> Proto.addr
+
+val check : t -> Fuzz_gen.program -> Fuzz_oracle.failure list
+
+val stop : t -> unit
+(** drain the daemon, join its thread, close the mirror session *)

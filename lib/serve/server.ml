@@ -1,0 +1,331 @@
+(* The mcheckd daemon core.  One accept loop, one thread per
+   connection, one shared warm session; the session itself is not
+   thread-safe, so a mutex serializes check execution — concurrent
+   clients multiplex onto the one Mcd pool rather than spawning rival
+   pools.  All daemon state transitions (drain, reload, counters) go
+   through [t.mu]. *)
+
+type config = {
+  addr : Proto.addr;
+  api : Mcheck_api.config;
+  metal_paths : string list;
+  idle_timeout : float;
+}
+
+let default_config =
+  {
+    addr = Proto.Unix_sock "mcheckd.sock";
+    api = { Mcheck_api.default_config with incremental = true };
+    metal_paths = [];
+    idle_timeout = 10.0;
+  }
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  mu : Mutex.t;  (* flags and counters *)
+  cond : Condition.t;  (* signalled when conns/inflight drop *)
+  session_mu : Mutex.t;  (* serializes session use (checks, reload) *)
+  mutable session : Mcheck_api.Session.t;
+  mutable is_draining : bool;
+  mutable conns : int;
+  mutable requests : int;
+  mutable refused : int;
+  mutable errors : int;
+  mutable inflight_n : int;
+  started : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Session construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let build_session cfg =
+  match Mcheck_api.load_metal cfg.metal_paths with
+  | Error _ as e -> e
+  | Ok metal ->
+    let api = { cfg.api with Mcheck_api.metal } in
+    Ok (Mcheck_api.Session.create ~config:api ())
+
+let create cfg =
+  match build_session cfg with
+  | Error _ as e -> e
+  | Ok session -> (
+    let sock_of = function
+      | Proto.Unix_sock path ->
+        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind s (Unix.ADDR_UNIX path);
+        s
+      | Proto.Tcp (host, port) ->
+        let ip =
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_of_string host
+        in
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt s Unix.SO_REUSEADDR true;
+        Unix.bind s (Unix.ADDR_INET (ip, port));
+        s
+    in
+    match sock_of cfg.addr with
+    | exception e ->
+      Mcheck_api.Session.close session;
+      Error
+        (Printf.sprintf "cannot listen on %s: %s"
+           (Proto.addr_to_string cfg.addr)
+           (Printexc.to_string e))
+    | lsock ->
+      Unix.listen lsock 64;
+      Ok
+        {
+          cfg;
+          lsock;
+          mu = Mutex.create ();
+          cond = Condition.create ();
+          session_mu = Mutex.create ();
+          session;
+          is_draining = false;
+          conns = 0;
+          requests = 0;
+          refused = 0;
+          errors = 0;
+          inflight_n = 0;
+          started = Unix.gettimeofday ();
+        })
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let initiate_drain t =
+  locked t.mu (fun () ->
+      t.is_draining <- true;
+      Condition.broadcast t.cond)
+
+let draining t = locked t.mu (fun () -> t.is_draining)
+let inflight t = locked t.mu (fun () -> t.inflight_n)
+
+let stats_text t =
+  let s = Mcheck_api.Session.stats t.session in
+  locked t.mu (fun () ->
+      Format.asprintf
+        "mcheckd %s: up %.1f s, %d conn(s), %d request(s) served, %d \
+         refused, %d error(s), %d in flight%s@.session: %a@."
+        (Proto.addr_to_string t.cfg.addr)
+        (Unix.gettimeofday () -. t.started)
+        t.conns t.requests t.refused t.errors t.inflight_n
+        (if t.is_draining then " (draining)" else "")
+        Mcheck_api.Session.pp_stats s)
+
+let warm t =
+  Mcobs.with_span "serve.warm" (fun () ->
+      let corpus = Corpus.generate () in
+      locked t.session_mu (fun () ->
+          List.iter
+            (fun (j : Mcd.job) ->
+              ignore
+                (Mcheck_api.Session.check_units t.session ~spec:j.Mcd.spec
+                   j.Mcd.tus))
+            (Mcheck_api.corpus_jobs corpus)))
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let send fd resp = Proto.write_frame fd (Proto.encode_response resp)
+
+(* admission: a check admitted before the drain flag flips always runs
+   to completion — the drain-under-load zero-loss guarantee *)
+let admit t =
+  locked t.mu (fun () ->
+      if t.is_draining then false
+      else begin
+        t.inflight_n <- t.inflight_n + 1;
+        t.requests <- t.requests + 1;
+        true
+      end)
+
+let finish_inflight t =
+  locked t.mu (fun () ->
+      t.inflight_n <- t.inflight_n - 1;
+      Condition.broadcast t.cond)
+
+let render_opts (o : Proto.check_opts) =
+  {
+    Mcheck_api.ro_explain = o.Proto.co_explain;
+    ro_verbose = o.Proto.co_verbose;
+    ro_quiet = o.Proto.co_quiet;
+  }
+
+let run_check t fd (opts : Proto.check_opts) work =
+  if not (admit t) then begin
+    locked t.mu (fun () -> t.refused <- t.refused + 1);
+    send fd (Proto.R_error "draining: request refused")
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> finish_inflight t)
+      (fun () ->
+        match
+          Mcobs.with_span "serve.check" (fun () ->
+              locked t.session_mu (fun () -> work t.session))
+        with
+        | (report : Mcheck_api.report) ->
+          Mcobs.count "serve.check.ok";
+          let ropts = render_opts opts in
+          let diags = Mcheck_api.report_diags report in
+          List.iter
+            (fun (d : Diag.t) ->
+              send fd
+                (Proto.R_diag
+                   {
+                     Proto.d_checker = d.Diag.checker;
+                     d_severity = Diag.severity_string d.Diag.severity;
+                     d_internal = Robust.is_internal d;
+                     d_text = Mcheck_api.render_diag ropts d;
+                   }))
+            diags;
+          send fd
+            (Proto.R_done
+               {
+                 rd_exit = Robust.exit_code report.Mcheck_api.r_outcome;
+                 rd_findings = report.Mcheck_api.r_findings;
+                 rd_diags = List.length diags;
+               })
+        | exception Mcheck_api.Robust_exit outcome ->
+          (* strict-mode input failure: the daemon printed the reason on
+             its stderr, the wire carries the exit code *)
+          send fd
+            (Proto.R_done
+               {
+                 rd_exit = Robust.exit_code outcome;
+                 rd_findings = 0;
+                 rd_diags = 0;
+               })
+        | exception exn ->
+          (* the per-request fault barrier: a poisoned request degrades
+             to an error frame, never kills the daemon *)
+          locked t.mu (fun () -> t.errors <- t.errors + 1);
+          Mcobs.count "serve.check.fault";
+          send fd (Proto.R_error (Engine.describe_fault exn)))
+
+(* the per-request strictness knob is reserved on the wire; the daemon
+   applies its configured parse mode (see Proto.check_opts docs) *)
+let handle_request t fd = function
+  | Proto.Ping -> send fd Proto.R_ok
+  | Proto.Stats -> send fd (Proto.R_text (stats_text t))
+  | Proto.Drain ->
+    Mcobs.count "serve.drain";
+    initiate_drain t;
+    send fd Proto.R_ok
+  | Proto.Reload -> (
+    Mcobs.count "serve.reload";
+    match build_session t.cfg with
+    | Error msg ->
+      locked t.mu (fun () -> t.errors <- t.errors + 1);
+      send fd (Proto.R_error ("reload failed: " ^ msg))
+    | Ok fresh ->
+      (* waits for in-flight checks (they hold session_mu), then swaps *)
+      locked t.session_mu (fun () ->
+          let old = t.session in
+          t.session <- fresh;
+          Mcheck_api.Session.close old);
+      send fd Proto.R_ok)
+  | Proto.Check_files (opts, paths) ->
+    (* the request's -c selection overrides the session's, per call, so
+       findings counts and exit codes match a local run with the same
+       flags *)
+    run_check t fd opts (fun session ->
+        Mcheck_api.Session.check_files ~checkers:opts.Proto.co_checkers
+          session paths)
+  | Proto.Check_buffer (opts, name, contents) ->
+    run_check t fd opts (fun session ->
+        Mcheck_api.Session.check_buffer ~checkers:opts.Proto.co_checkers
+          session ~name ~contents)
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle_conn t fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout
+   with _ -> ());
+  let rec loop () =
+    match Proto.read_frame fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* idle past the timeout: reap the connection (clients
+         reconnect cheaply); unconditional so a drain never waits on a
+         silent peer *)
+      ()
+    | exception Unix.Unix_error _ -> ()
+    | Error "eof" -> ()
+    | Error msg ->
+      (* framing is broken; answer once and hang up *)
+      (try send fd (Proto.R_error ("protocol error: " ^ msg)) with _ -> ());
+      locked t.mu (fun () -> t.errors <- t.errors + 1)
+    | Ok payload -> (
+      match Proto.decode_request payload with
+      | Error msg ->
+        (try send fd (Proto.R_error ("protocol error: " ^ msg))
+         with _ -> ());
+        locked t.mu (fun () -> t.errors <- t.errors + 1)
+      | Ok req -> (
+        Mcobs.count "serve.request";
+        match handle_request t fd req with
+        | () -> loop ()
+        | exception Unix.Unix_error _ ->
+          (* client went away mid-reply *)
+          ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with _ -> ());
+      locked t.mu (fun () ->
+          t.conns <- t.conns - 1;
+          Condition.broadcast t.cond))
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* The accept loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  Mcobs.logf Mcobs.Normal "mcheckd: listening on %s"
+    (Proto.addr_to_string t.cfg.addr);
+  let rec loop () =
+    let finished =
+      locked t.mu (fun () ->
+          t.is_draining && t.conns = 0 && t.inflight_n = 0)
+    in
+    if not finished then begin
+      (match Unix.select [ t.lsock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.lsock with
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          ()
+        | fd, _ ->
+          if locked t.mu (fun () -> t.is_draining) then (
+            (* refuse politely rather than leaving the peer hanging *)
+            (try send fd (Proto.R_error "draining: connection refused")
+             with _ -> ());
+            try Unix.close fd with _ -> ())
+          else begin
+            locked t.mu (fun () -> t.conns <- t.conns + 1);
+            ignore (Thread.create (fun () -> handle_conn t fd) ())
+          end)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close t.lsock with _ -> ());
+  (match t.cfg.addr with
+  | Proto.Unix_sock path -> ( try Unix.unlink path with _ -> ())
+  | Proto.Tcp _ -> ());
+  locked t.session_mu (fun () -> Mcheck_api.Session.close t.session);
+  Mcobs.logf Mcobs.Normal "mcheckd: drained, %d request(s) served"
+    t.requests

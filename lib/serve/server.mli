@@ -1,0 +1,61 @@
+(** The mcheckd daemon core: a listening socket, one thread per client
+    connection, all check requests multiplexed onto one shared warm
+    {!Mcheck_api.Session}.
+
+    Containment mirrors the pipeline's own fault barriers: a request
+    that fails inside the daemon (decode error, poisoned input, checker
+    crash that escapes the engine's own barriers) becomes an
+    {!Proto.R_error} frame — exit-code-2 semantics on the wire — and
+    the daemon keeps serving.
+
+    Lifecycle: {!run} accepts until a drain is initiated (a
+    {!Proto.Drain} request, {!initiate_drain}, or a SIGINT/SIGTERM the
+    driver routes there), then stops admitting new requests, finishes
+    every admitted one, closes the listener, persists the session cache,
+    and returns.  {!Proto.Reload} waits for in-flight requests, then
+    swaps the session (metal specs re-read, cache rebuilt) without
+    dropping connections. *)
+
+type config = {
+  addr : Proto.addr;
+  api : Mcheck_api.config;
+  metal_paths : string list;
+      (** metal spec files, re-read on [Reload]; compiled into
+          [api.metal] at session build time *)
+  idle_timeout : float;
+      (** per-connection receive timeout in seconds; an idle client is
+          kept, but during a drain its connection is closed once the
+          timeout fires *)
+}
+
+val default_config : config
+(** unix socket ["mcheckd.sock"], incremental in-memory cache, 1 job *)
+
+type t
+
+val create : config -> (t, string) result
+(** bind and listen (stale unix-socket files are replaced); the session
+    is built — and its cache loaded — here, so the daemon is warm
+    before the first accept *)
+
+val run : t -> unit
+(** the blocking accept loop; returns after a completed drain *)
+
+val warm : t -> unit
+(** pre-warm the session before serving: run the builtin corpus
+    through it once, so the Mcd cache, pattern tables, and code paths
+    are hot when the first real request lands *)
+
+val initiate_drain : t -> unit
+(** same effect as a wire [Drain]: safe from a signal handler or
+    another thread *)
+
+val draining : t -> bool
+
+val stats_text : t -> string
+(** the [Stats] reply: server counters plus {!Mcheck_api.Session}
+    statistics *)
+
+val inflight : t -> int
+(** admitted check requests not yet answered (drain-under-load tests
+    observe this) *)

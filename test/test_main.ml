@@ -30,4 +30,6 @@ let () =
       Test_props.suite;
       Test_obs.suite;
       Test_robust.suite;
+      Test_api.suite;
+      Test_serve.suite;
     ]

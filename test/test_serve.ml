@@ -1,0 +1,503 @@
+(** The serving stack: wire-protocol totality and round-tripping,
+    framing safety against hostile bytes, a live in-process daemon
+    (checks, interleaved sessions, drain under load, reload, fault
+    containment), daemon ≡ CLI byte-identity, and the dogfood check —
+    our own [msg_length] checker run over a Clite model of
+    [Serve.Proto]'s framing discipline. *)
+
+let t = Alcotest.test_case
+
+module Proto = Serve.Proto
+module Client = Serve.Client
+module Oracle = Serve.Serve_oracle
+
+(* ------------------------------------------------------------------ *)
+(* Codec round trips (qcheck)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_bytes =
+  (* adversarial strings: full byte range, NULs included *)
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 60))
+
+let gen_opts =
+  QCheck.Gen.(
+    map3
+      (fun names a b ->
+        {
+          Proto.co_checkers = names;
+          co_explain = a;
+          co_verbose = b;
+          co_quiet = a <> b;
+          co_strict = a && b;
+        })
+      (list_size (int_bound 3) gen_bytes)
+      bool bool)
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun o fs -> Proto.Check_files (o, fs))
+          gen_opts
+          (list_size (int_bound 4) gen_bytes);
+        map3
+          (fun o n c -> Proto.Check_buffer (o, n, c))
+          gen_opts gen_bytes gen_bytes;
+        return Proto.Stats;
+        return Proto.Drain;
+        return Proto.Reload;
+        return Proto.Ping;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun c s txt ->
+            Proto.R_diag
+              {
+                Proto.d_checker = c;
+                d_severity = s;
+                d_internal = String.length txt land 1 = 1;
+                d_text = txt;
+              })
+          gen_bytes gen_bytes gen_bytes;
+        map3
+          (fun e f d ->
+            Proto.R_done { rd_exit = e; rd_findings = f; rd_diags = d })
+          (int_bound 3) small_nat small_nat;
+        map (fun s -> Proto.R_text s) gen_bytes;
+        return Proto.R_ok;
+        map (fun s -> Proto.R_error s) gen_bytes;
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"proto: decode (encode req) = Ok req" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" Proto.pp_request) gen_request)
+    (fun req ->
+      match Proto.decode_request (Proto.encode_request req) with
+      | Ok req' -> Proto.equal_request req req'
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"proto: decode (encode resp) = Ok resp" ~count:300
+    (QCheck.make gen_response)
+    (fun resp ->
+      match Proto.decode_response (Proto.encode_response resp) with
+      | Ok resp' -> Proto.equal_response resp resp'
+      | Error _ -> false)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"proto: hostile payloads never raise" ~count:500
+    (QCheck.make gen_bytes)
+    (fun bytes ->
+      let total decode =
+        match decode bytes with Ok _ | Error _ -> true
+      in
+      total Proto.decode_request && total Proto.decode_response)
+
+let prop_trailing_garbage_rejected =
+  QCheck.Test.make ~name:"proto: trailing garbage is rejected" ~count:100
+    (QCheck.make ~print:(Format.asprintf "%a" Proto.pp_request) gen_request)
+    (fun req ->
+      match Proto.decode_request (Proto.encode_request req ^ "\x00") with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Framing over a real descriptor                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_pair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f a b)
+
+let write_all fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let framing_cases =
+  [
+    t "frame carries its exact length big-endian" `Quick (fun () ->
+        let payload = "hello \x00 frame" in
+        let f = Proto.frame payload in
+        Alcotest.(check int) "total length"
+          (Proto.header_len + String.length payload)
+          (String.length f);
+        Alcotest.(check string) "magic" Proto.magic (String.sub f 0 4);
+        let len =
+          (Char.code f.[6] lsl 24)
+          lor (Char.code f.[7] lsl 16)
+          lor (Char.code f.[8] lsl 8)
+          lor Char.code f.[9]
+        in
+        (* the header's length claim agrees with the payload the peer
+           reads — the msg_length discipline, on our own wire *)
+        Alcotest.(check int) "length field" (String.length payload) len);
+    t "read_frame round-trips a written frame" `Quick (fun () ->
+        with_pair (fun a b ->
+            Proto.write_frame a "payload";
+            match Proto.read_frame b with
+            | Ok p -> Alcotest.(check string) "payload" "payload" p
+            | Error e -> Alcotest.fail e));
+    t "truncated header, truncated payload, eof" `Quick (fun () ->
+        with_pair (fun a b ->
+            write_all a (String.sub (Proto.frame "full payload") 0 6);
+            Unix.close a;
+            match Proto.read_frame b with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "truncated header accepted");
+        with_pair (fun a b ->
+            let f = Proto.frame "twelve bytes" in
+            write_all a (String.sub f 0 (String.length f - 3));
+            Unix.close a;
+            match Proto.read_frame b with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "truncated payload accepted");
+        with_pair (fun a b ->
+            Unix.close a;
+            match Proto.read_frame b with
+            | Error "eof" -> ()
+            | Error e -> Alcotest.failf "expected eof, got %s" e
+            | Ok _ -> Alcotest.fail "eof accepted"));
+    t "oversized length claim rejected before allocation" `Quick (fun () ->
+        with_pair (fun a b ->
+            let h = Bytes.of_string (Proto.frame "") in
+            (* rewrite the length field to claim 2 GiB *)
+            Bytes.set h 6 '\x7f';
+            Bytes.set h 7 '\xff';
+            Bytes.set h 8 '\xff';
+            Bytes.set h 9 '\xff';
+            write_all a (Bytes.to_string h);
+            Unix.close a;
+            match Proto.read_frame b with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "oversized frame accepted"));
+    t "bad magic and bad version rejected" `Quick (fun () ->
+        with_pair (fun a b ->
+            write_all a ("XXXX" ^ String.make 6 '\x00');
+            Unix.close a;
+            match Proto.read_frame b with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "bad magic accepted"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Live daemon                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let buggy_src =
+  "void H(void) { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA; \
+   NI_SEND(MSG_PUT, F_DATA, 0, W_NOWAIT, 1, 0); }"
+
+let with_daemon ?config f =
+  let d = Oracle.start ?config () in
+  Fun.protect ~finally:(fun () -> try Oracle.stop d with _ -> ()) (fun () ->
+      f d)
+
+let with_client addr f =
+  match Client.connect addr with
+  | Error msg -> Alcotest.fail msg
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let plain = Proto.default_opts
+
+let expect_checked = function
+  | Ok (Client.Checked r) -> r
+  | Ok (Client.Refused msg) -> Alcotest.failf "refused: %s" msg
+  | Error msg -> Alcotest.fail msg
+
+let daemon_cases =
+  [
+    t "ping, buffer check, stats over the wire" `Quick (fun () ->
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c ->
+                (match Client.ping c with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e);
+                let r =
+                  expect_checked
+                    (Client.check_buffer c plain ~name:"b.c"
+                       ~contents:buggy_src)
+                in
+                Alcotest.(check int) "findings exit" 1 r.Client.cr_exit;
+                Alcotest.(check bool) "findings counted" true
+                  (r.Client.cr_findings > 0);
+                Alcotest.(check int) "stream complete"
+                  (List.length r.Client.cr_diags)
+                  r.Client.cr_findings;
+                match Client.stats c with
+                | Ok s ->
+                  Alcotest.(check bool) "stats mention requests" true
+                    (String.length s > 0)
+                | Error e -> Alcotest.fail e)));
+    t "daemon output byte-identical to the CLI path" `Quick (fun () ->
+        (* corpus files on disk, like the real CLI differential in CI *)
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "serve-ident-%d" (Unix.getpid ()))
+        in
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        Corpus.write_to_dir (Corpus.generate ()) dir;
+        let files =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".c")
+          |> List.sort compare
+          |> List.map (Filename.concat dir)
+        in
+        let files = [ List.nth files 0; List.nth files 1 ] in
+        let ropts =
+          {
+            Mcheck_api.ro_explain = false;
+            ro_verbose = false;
+            ro_quiet = false;
+          }
+        in
+        let local_out, local_exit =
+          let s = Mcheck_api.Session.create () in
+          Fun.protect
+            ~finally:(fun () -> Mcheck_api.Session.close s)
+            (fun () ->
+              let r = Mcheck_api.Session.check_files s files in
+              let diags =
+                String.concat ""
+                  (List.map
+                     (Mcheck_api.render_diag ropts)
+                     (Mcheck_api.report_diags r))
+              in
+              ( (if r.Mcheck_api.r_findings = 0 then
+                   diags ^ "no violations found\n"
+                 else diags),
+                Robust.exit_code r.Mcheck_api.r_outcome ))
+        in
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c ->
+                let buf = Buffer.create 4096 in
+                let r =
+                  expect_checked
+                    (Client.check_files
+                       ~on_diag:(fun df ->
+                         Buffer.add_string buf df.Proto.d_text)
+                       c plain files)
+                in
+                if r.Client.cr_findings = 0 then
+                  Buffer.add_string buf "no violations found\n";
+                Alcotest.(check string)
+                  "stdout bytes" local_out (Buffer.contents buf);
+                Alcotest.(check int) "exit code" local_exit r.Client.cr_exit)));
+    t "interleaved client sessions multiplex cleanly" `Quick (fun () ->
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c1 ->
+                with_client (Oracle.addr d) (fun c2 ->
+                    let check c =
+                      (expect_checked
+                         (Client.check_buffer c plain ~name:"b.c"
+                            ~contents:buggy_src))
+                        .Client.cr_exit
+                    in
+                    Alcotest.(check (list int))
+                      "alternating requests"
+                      [ 1; 1; 1; 1 ]
+                      [ check c1; check c2; check c1; check c2 ]))));
+    t "drain under load: zero admitted responses lost" `Quick (fun () ->
+        with_daemon (fun d ->
+            let n = 6 in
+            let completed = Atomic.make 0
+            and refused = Atomic.make 0
+            and lost = Atomic.make 0 in
+            let worker _ =
+              match Client.connect (Oracle.addr d) with
+              | Error _ -> Atomic.incr lost
+              | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    match
+                      Client.check_buffer c plain ~name:"b.c"
+                        ~contents:buggy_src
+                    with
+                    | Ok (Client.Checked _) -> Atomic.incr completed
+                    | Ok (Client.Refused _) -> Atomic.incr refused
+                    | Error _ -> Atomic.incr lost)
+            in
+            let threads = List.init n (fun i -> Thread.create worker i) in
+            Thread.delay 0.002;
+            Oracle.stop d;
+            List.iter Thread.join threads;
+            Alcotest.(check int) "lost" 0 (Atomic.get lost);
+            Alcotest.(check int)
+              "every request accounted" n
+              (Atomic.get completed + Atomic.get refused)));
+    t "draining daemon refuses new checks explicitly" `Quick (fun () ->
+        let d = Oracle.start () in
+        with_client (Oracle.addr d) (fun c ->
+            (match Client.drain c with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e);
+            match
+              Client.check_buffer c plain ~name:"b.c" ~contents:buggy_src
+            with
+            | Ok (Client.Refused _) -> ()
+            | Ok (Client.Checked _) ->
+              Alcotest.fail "check accepted during drain"
+            | Error _ ->
+              (* the daemon may already have hung up: also an explicit
+                 refusal, not a lost admitted response *)
+              ()));
+    t "protocol garbage answered, daemon survives" `Quick (fun () ->
+        with_daemon (fun d ->
+            let path =
+              match Oracle.addr d with
+              | Proto.Unix_sock p -> p
+              | Proto.Tcp _ -> Alcotest.fail "expected unix socket"
+            in
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            (* a well-framed payload that is not a valid request *)
+            Proto.write_frame fd "\xff\xfe\xfd";
+            (match Proto.read_frame fd with
+            | Ok payload -> (
+              match Proto.decode_response payload with
+              | Ok (Proto.R_error _) -> ()
+              | _ -> Alcotest.fail "expected an error frame")
+            | Error e -> Alcotest.failf "no reply to garbage: %s" e);
+            Unix.close fd;
+            (* raw garbage bytes on a second connection *)
+            let fd2 = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd2 (Unix.ADDR_UNIX path);
+            write_all fd2 "GET / HTTP/1.1\r\n\r\n";
+            (try Unix.close fd2 with _ -> ());
+            (* the daemon is still serving *)
+            with_client (Oracle.addr d) (fun c ->
+                match Client.ping c with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e)));
+    t "reload swaps the session without dropping service" `Quick (fun () ->
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c ->
+                let before =
+                  expect_checked
+                    (Client.check_buffer c plain ~name:"b.c"
+                       ~contents:buggy_src)
+                in
+                (match Client.reload c with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e);
+                let after =
+                  expect_checked
+                    (Client.check_buffer c plain ~name:"b.c"
+                       ~contents:buggy_src)
+                in
+                Alcotest.(check int)
+                  "same verdict across reload" before.Client.cr_exit
+                  after.Client.cr_exit)));
+    t "fuzzed byte streams never kill the daemon" `Quick (fun () ->
+        with_daemon (fun d ->
+            let path =
+              match Oracle.addr d with
+              | Proto.Unix_sock p -> p
+              | Proto.Tcp _ -> Alcotest.fail "expected unix socket"
+            in
+            let rng = Random.State.make [| 0xF4A3 |] in
+            for _ = 1 to 20 do
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_UNIX path);
+              let len = Random.State.int rng 64 in
+              let junk =
+                String.init len (fun _ -> Char.chr (Random.State.int rng 256))
+              in
+              (* half the streams lead with valid magic to get past the
+                 header check *)
+              let payload =
+                if Random.State.bool rng then Proto.magic ^ junk else junk
+              in
+              (try write_all fd payload with _ -> ());
+              (try Unix.close fd with _ -> ())
+            done;
+            with_client (Oracle.addr d) (fun c ->
+                match Client.ping c with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e)));
+    t "serve oracle: daemon = CLI on generated programs" `Quick (fun () ->
+        with_daemon (fun d ->
+            List.iter
+              (fun seed ->
+                let p = Fuzz_gen.generate ~seed () in
+                match Oracle.check d p with
+                | [] -> ()
+                | f :: _ ->
+                  Alcotest.failf "seed %d: %s" seed f.Fuzz_oracle.f_detail)
+              [ 1; 2; 3 ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dogfood: msg_length over a Clite model of Proto's framing           *)
+(* ------------------------------------------------------------------ *)
+
+(* [Proto.frame]/[write_frame] put the payload's exact length in the
+   header and send the payload bytes with it; [read_frame] trusts the
+   header's claim.  Modeled on FLASH primitives, that is precisely the
+   contract [msg_length] checks: a nonzero length claim must travel
+   with data (F_DATA), a zero claim must not.  The faithful model must
+   pass; a variant that claims LEN_NODATA while sending payload bytes
+   — a frame whose header lies about its body — must be flagged. *)
+
+let proto_spec =
+  {
+    Flash_api.p_name = "serve-proto-model";
+    p_handlers =
+      List.map
+        (fun name ->
+          {
+            Flash_api.h_name = name;
+            h_kind = Flash_api.Hw_handler;
+            h_lane_allowance = [| 1; 1; 1; 1 |];
+            h_no_stack = false;
+          })
+        [ "write_frame"; "write_empty_frame"; "write_frame_lying_header" ];
+    p_free_funcs = [];
+    p_use_funcs = [];
+    p_cond_free_funcs = [];
+  }
+
+let faithful_model =
+  (* write_frame: header length = payload length, payload attached *)
+  "void write_frame(void) { HANDLER_GLOBALS(header.nh.len) = LEN_WORD; \
+   NI_SEND(MSG_PUT, F_DATA, 0, W_NOWAIT, 1, 0); } void \
+   write_empty_frame(void) { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA; \
+   NI_SEND(MSG_NAK, F_NODATA, 0, W_NOWAIT, 1, 0); }"
+
+let lying_model =
+  "void write_frame_lying_header(void) { HANDLER_GLOBALS(header.nh.len) = \
+   LEN_NODATA; NI_SEND(MSG_PUT, F_DATA, 0, W_NOWAIT, 1, 0); }"
+
+let parse src = Frontend.of_strings [ ("proto_model.c", Prelude.text ^ src) ]
+
+let dogfood_cases =
+  [
+    t "the faithful framing model passes msg_length" `Quick (fun () ->
+        Alcotest.(check int) "no diagnostics" 0
+          (List.length
+             (Msg_length.run ~spec:proto_spec (parse faithful_model))));
+    t "a header that lies about its payload is flagged" `Quick (fun () ->
+        Alcotest.(check int) "one diagnostic" 1
+          (List.length
+             (Msg_length.run ~spec:proto_spec (parse lying_model))));
+  ]
+
+let suite =
+  ( "serve",
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_request_roundtrip;
+        prop_response_roundtrip;
+        prop_decode_total;
+        prop_trailing_garbage_rejected;
+      ]
+    @ framing_cases @ daemon_cases @ dogfood_cases )

@@ -169,7 +169,7 @@ let run_fix files out_dir =
 (* The daemon renders with the same [Mcheck_api.render_diag] this
    binary uses locally; printing the streamed frames verbatim plus the
    same trailer rule makes local and remote stdout byte-identical. *)
-let run_server addr_spec checker_names files ropts =
+let run_server addr_spec checker_names files ropts ~want_metrics =
   let fail_unusable msg =
     Printf.eprintf "mcheck: %s\n" msg;
     Robust.exit_code Robust.Unusable
@@ -182,6 +182,10 @@ let run_server addr_spec checker_names files ropts =
       match Serve.Client.connect addr with
       | Error msg -> fail_unusable msg
       | Ok c ->
+        (* the client mints the trace id, so one request is
+           attributable end-to-end: grep this id in the daemon's
+           access log and flight dump *)
+        let trace = Mctel.Trace.mint () in
         let opts =
           {
             Serve.Proto.co_checkers = checker_names;
@@ -189,6 +193,7 @@ let run_server addr_spec checker_names files ropts =
             co_verbose = ropts.Mcheck_api.ro_verbose;
             co_quiet = ropts.Mcheck_api.ro_quiet;
             co_strict = false;
+            co_trace = trace;
           }
         in
         let r =
@@ -196,6 +201,12 @@ let run_server addr_spec checker_names files ropts =
             ~on_diag:(fun d -> print_string d.Serve.Proto.d_text)
             c opts files
         in
+        if want_metrics then begin
+          Printf.eprintf "trace: %s\n" trace;
+          match Serve.Client.metrics c Serve.Proto.M_prom with
+          | Ok text -> prerr_string text
+          | Error msg -> Printf.eprintf "mcheck: metrics: %s\n" msg
+        end;
         Serve.Client.close c;
         (match r with
         | Error msg -> fail_unusable msg
@@ -254,7 +265,7 @@ let main checker_names files table list_flag seed verbose metal_paths fix
                --strict)\n";
             Robust.exit_code Robust.Unusable
           end
-          else run_server addr checker_names files ropts
+          else run_server addr checker_names files ropts ~want_metrics:metrics
         | Some _, _, _, _ ->
           Printf.eprintf
             "mcheck: --server runs file checks only (no --table/--metal)\n";

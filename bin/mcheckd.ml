@@ -15,21 +15,41 @@
     - [--warm] — run the builtin corpus through the session before
       accepting, so the first request is already incremental.
 
+    Telemetry (serve mode): [--metrics-addr HOST:PORT] serves the live
+    metrics registry over HTTP ([/metrics] Prometheus text,
+    [/metrics.json]); [--access-log FILE] writes one JSONL line per
+    request ([--log-sample N] keeps every N-th, SIGHUP reopens the file
+    for rotation); the flight recorder keeps the span trees of recent
+    requests, always retaining ones slower than [--flight-threshold]
+    milliseconds or ending in an error ([--flight-capacity] per ring);
+    [--no-tracing] leaves span recording off (metrics and the access
+    log stay live).
+
     Control mode (acts as a client against the same address, then
     exits): [--drain] finishes in-flight requests and shuts the daemon
     down, [--reload] swaps specs without dropping connections,
-    [--stats] prints daemon/session statistics, [--ping] checks
-    liveness.  SIGINT/SIGTERM initiate the same graceful drain. *)
+    [--stats] prints daemon/session statistics as JSON ([--human] for
+    text), [--metrics] prints the live registry (Prometheus text, or
+    JSON with [--json]), [--dump-flight] prints the flight recorder's
+    JSON dump, [--ping] checks liveness.  SIGINT/SIGTERM initiate the
+    same graceful drain. *)
 
 open Cmdliner
 
-type control = Serve | Ctl_drain | Ctl_reload | Ctl_stats | Ctl_ping
+type control =
+  | Serve
+  | Ctl_drain
+  | Ctl_reload
+  | Ctl_stats
+  | Ctl_ping
+  | Ctl_metrics
+  | Ctl_flight
 
 let fail_usable msg =
   Printf.eprintf "mcheckd: %s\n" msg;
   exit (Robust.exit_code Robust.Unusable)
 
-let run_control addr ctl =
+let run_control addr ctl ~human ~json =
   match Serve.Client.connect addr with
   | Error msg -> fail_usable msg
   | Ok c ->
@@ -38,18 +58,26 @@ let run_control addr ctl =
       | Ctl_drain -> Result.map (fun () -> "draining") (Serve.Client.drain c)
       | Ctl_reload ->
         Result.map (fun () -> "reloaded") (Serve.Client.reload c)
-      | Ctl_stats -> Serve.Client.stats c
+      | Ctl_stats ->
+        if human then Serve.Client.stats c else Serve.Client.stats_json c
+      | Ctl_metrics ->
+        Serve.Client.metrics c
+          (if json then Serve.Proto.M_json else Serve.Proto.M_prom)
+      | Ctl_flight -> Serve.Client.flight c
       | Ctl_ping -> Result.map (fun () -> "pong") (Serve.Client.ping c)
       | Serve -> assert false
     in
     Serve.Client.close c;
     (match r with
-    | Ok text -> print_endline text
+    | Ok text ->
+      print_string text;
+      if text = "" || text.[String.length text - 1] <> '\n' then
+        print_newline ()
     | Error msg -> fail_usable msg);
     0
 
 let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
-    unit_deadline idle_timeout =
+    unit_deadline idle_timeout telemetry =
   let api =
     {
       Mcheck_api.default_config with
@@ -66,25 +94,35 @@ let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
       api;
       metal_paths = metal;
       idle_timeout;
+      telemetry;
     }
   in
   match Serve.Server.create cfg with
   | Error msg -> fail_usable msg
   | Ok t ->
-    (* signal handlers only flip an atomic: taking the server mutex at
-       a signal point could deadlock against our own thread *)
+    (* signal handlers only flip atomics: taking the server mutex at a
+       signal point could deadlock against our own thread *)
     let want_drain = Atomic.make false in
+    let want_reopen = Atomic.make false in
     let on_signal _ = Atomic.set want_drain true in
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
      with _ -> ());
     (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with _ -> ());
+    (try
+       Sys.set_signal Sys.sighup
+         (Sys.Signal_handle (fun _ -> Atomic.set want_reopen true))
      with _ -> ());
     let _watcher =
       Thread.create
         (fun () ->
           while not (Serve.Server.draining t) do
             Thread.delay 0.1;
-            if Atomic.get want_drain then Serve.Server.initiate_drain t
+            if Atomic.get want_drain then Serve.Server.initiate_drain t;
+            if Atomic.get want_reopen then begin
+              Atomic.set want_reopen false;
+              Serve.Server.reopen_access_log t
+            end
           done)
         ()
     in
@@ -95,8 +133,10 @@ let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
     Serve.Server.run t;
     0
 
-let main socket tcp ctl_drain ctl_reload ctl_stats ctl_ping jobs cache metal
-    warm_flag strict unit_fuel unit_deadline idle_timeout quiet verbose =
+let main socket tcp ctl_drain ctl_reload ctl_stats ctl_ping ctl_metrics
+    ctl_flight human json jobs cache metal warm_flag strict unit_fuel
+    unit_deadline idle_timeout metrics_addr access_log log_sample
+    flight_capacity flight_threshold no_tracing quiet verbose =
   Mcobs.set_verbosity
     (if quiet then Mcobs.Quiet
      else if verbose then Mcobs.Verbose
@@ -118,17 +158,38 @@ let main socket tcp ctl_drain ctl_reload ctl_stats ctl_ping jobs cache metal
           (if ctl_reload then Some Ctl_reload else None);
           (if ctl_stats then Some Ctl_stats else None);
           (if ctl_ping then Some Ctl_ping else None);
+          (if ctl_metrics then Some Ctl_metrics else None);
+          (if ctl_flight then Some Ctl_flight else None);
         ]
     with
     | [] -> Serve
     | [ c ] -> c
-    | _ -> fail_usable "pick one of --drain / --reload / --stats / --ping"
+    | _ ->
+      fail_usable
+        "pick one of --drain / --reload / --stats / --metrics / \
+         --dump-flight / --ping"
   in
   match ctl with
   | Serve ->
+    let telemetry =
+      {
+        Serve.Server.tel_tracing = not no_tracing;
+        tel_access_log = access_log;
+        tel_sample = log_sample;
+        tel_flight_capacity = flight_capacity;
+        tel_flight_threshold_ms = flight_threshold;
+        tel_metrics_addr =
+          (match metrics_addr with
+          | None -> None
+          | Some spec -> (
+            match Serve.Proto.parse_addr spec with
+            | Ok a -> Some a
+            | Error msg -> fail_usable ("--metrics-addr: " ^ msg)));
+      }
+    in
     run_serve addr jobs cache metal warm_flag strict unit_fuel unit_deadline
-      idle_timeout
-  | ctl -> run_control addr ctl
+      idle_timeout telemetry
+  | ctl -> run_control addr ctl ~human ~json
 
 let socket_arg =
   Arg.(
@@ -161,10 +222,41 @@ let reload_arg =
 let stats_arg =
   Arg.(
     value & flag
-    & info [ "stats" ] ~doc:"Control mode: print daemon statistics.")
+    & info [ "stats" ]
+        ~doc:
+          "Control mode: print daemon statistics as JSON ($(b,--human) \
+           for the text form).")
 
 let ping_arg =
   Arg.(value & flag & info [ "ping" ] ~doc:"Control mode: liveness check.")
+
+let metrics_ctl_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Control mode: print the daemon's live metrics registry in \
+           Prometheus text exposition format ($(b,--json) for JSON).")
+
+let flight_ctl_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-flight" ]
+        ~doc:
+          "Control mode: print the daemon's flight recorder — the span \
+           trees of recent, slow, and failed requests — as JSON.")
+
+let human_arg =
+  Arg.(
+    value & flag
+    & info [ "human" ] ~doc:"With $(b,--stats): the human-readable text \
+                             form instead of JSON.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"With $(b,--metrics): JSON instead of \
+                            Prometheus text.")
 
 let jobs_arg =
   Arg.(
@@ -221,6 +313,52 @@ let idle_arg =
     & info [ "idle-timeout" ] ~docv:"S"
         ~doc:"Reap client connections idle for more than $(docv) seconds.")
 
+let metrics_addr_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-addr" ] ~docv:"ADDR"
+        ~doc:
+          "Serve the live metrics over HTTP on $(docv) (HOST:PORT or a \
+           unix socket path): GET /metrics is Prometheus text, \
+           /metrics.json is JSON.")
+
+let access_log_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSON line per request to $(docv): trace id, peer, \
+           kind, bytes, wall time, outcome, finding/diagnostic counts, \
+           cache hits.  SIGHUP reopens the file (log rotation).")
+
+let log_sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "log-sample" ] ~docv:"N"
+        ~doc:"Write every $(docv)-th access-log line (1 = all).")
+
+let flight_capacity_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "flight-capacity" ] ~docv:"N"
+        ~doc:"Flight-recorder ring size (recent and notable rings each).")
+
+let flight_threshold_arg =
+  Arg.(
+    value & opt float 250.
+    & info [ "flight-threshold" ] ~docv:"MS"
+        ~doc:
+          "Requests slower than $(docv) milliseconds are always retained \
+           by the flight recorder, as are requests ending in an error.")
+
+let no_tracing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-tracing" ]
+        ~doc:
+          "Do not record request spans (disables the flight recorder's \
+           span trees; metrics and the access log stay live).")
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No status output.")
 
@@ -233,8 +371,10 @@ let cmd =
     (Cmd.info "mcheckd" ~doc)
     Term.(
       const main $ socket_arg $ tcp_arg $ drain_arg $ reload_arg $ stats_arg
-      $ ping_arg $ jobs_arg $ cache_arg $ metal_arg $ warm_arg $ strict_arg
-      $ unit_fuel_arg $ unit_deadline_arg $ idle_arg $ quiet_arg
-      $ verbose_arg)
+      $ ping_arg $ metrics_ctl_arg $ flight_ctl_arg $ human_arg $ json_arg
+      $ jobs_arg $ cache_arg $ metal_arg $ warm_arg $ strict_arg
+      $ unit_fuel_arg $ unit_deadline_arg $ idle_arg $ metrics_addr_arg
+      $ access_log_arg $ log_sample_arg $ flight_capacity_arg
+      $ flight_threshold_arg $ no_tracing_arg $ quiet_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -250,6 +250,51 @@ module Session = struct
     Mcobs.logf Mcobs.Normal "%a" Mcd.pp_stats_line stats;
     Mcobs.logf Mcobs.Verbose "scheduler: %a" Mcd.pp_stats stats
 
+  (* session-level live metrics: cumulative across every session in
+     the process (the daemon swaps sessions on reload; the series must
+     not reset with them) *)
+  let m_requests =
+    Mctel.Metrics.counter ~help:"session check_* calls"
+      "mcheck_session_requests_total"
+
+  let m_findings =
+    Mctel.Metrics.counter ~help:"non-internal findings reported"
+      "mcheck_findings_total"
+
+  let m_check_ms =
+    Mctel.Metrics.hist ~help:"wall time inside check_* calls, ms"
+      "mcheck_check_ms"
+
+  let m_unit_probes =
+    Mctel.Metrics.counter ~help:"Mcd unit cache probes"
+      "mcheck_unit_cache_probes_total"
+
+  let m_unit_hits =
+    Mctel.Metrics.counter ~help:"Mcd unit cache hits"
+      "mcheck_unit_cache_hits_total"
+
+  let m_units_run =
+    Mctel.Metrics.counter ~help:"Mcd units executed (cache misses)"
+      "mcheck_units_run_total"
+
+  let m_units_faulted =
+    Mctel.Metrics.counter ~help:"units ended by the per-unit fault barrier"
+      "mcheck_units_faulted_total"
+
+  let m_memo_probes =
+    Mctel.Metrics.counter ~help:"whole-request memo probes"
+      "mcheck_memo_probes_total"
+
+  let m_memo_hits =
+    Mctel.Metrics.counter ~help:"whole-request memo hits"
+      "mcheck_memo_hits_total"
+
+  let observe_sched (stats : Mcd.stats) =
+    Mctel.Metrics.inc ~by:stats.Mcd.units_total m_unit_probes;
+    Mctel.Metrics.inc ~by:stats.Mcd.cache_hits m_unit_hits;
+    Mctel.Metrics.inc ~by:stats.Mcd.units_run m_units_run;
+    Mctel.Metrics.inc ~by:stats.Mcd.units_faulted m_units_faulted
+
   (* one checking pass over parsed units: metal specs when configured,
      else the Mcd pool (warm cache) or the fused sequential driver *)
   let run_pipeline t ~names ~spec tus =
@@ -268,6 +313,7 @@ module Session = struct
       report_sched_stats stats;
       t.units_run <- t.units_run + stats.Mcd.units_run;
       t.cache_hits <- t.cache_hits + stats.Mcd.cache_hits;
+      observe_sched stats;
       ( List.filter (fun (name, _) -> selected names name) results,
         Some stats,
         stats.Mcd.units_faulted > 0 || stats.Mcd.workers_crashed > 0 )
@@ -285,7 +331,10 @@ module Session = struct
     t.files_checked <- t.files_checked + files;
     t.diags_emitted <- t.diags_emitted + List.length (report_diags report);
     t.findings <- t.findings + report.r_findings;
-    t.check_wall_ms <- t.check_wall_ms +. wall_ms
+    t.check_wall_ms <- t.check_wall_ms +. wall_ms;
+    Mctel.Metrics.inc m_requests;
+    Mctel.Metrics.inc ~by:report.r_findings m_findings;
+    Mctel.Metrics.observe m_check_ms wall_ms
 
   (* everything the report depends on, digested *)
   let memo_key ~names srcs ~skipped ~had_input =
@@ -355,9 +404,11 @@ module Session = struct
       | Some _ -> Some (memo_key ~names srcs ~skipped ~had_input)
       | None -> None
     in
+    if key <> None then Mctel.Metrics.inc m_memo_probes;
     match memo_find t key with
     | Some report ->
       Mcobs.count "api.memo.hit";
+      Mctel.Metrics.inc m_memo_hits;
       t.cache_hits <- t.cache_hits + 1;
       record t report ~files:(List.length srcs) ~wall_ms:0.;
       report
@@ -439,6 +490,7 @@ module Session = struct
                   report_sched_stats stats;
                   t.units_run <- t.units_run + stats.Mcd.units_run;
                   t.cache_hits <- t.cache_hits + stats.Mcd.cache_hits;
+                  observe_sched stats;
                   ( List.map select results,
                     Some stats,
                     stats.Mcd.units_faulted > 0

@@ -458,13 +458,19 @@ let check_jobs ?cache ?(budget = Engine.no_budget) ~jobs
              | fs -> acc_faults := fs :: !acc_faults));
       if Array.length prepared > 0 then flush_job !current_job);
   let dur_us = Mcobs.now_us () -. t0 in
+  (* the ambient request trace (when a daemon set one) is recorded on
+     every span already; naming it in the args makes the scheduler the
+     visible join point between server-side spans and the worker spans
+     harvested after the pool joins *)
   Mcobs.record_span ~name:"mcd.schedule"
     ~args:
-      [
-        ("units", string_of_int total);
-        ("hits", string_of_int !hits);
-        ("domains", string_of_int domains);
-      ]
+      (("units", string_of_int total)
+       :: ("hits", string_of_int !hits)
+       :: ("domains", string_of_int domains)
+       ::
+       (match Mcobs.current_trace () with
+       | "" -> []
+       | trace -> [ ("trace", trace) ]))
     ~begin_us:t0 ~dur_us ();
   Mcobs.count ~by:total "mcd.units_total";
   Mcobs.count ~by:(Array.length tasks) "mcd.units_run";

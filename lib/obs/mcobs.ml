@@ -85,11 +85,28 @@ let logf lvl fmt =
 type span = {
   sp_name : string;
   sp_tid : int;  (** domain id — one track per domain in the trace UI *)
+  sp_trace : string;  (** request trace id; [""] = no trace context *)
   sp_begin_us : float;
   sp_dur_us : float;
   sp_depth : int;  (** nesting depth within its domain at record time *)
   sp_args : (string * string) list;
 }
+
+(* The ambient trace context.  One process-global cell rather than a
+   DLS slot, deliberately: Mcd worker domains are spawned fresh for
+   each scheduling pass, and a DLS value would not cross the spawn.
+   The daemon serializes checks on its session mutex, so at most one
+   traced request is in flight when workers run — the same discipline
+   [snapshot] already leans on. *)
+let ambient_trace = Atomic.make ""
+
+let set_trace trace = Atomic.set ambient_trace trace
+let current_trace () = Atomic.get ambient_trace
+
+let with_trace trace f =
+  let prev = Atomic.get ambient_trace in
+  Atomic.set ambient_trace trace;
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_trace prev) f
 
 (* Log-scale latency histogram; bucket [i] counts samples <= bounds.(i),
    the last bucket is the overflow. *)
@@ -192,13 +209,17 @@ let push_span b sp =
 (** Record a span whose endpoints were measured by the caller (with
     {!now_us}) — used when one measurement must feed both a span and a
     derived statistic, so the wall time is sampled exactly once. *)
-let record_span ?(args = []) ~name ~begin_us ~dur_us () =
+let record_span ?trace ?(args = []) ~name ~begin_us ~dur_us () =
   if enabled () then begin
     let b = buffer () in
+    let sp_trace =
+      match trace with Some tr -> tr | None -> Atomic.get ambient_trace
+    in
     push_span b
       {
         sp_name = name;
         sp_tid = b.b_tid;
+        sp_trace;
         sp_begin_us = begin_us;
         sp_dur_us = dur_us;
         sp_depth = b.b_depth;
@@ -221,6 +242,9 @@ let with_span ?(args = []) name f =
           {
             sp_name = name;
             sp_tid = b.b_tid;
+            (* read at completion: workers inherit whatever request
+               context was ambient while they ran *)
+            sp_trace = Atomic.get ambient_trace;
             sp_begin_us = t0;
             sp_dur_us = dur;
             sp_depth = depth;
@@ -336,6 +360,75 @@ let reset () =
       Hashtbl.reset b.b_hists)
     buffers
 
+(** Remove and return every span recorded under [trace], across all
+    domains, leaving everything else (other traces' spans, counters,
+    histograms) in place — unlike {!reset}, this is safe to interleave
+    with other requests' aggregate metrics.  Same calling discipline as
+    {!snapshot}: no domain may be concurrently recording under this
+    trace. *)
+let drain_trace trace =
+  Mutex.lock registry_mutex;
+  let buffers = !registry in
+  Mutex.unlock registry_mutex;
+  let matched = ref [] in
+  List.iter
+    (fun b ->
+      let mine, rest =
+        List.partition (fun sp -> String.equal sp.sp_trace trace) b.b_spans
+      in
+      if mine <> [] then begin
+        b.b_spans <- rest;
+        b.b_nspans <- List.length rest;
+        matched := List.rev_append mine !matched
+      end)
+    buffers;
+  List.sort
+    (fun a b ->
+      let c = Float.compare a.sp_begin_us b.sp_begin_us in
+      if c <> 0 then c else Int.compare a.sp_tid b.sp_tid)
+    !matched
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Estimate the p-quantile of a log-scale histogram: walk the
+   cumulative counts to the bucket holding the ceil(p*n)-th sample and
+   interpolate linearly inside it.  Monotone in p by construction (the
+   target rank is monotone, interpolation within a bucket is monotone,
+   and consecutive buckets share their boundary), and always bracketed
+   by the bucket's bounds; the overflow bucket is capped at the
+   recorded max. *)
+let quantile_hist (h : hist_snapshot) p =
+  if h.count = 0 || Float.is_nan p || p < 0. || p > 1. then None
+  else begin
+    let target = p *. float_of_int h.count in
+    let nb = Array.length h.buckets in
+    let rec go i cum =
+      if i >= nb then Some h.max_ms
+      else
+        let n = h.buckets.(i) in
+        let cum' = cum + n in
+        if n > 0 && float_of_int cum' >= target then begin
+          let lo = if i = 0 then 0. else hist_bounds_ms.(i - 1) in
+          let hi =
+            if i < Array.length hist_bounds_ms then hist_bounds_ms.(i)
+            else Float.max lo h.max_ms
+          in
+          let frac = (target -. float_of_int cum) /. float_of_int n in
+          let frac = Float.min 1. (Float.max 0. frac) in
+          Some (lo +. (frac *. (hi -. lo)))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+let quantile (s : snapshot) name p =
+  match List.assoc_opt name s.hists with
+  | None -> None
+  | Some h -> quantile_hist h p
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -372,11 +465,15 @@ let export_chrome oc (s : snapshot) =
   List.iter
     (fun sp ->
       if !first then first := false else output_string oc ",";
+      let args =
+        if sp.sp_trace = "" then sp.sp_args
+        else ("trace", sp.sp_trace) :: sp.sp_args
+      in
       Printf.fprintf oc
         "\n\
          {\"name\":\"%s\",\"cat\":\"mcheck\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
         (json_escape sp.sp_name) sp.sp_begin_us sp.sp_dur_us sp.sp_tid
-        (json_args sp.sp_args))
+        (json_args args))
     s.spans;
   (* counters ride along as metadata-style counter events at the end of
      the timeline so the numbers are visible in the UI too *)
@@ -404,9 +501,9 @@ let export_jsonl oc (s : snapshot) =
   List.iter
     (fun sp ->
       Printf.fprintf oc
-        "{\"type\":\"span\",\"name\":\"%s\",\"tid\":%d,\"begin_us\":%.1f,\"dur_us\":%.1f,\"depth\":%d,\"args\":{%s}}\n"
-        (json_escape sp.sp_name) sp.sp_tid sp.sp_begin_us sp.sp_dur_us
-        sp.sp_depth (json_args sp.sp_args))
+        "{\"type\":\"span\",\"name\":\"%s\",\"tid\":%d,\"trace\":\"%s\",\"begin_us\":%.1f,\"dur_us\":%.1f,\"depth\":%d,\"args\":{%s}}\n"
+        (json_escape sp.sp_name) sp.sp_tid (json_escape sp.sp_trace)
+        sp.sp_begin_us sp.sp_dur_us sp.sp_depth (json_args sp.sp_args))
     s.spans;
   List.iter
     (fun (name, v) ->
@@ -440,10 +537,13 @@ let pp_summary ppf (s : snapshot) =
     Format.fprintf ppf "@,histograms (ms):";
     List.iter
       (fun (name, h) ->
-        Format.fprintf ppf "@,  %-36s n=%-8d sum=%-10.2f mean=%-8.3f max=%.2f"
-          name h.count h.sum_ms
+        let q p = Option.value ~default:0. (quantile_hist h p) in
+        Format.fprintf ppf
+          "@,  %-36s n=%-8d mean=%-8.3f p50=%-8.3f p90=%-8.3f p99=%-8.3f \
+           max=%.2f"
+          name h.count
           (if h.count = 0 then 0. else h.sum_ms /. float_of_int h.count)
-          h.max_ms)
+          (q 0.5) (q 0.9) (q 0.99) h.max_ms)
       s.hists
   end;
   if s.spans <> [] then begin

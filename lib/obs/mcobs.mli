@@ -46,11 +46,30 @@ val set_sink : (level -> string -> unit) -> unit
 type span = {
   sp_name : string;
   sp_tid : int;  (** domain id — one trace track per domain *)
+  sp_trace : string;  (** request trace id; [""] = no trace context *)
   sp_begin_us : float;
   sp_dur_us : float;
   sp_depth : int;  (** nesting depth within its domain *)
   sp_args : (string * string) list;
 }
+
+(** {2 Trace context}
+
+    The ambient trace id is a process-global cell (not domain-local, so
+    freshly spawned [Mcd_pool] workers inherit it): every span records
+    the ambient id at completion time, which attributes one request's
+    spans end-to-end across server thread, session, and worker domains.
+    The caller must serialize traced regions — the daemon's session
+    mutex already does. *)
+
+val set_trace : string -> unit
+(** set the ambient trace id ([""] clears it) *)
+
+val current_trace : unit -> string
+
+val with_trace : string -> (unit -> 'a) -> 'a
+(** run the thunk with the ambient trace id set, restoring the previous
+    id afterwards (exceptions included) *)
 
 val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** run the thunk inside a named span; with tracing disabled this is just
@@ -58,6 +77,7 @@ val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
     way. *)
 
 val record_span :
+  ?trace:string ->
   ?args:(string * string) list ->
   name:string ->
   begin_us:float ->
@@ -66,7 +86,9 @@ val record_span :
   unit
 (** record a span whose endpoints the caller measured with {!now_us} —
     for sites that must feed one measurement into both a span and a
-    derived statistic (e.g. [Mcd_pool] worker wall time) *)
+    derived statistic (e.g. [Mcd_pool] worker wall time).  [?trace]
+    overrides the ambient trace id (the daemon's root request span is
+    recorded after the ambient context is cleared). *)
 
 val count : ?by:int -> string -> unit
 (** bump a named counter (domain-local; merged at snapshot) *)
@@ -97,6 +119,13 @@ val snapshot : unit -> snapshot
 val reset : unit -> unit
 (** clear every buffer (same calling discipline as {!snapshot}) *)
 
+val drain_trace : string -> span list
+(** remove and return every span recorded under the given trace id
+    (ascending begin time), leaving other traces' spans and all
+    counters/histograms untouched — the flight recorder's per-request
+    harvest.  Same calling discipline as {!snapshot} with respect to
+    the drained trace. *)
+
 val merge_counters :
   (string * int) list -> (string * int) list -> (string * int) list
 (** union-with-(+), result sorted by name — associative and commutative
@@ -106,7 +135,22 @@ val merge_counters :
 val hist_bounds_ms : float array
 (** upper bounds of the histogram buckets, in milliseconds *)
 
+val quantile : snapshot -> string -> float -> float option
+(** [quantile s name p] estimates the [p]-quantile (p in [0,1]) of the
+    named histogram by linear interpolation inside the bucket holding
+    the target rank: monotone in [p], bracketed by the bucket's bounds
+    (the overflow bucket is capped at the recorded max).  [None] for an
+    unknown name, an empty histogram, or [p] outside [0,1]. *)
+
+val quantile_hist : hist_snapshot -> float -> float option
+(** the same estimate on a bare histogram snapshot (what the live
+    metrics registry aggregates) *)
+
 (** {1 Exporters} *)
+
+val json_escape : string -> string
+(** escape a string for inclusion inside a JSON string literal (used by
+    every JSON-shaped exporter here and in [Mctel]) *)
 
 val pp_summary : Format.formatter -> snapshot -> unit
 (** human-readable digest: counters, histograms, spans aggregated by

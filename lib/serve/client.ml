@@ -102,13 +102,16 @@ let expect_ok = function
   | Ok (Proto.R_error msg) -> Error msg
   | Ok _ -> Error "unexpected response kind"
 
-let stats t =
-  match request t Proto.Stats with
+let expect_text = function
   | Error _ as e -> e
   | Ok (Proto.R_text s) -> Ok s
   | Ok (Proto.R_error msg) -> Error msg
   | Ok _ -> Error "unexpected response kind"
 
+let stats t = expect_text (request t (Proto.Stats Proto.S_text))
+let stats_json t = expect_text (request t (Proto.Stats Proto.S_json))
+let metrics t fmt = expect_text (request t (Proto.Metrics fmt))
+let flight t = expect_text (request t Proto.Flight)
 let ping t = expect_ok (request t Proto.Ping)
 let drain t = expect_ok (request t Proto.Drain)
 let reload t = expect_ok (request t Proto.Reload)

@@ -42,6 +42,17 @@ val check_buffer :
   (check_outcome, string) result
 
 val stats : t -> (string, string) result
+val stats_json : t -> (string, string) result
+
+val metrics : t -> Proto.metrics_format -> (string, string) result
+(** the daemon's live metrics registry, Prometheus text or JSON *)
+
+val flight : t -> (string, string) result
+(** the flight recorder's JSON dump; because the daemon commits a
+    request's flight entry before reading the connection's next frame,
+    a fetch on the same connection always sees the requests it just
+    ran *)
+
 val ping : t -> (unit, string) result
 
 val drain : t -> (unit, string) result

@@ -4,7 +4,10 @@
    oracle (and the decode∘encode = id law) leans on. *)
 
 let magic = "MCHK"
-let version = 1
+
+(* v2: check_opts carries a client-minted trace id; Stats takes a
+   format byte; Metrics and Flight expose the live telemetry *)
+let version = 2
 let header_len = 4 + 2 + 4
 let max_payload = 16 * 1024 * 1024
 
@@ -14,6 +17,7 @@ type check_opts = {
   co_verbose : bool;
   co_quiet : bool;
   co_strict : bool;
+  co_trace : string;
 }
 
 let default_opts =
@@ -23,12 +27,18 @@ let default_opts =
     co_verbose = false;
     co_quiet = false;
     co_strict = false;
+    co_trace = "";
   }
+
+type stats_format = S_text | S_json
+type metrics_format = M_prom | M_json
 
 type request =
   | Check_files of check_opts * string list
   | Check_buffer of check_opts * string * string
-  | Stats
+  | Stats of stats_format
+  | Metrics of metrics_format
+  | Flight
   | Drain
   | Reload
   | Ping
@@ -58,7 +68,11 @@ let pp_request ppf = function
   | Check_buffer (_, name, contents) ->
     Format.fprintf ppf "check-buffer %s (%d bytes)" name
       (String.length contents)
-  | Stats -> Format.pp_print_string ppf "stats"
+  | Stats S_text -> Format.pp_print_string ppf "stats"
+  | Stats S_json -> Format.pp_print_string ppf "stats-json"
+  | Metrics M_prom -> Format.pp_print_string ppf "metrics"
+  | Metrics M_json -> Format.pp_print_string ppf "metrics-json"
+  | Flight -> Format.pp_print_string ppf "flight"
   | Drain -> Format.pp_print_string ppf "drain"
   | Reload -> Format.pp_print_string ppf "reload"
   | Ping -> Format.pp_print_string ppf "ping"
@@ -93,7 +107,8 @@ let w_opts b o =
     lor if o.co_strict then 8 else 0
   in
   w_u8 b flags;
-  w_list w_str b o.co_checkers
+  w_list w_str b o.co_checkers;
+  w_str b o.co_trace
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)
@@ -149,12 +164,14 @@ let r_opts r =
   if flags land lnot 0xf <> 0 then
     raise (Bad (Printf.sprintf "unknown option flags 0x%x" flags));
   let co_checkers = r_list r_str r in
+  let co_trace = r_str r in
   {
     co_checkers;
     co_explain = flags land 1 <> 0;
     co_verbose = flags land 2 <> 0;
     co_quiet = flags land 4 <> 0;
     co_strict = flags land 8 <> 0;
+    co_trace;
   }
 
 (* a decode must consume the payload exactly *)
@@ -179,6 +196,8 @@ let t_stats = 3
 let t_drain = 4
 let t_reload = 5
 let t_ping = 6
+let t_metrics = 7
+let t_flight = 8
 
 (* response tags *)
 let t_diag = 0x81
@@ -199,7 +218,13 @@ let encode_request req =
     w_opts b opts;
     w_str b name;
     w_str b contents
-  | Stats -> w_u8 b t_stats
+  | Stats fmt ->
+    w_u8 b t_stats;
+    w_u8 b (match fmt with S_text -> 0 | S_json -> 1)
+  | Metrics fmt ->
+    w_u8 b t_metrics;
+    w_u8 b (match fmt with M_prom -> 0 | M_json -> 1)
+  | Flight -> w_u8 b t_flight
   | Drain -> w_u8 b t_drain
   | Reload -> w_u8 b t_reload
   | Ping -> w_u8 b t_ping);
@@ -219,7 +244,19 @@ let decode_request s =
           let name = r_str r in
           let contents = r_str r in
           Check_buffer (opts, name, contents)
-        else if tag = t_stats then Stats
+        else if tag = t_stats then
+          Stats
+            (match r_u8 r with
+            | 0 -> S_text
+            | 1 -> S_json
+            | n -> raise (Bad (Printf.sprintf "bad stats format %d" n)))
+        else if tag = t_metrics then
+          Metrics
+            (match r_u8 r with
+            | 0 -> M_prom
+            | 1 -> M_json
+            | n -> raise (Bad (Printf.sprintf "bad metrics format %d" n)))
+        else if tag = t_flight then Flight
         else if tag = t_drain then Drain
         else if tag = t_reload then Reload
         else if tag = t_ping then Ping

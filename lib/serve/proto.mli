@@ -22,6 +22,11 @@
 val magic : string  (** ["MCHK"] *)
 
 val version : int
+(** [2] — v2 added the trace id to {!check_opts}, the {!Stats} format
+    byte, and the {!Metrics}/{!Flight} requests.  Version mismatches
+    are rejected at the frame layer; there is no cross-version
+    negotiation (client and daemon ship together). *)
+
 val header_len : int  (** bytes before the payload: 4 + 2 + 4 *)
 
 val max_payload : int
@@ -38,9 +43,16 @@ type check_opts = {
   co_verbose : bool;
   co_quiet : bool;
   co_strict : bool;
+  co_trace : string;
+      (** client-minted request trace id ([""] = none; the daemon mints
+          one).  Arbitrary bytes round-trip on the wire; the daemon
+          sanitizes before use ({!Mctel.Trace.sanitize}). *)
 }
 
 val default_opts : check_opts
+
+type stats_format = S_text | S_json
+type metrics_format = M_prom  (** Prometheus text exposition *) | M_json
 
 type request =
   | Check_files of check_opts * string list
@@ -48,7 +60,12 @@ type request =
           filesystem) *)
   | Check_buffer of check_opts * string * string
       (** [(opts, name, contents)] — check an in-memory buffer *)
-  | Stats  (** one {!R_text} frame of daemon/session statistics *)
+  | Stats of stats_format
+      (** one {!R_text} frame of daemon/session statistics *)
+  | Metrics of metrics_format
+      (** one {!R_text} frame of the live metrics registry *)
+  | Flight
+      (** one {!R_text} frame: the flight recorder's JSON dump *)
   | Drain
       (** finish in-flight requests, refuse new ones, shut down *)
   | Reload

@@ -22,9 +22,12 @@ let fresh_addr () =
 
 let start
     ?(config =
-      { Mcheck_api.default_config with jobs = 2; incremental = true }) () =
+      { Mcheck_api.default_config with jobs = 2; incremental = true })
+    ?(telemetry = Server.default_telemetry) () =
   let o_addr = fresh_addr () in
-  let cfg = { Server.default_config with Server.addr = o_addr; api = config }
+  let cfg =
+    { Server.default_config with Server.addr = o_addr; api = config;
+      telemetry }
   in
   match Server.create cfg with
   | Error msg -> failwith ("serve_oracle: " ^ msg)
@@ -55,6 +58,7 @@ let start
     }
 
 let addr t = t.o_addr
+let server t = t.srv
 
 let stop t =
   (match Client.connect t.o_addr with
@@ -75,6 +79,7 @@ let plain_opts =
     co_verbose = false;
     co_quiet = false;
     co_strict = false;
+    co_trace = "";
   }
 
 let fail (p : Fuzz_gen.program) detail =

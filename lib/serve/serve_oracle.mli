@@ -11,11 +11,18 @@
 type t
 (** a running in-process daemon plus its local mirror session *)
 
-val start : ?config:Mcheck_api.config -> unit -> t
+val start :
+  ?config:Mcheck_api.config -> ?telemetry:Server.telemetry -> unit -> t
 (** spawn the daemon on a fresh temp unix socket and wait until it
     answers pings.  [config] is the daemon's (default: 2 domains,
-    incremental — the warm path worth differencing).
+    incremental — the warm path worth differencing); [telemetry]
+    defaults to {!Server.default_telemetry} (tracing on), so the
+    differential exercises the fully instrumented path.
     @raise Failure if the daemon cannot start *)
+
+val server : t -> Server.t
+(** the in-process daemon itself — telemetry tests read its access log
+    and flight recorder directly *)
 
 val addr : t -> Proto.addr
 

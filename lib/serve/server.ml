@@ -3,13 +3,39 @@
    thread-safe, so a mutex serializes check execution — concurrent
    clients multiplex onto the one Mcd pool rather than spawning rival
    pools.  All daemon state transitions (drain, reload, counters) go
-   through [t.mu]. *)
+   through [t.mu].
+
+   Telemetry rides every request: a trace id (client-minted or ours)
+   is installed as the ambient Mcobs context for the duration of the
+   check, the request's spans are harvested into the flight recorder,
+   latency/byte/outcome metrics feed the always-on Mctel registry, and
+   one JSONL access-log line is written per request. *)
+
+type telemetry = {
+  tel_tracing : bool;
+  tel_access_log : string option;
+  tel_sample : int;
+  tel_flight_capacity : int;
+  tel_flight_threshold_ms : float;
+  tel_metrics_addr : Proto.addr option;
+}
+
+let default_telemetry =
+  {
+    tel_tracing = true;
+    tel_access_log = None;
+    tel_sample = 1;
+    tel_flight_capacity = 64;
+    tel_flight_threshold_ms = 250.;
+    tel_metrics_addr = None;
+  }
 
 type config = {
   addr : Proto.addr;
   api : Mcheck_api.config;
   metal_paths : string list;
   idle_timeout : float;
+  telemetry : telemetry;
 }
 
 let default_config =
@@ -18,11 +44,15 @@ let default_config =
     api = { Mcheck_api.default_config with incremental = true };
     metal_paths = [];
     idle_timeout = 10.0;
+    telemetry = default_telemetry;
   }
 
 type t = {
   cfg : config;
   lsock : Unix.file_descr;
+  msock : Unix.file_descr option;  (* metrics exposition listener *)
+  access : Mctel.Accesslog.t;
+  flight : Mctel.Flight.t;
   mu : Mutex.t;  (* flags and counters *)
   cond : Condition.t;  (* signalled when conns/inflight drop *)
   session_mu : Mutex.t;  (* serializes session use (checks, reload) *)
@@ -37,6 +67,55 @@ type t = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Live metrics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* module-level registration: the series exist (at zero) in any binary
+   linking the server, so exposition-presence checks never race the
+   first request *)
+let m_requests =
+  Mctel.Metrics.counter ~help:"requests admitted" "mcheckd_requests_total"
+
+let m_refused =
+  Mctel.Metrics.counter ~help:"requests refused while draining"
+    "mcheckd_refused_total"
+
+let m_faults =
+  Mctel.Metrics.counter ~help:"requests ended by the fault barrier"
+    "mcheckd_faults_total"
+
+let m_proto_errors =
+  Mctel.Metrics.counter ~help:"malformed frames and requests"
+    "mcheckd_protocol_errors_total"
+
+let m_bytes_in =
+  Mctel.Metrics.counter ~help:"request bytes read (frames incl. headers)"
+    "mcheckd_bytes_in_total"
+
+let m_bytes_out =
+  Mctel.Metrics.counter ~help:"response bytes written (frames incl. headers)"
+    "mcheckd_bytes_out_total"
+
+let m_inflight =
+  Mctel.Metrics.gauge ~help:"admitted check requests not yet answered"
+    "mcheckd_inflight"
+
+let m_queue =
+  Mctel.Metrics.gauge ~help:"admitted requests waiting for the session"
+    "mcheckd_queue_depth"
+
+let m_conns = Mctel.Metrics.gauge ~help:"open connections" "mcheckd_connections"
+let m_draining = Mctel.Metrics.gauge ~help:"1 while draining" "mcheckd_draining"
+
+let m_flight_notable =
+  Mctel.Metrics.counter ~help:"flight-recorder entries retained as notable"
+    "mcheckd_flight_notable_total"
+
+let m_req_ms =
+  Mctel.Metrics.hist ~help:"request wall time (all request kinds), ms"
+    "mcheckd_request_ms"
+
+(* ------------------------------------------------------------------ *)
 (* Session construction                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -47,26 +126,26 @@ let build_session cfg =
     let api = { cfg.api with Mcheck_api.metal } in
     Ok (Mcheck_api.Session.create ~config:api ())
 
+let sock_of = function
+  | Proto.Unix_sock path ->
+    if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind s (Unix.ADDR_UNIX path);
+    s
+  | Proto.Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt s Unix.SO_REUSEADDR true;
+    Unix.bind s (Unix.ADDR_INET (ip, port));
+    s
+
 let create cfg =
   match build_session cfg with
   | Error _ as e -> e
   | Ok session -> (
-    let sock_of = function
-      | Proto.Unix_sock path ->
-        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
-        let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind s (Unix.ADDR_UNIX path);
-        s
-      | Proto.Tcp (host, port) ->
-        let ip =
-          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-          with Not_found -> Unix.inet_addr_of_string host
-        in
-        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.setsockopt s Unix.SO_REUSEADDR true;
-        Unix.bind s (Unix.ADDR_INET (ip, port));
-        s
-    in
     match sock_of cfg.addr with
     | exception e ->
       Mcheck_api.Session.close session;
@@ -74,24 +153,55 @@ let create cfg =
         (Printf.sprintf "cannot listen on %s: %s"
            (Proto.addr_to_string cfg.addr)
            (Printexc.to_string e))
-    | lsock ->
+    | lsock -> (
       Unix.listen lsock 64;
-      Ok
-        {
-          cfg;
-          lsock;
-          mu = Mutex.create ();
-          cond = Condition.create ();
-          session_mu = Mutex.create ();
-          session;
-          is_draining = false;
-          conns = 0;
-          requests = 0;
-          refused = 0;
-          errors = 0;
-          inflight_n = 0;
-          started = Unix.gettimeofday ();
-        })
+      let msock =
+        match cfg.telemetry.tel_metrics_addr with
+        | None -> Ok None
+        | Some addr -> (
+          match sock_of addr with
+          | s ->
+            Unix.listen s 16;
+            Ok (Some s)
+          | exception e ->
+            Error
+              (Printf.sprintf "cannot expose metrics on %s: %s"
+                 (Proto.addr_to_string addr)
+                 (Printexc.to_string e)))
+      in
+      match msock with
+      | Error msg ->
+        (try Unix.close lsock with _ -> ());
+        Mcheck_api.Session.close session;
+        Error msg
+      | Ok msock ->
+        (* spans are the raw material for the flight recorder; turn
+           recording on when the telemetry wants them (never off — a
+           test harness may have enabled tracing for its own ends) *)
+        if cfg.telemetry.tel_tracing then Mcobs.set_enabled true;
+        Ok
+          {
+            cfg;
+            lsock;
+            msock;
+            access =
+              Mctel.Accesslog.create ~sample:cfg.telemetry.tel_sample
+                ~path:cfg.telemetry.tel_access_log ();
+            flight =
+              Mctel.Flight.create ~capacity:cfg.telemetry.tel_flight_capacity
+                ~threshold_ms:cfg.telemetry.tel_flight_threshold_ms ();
+            mu = Mutex.create ();
+            cond = Condition.create ();
+            session_mu = Mutex.create ();
+            session;
+            is_draining = false;
+            conns = 0;
+            requests = 0;
+            refused = 0;
+            errors = 0;
+            inflight_n = 0;
+            started = Unix.gettimeofday ();
+          }))
 
 let locked mu f =
   Mutex.lock mu;
@@ -100,10 +210,14 @@ let locked mu f =
 let initiate_drain t =
   locked t.mu (fun () ->
       t.is_draining <- true;
+      Mctel.Metrics.set m_draining 1;
       Condition.broadcast t.cond)
 
 let draining t = locked t.mu (fun () -> t.is_draining)
 let inflight t = locked t.mu (fun () -> t.inflight_n)
+let access_log t = t.access
+let flight_recorder t = t.flight
+let reopen_access_log t = Mctel.Accesslog.reopen t.access
 
 let stats_text t =
   let s = Mcheck_api.Session.stats t.session in
@@ -116,6 +230,22 @@ let stats_text t =
         t.conns t.requests t.refused t.errors t.inflight_n
         (if t.is_draining then " (draining)" else "")
         Mcheck_api.Session.pp_stats s)
+
+let stats_json t =
+  let s = Mcheck_api.Session.stats t.session in
+  locked t.mu (fun () ->
+      Printf.sprintf
+        "{\"addr\":\"%s\",\"uptime_s\":%.1f,\"conns\":%d,\"requests\":%d,\"refused\":%d,\"errors\":%d,\"inflight\":%d,\"draining\":%b,\"access_log_lines\":%d,\"flight_notable\":%d,\"session\":{\"requests\":%d,\"files_checked\":%d,\"diags_emitted\":%d,\"findings\":%d,\"units_run\":%d,\"cache_hits\":%d,\"cache_entries\":%d,\"check_wall_ms\":%.1f,\"uptime_s\":%.1f}}\n"
+        (Mcobs.json_escape (Proto.addr_to_string t.cfg.addr))
+        (Unix.gettimeofday () -. t.started)
+        t.conns t.requests t.refused t.errors t.inflight_n t.is_draining
+        (Mctel.Accesslog.lines_written t.access)
+        (Mctel.Flight.retained t.flight)
+        s.Mcheck_api.Session.requests s.Mcheck_api.Session.files_checked
+        s.Mcheck_api.Session.diags_emitted s.Mcheck_api.Session.findings
+        s.Mcheck_api.Session.units_run s.Mcheck_api.Session.cache_hits
+        s.Mcheck_api.Session.cache_entries
+        s.Mcheck_api.Session.check_wall_ms s.Mcheck_api.Session.uptime_s)
 
 let warm t =
   Mcobs.with_span "serve.warm" (fun () ->
@@ -142,12 +272,15 @@ let admit t =
       else begin
         t.inflight_n <- t.inflight_n + 1;
         t.requests <- t.requests + 1;
+        Mctel.Metrics.inc m_requests;
+        Mctel.Metrics.set m_inflight t.inflight_n;
         true
       end)
 
 let finish_inflight t =
   locked t.mu (fun () ->
       t.inflight_n <- t.inflight_n - 1;
+      Mctel.Metrics.set m_inflight t.inflight_n;
       Condition.broadcast t.cond)
 
 let render_opts (o : Proto.check_opts) =
@@ -157,26 +290,122 @@ let render_opts (o : Proto.check_opts) =
     ro_quiet = o.Proto.co_quiet;
   }
 
-let run_check t fd (opts : Proto.check_opts) work =
+(* the request trace id: the client's, when well-formed; ours
+   otherwise — every request is traceable either way *)
+let request_trace (opts : Proto.check_opts) =
+  match Mctel.Trace.sanitize opts.Proto.co_trace with
+  | Some id -> id
+  | None -> Mctel.Trace.mint ()
+
+let req_seq = Atomic.make 0
+
+let run_check t fd ~peer ~kind ~bytes_in (opts : Proto.check_opts) work =
+  let begin_us = Mcobs.now_us () in
+  let t0 = Unix.gettimeofday () in
+  let trace = request_trace opts in
+  let bytes_out = ref 0 in
+  let send_counted resp =
+    let payload = Proto.encode_response resp in
+    bytes_out := !bytes_out + Proto.header_len + String.length payload;
+    Proto.write_frame fd payload
+  in
+  let outcome = ref "fault" in
+  let findings = ref 0 in
+  let diags_n = ref 0 in
+  let cache_hits = ref 0 in
+  let harvested = ref [] in
+  let logged = ref false in
+  (* one terminal accounting step per request, wherever the request
+     exits: latency histogram, byte counters, access-log line, flight
+     entry — committed after the reply frames, so a client that has
+     seen R_done can fetch its own flight entry on the same
+     connection *)
+  let finish_log () =
+    if not !logged then begin
+      logged := true;
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Mctel.Metrics.observe m_req_ms wall_ms;
+      Mctel.Metrics.inc ~by:bytes_in m_bytes_in;
+      Mctel.Metrics.inc ~by:!bytes_out m_bytes_out;
+      ignore
+        (Mctel.Accesslog.log t.access
+           {
+             Mctel.Accesslog.al_trace = trace;
+             al_peer = peer;
+             al_kind = kind;
+             al_bytes_in = bytes_in;
+             al_bytes_out = !bytes_out;
+             al_wall_ms = wall_ms;
+             al_outcome = !outcome;
+             al_findings = !findings;
+             al_diags = !diags_n;
+             al_cache_hits = !cache_hits;
+           });
+      let notable0 = Mctel.Flight.retained t.flight in
+      Mctel.Flight.record t.flight ~trace ~kind ~peer ~begin_us ~wall_ms
+        ~outcome:!outcome ~spans:!harvested;
+      let kept = Mctel.Flight.retained t.flight - notable0 in
+      if kept > 0 then Mctel.Metrics.inc ~by:kept m_flight_notable
+    end
+  in
   if not (admit t) then begin
     locked t.mu (fun () -> t.refused <- t.refused + 1);
-    send fd (Proto.R_error "draining: request refused")
+    Mctel.Metrics.inc m_refused;
+    outcome := "refused";
+    Fun.protect ~finally:finish_log (fun () ->
+        send_counted (Proto.R_error "draining: request refused"))
   end
-  else
+  else begin
+    Mctel.Metrics.add m_queue 1;
     Fun.protect
-      ~finally:(fun () -> finish_inflight t)
+      ~finally:(fun () ->
+        finish_inflight t;
+        finish_log ())
       (fun () ->
         match
           Mcobs.with_span "serve.check" (fun () ->
-              locked t.session_mu (fun () -> work t.session))
+              locked t.session_mu (fun () ->
+                  Mctel.Metrics.add m_queue (-1);
+                  let hits0 =
+                    (Mcheck_api.Session.stats t.session)
+                      .Mcheck_api.Session.cache_hits
+                  in
+                  (* the ambient trace context attributes every span the
+                     check records — across the session and the Mcd
+                     worker domains — to this request; session_mu is
+                     what makes the process-global context sound *)
+                  Fun.protect
+                    ~finally:(fun () ->
+                      Mcobs.set_trace "";
+                      Mcobs.record_span ~trace ~name:"serve.request"
+                        ~args:[ ("kind", kind); ("peer", peer) ]
+                        ~begin_us
+                        ~dur_us:(Mcobs.now_us () -. begin_us)
+                        ();
+                      harvested := Mcobs.drain_trace trace;
+                      (* periodically sweep spans recorded outside any
+                         trace so a long-lived daemon's buffers stay
+                         bounded without a coordinated reset *)
+                      if Atomic.fetch_and_add req_seq 1 land 0xff = 0xff
+                      then ignore (Mcobs.drain_trace ""))
+                    (fun () ->
+                      Mcobs.set_trace trace;
+                      let r = work t.session in
+                      cache_hits :=
+                        (Mcheck_api.Session.stats t.session)
+                          .Mcheck_api.Session.cache_hits - hits0;
+                      r)))
         with
         | (report : Mcheck_api.report) ->
           Mcobs.count "serve.check.ok";
+          outcome := Robust.to_string report.Mcheck_api.r_outcome;
+          findings := report.Mcheck_api.r_findings;
           let ropts = render_opts opts in
           let diags = Mcheck_api.report_diags report in
+          diags_n := List.length diags;
           List.iter
             (fun (d : Diag.t) ->
-              send fd
+              send_counted
                 (Proto.R_diag
                    {
                      Proto.d_checker = d.Diag.checker;
@@ -185,20 +414,21 @@ let run_check t fd (opts : Proto.check_opts) work =
                      d_text = Mcheck_api.render_diag ropts d;
                    }))
             diags;
-          send fd
+          send_counted
             (Proto.R_done
                {
                  rd_exit = Robust.exit_code report.Mcheck_api.r_outcome;
                  rd_findings = report.Mcheck_api.r_findings;
                  rd_diags = List.length diags;
                })
-        | exception Mcheck_api.Robust_exit outcome ->
+        | exception Mcheck_api.Robust_exit out ->
           (* strict-mode input failure: the daemon printed the reason on
              its stderr, the wire carries the exit code *)
-          send fd
+          outcome := Robust.to_string out;
+          send_counted
             (Proto.R_done
                {
-                 rd_exit = Robust.exit_code outcome;
+                 rd_exit = Robust.exit_code out;
                  rd_findings = 0;
                  rd_diags = 0;
                })
@@ -207,39 +437,86 @@ let run_check t fd (opts : Proto.check_opts) work =
              to an error frame, never kills the daemon *)
           locked t.mu (fun () -> t.errors <- t.errors + 1);
           Mcobs.count "serve.check.fault";
-          send fd (Proto.R_error (Engine.describe_fault exn)))
+          Mctel.Metrics.inc m_faults;
+          outcome := "fault";
+          send_counted (Proto.R_error (Engine.describe_fault exn)))
+  end
+
+(* control requests get the same accounting as checks — a trace id,
+   the latency histogram, and an access-log line — without the
+   admission/session machinery *)
+let answer t fd ~peer ~kind ~bytes_in resp =
+  let t0 = Unix.gettimeofday () in
+  let payload = Proto.encode_response resp in
+  Fun.protect
+    ~finally:(fun () ->
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Mctel.Metrics.observe m_req_ms wall_ms;
+      Mctel.Metrics.inc ~by:bytes_in m_bytes_in;
+      Mctel.Metrics.inc
+        ~by:(Proto.header_len + String.length payload)
+        m_bytes_out;
+      ignore
+        (Mctel.Accesslog.log t.access
+           {
+             Mctel.Accesslog.al_trace = Mctel.Trace.mint ();
+             al_peer = peer;
+             al_kind = kind;
+             al_bytes_in = bytes_in;
+             al_bytes_out = Proto.header_len + String.length payload;
+             al_wall_ms = wall_ms;
+             al_outcome =
+               (match resp with Proto.R_error _ -> "error" | _ -> "ok");
+             al_findings = 0;
+             al_diags = 0;
+             al_cache_hits = 0;
+           }))
+    (fun () -> Proto.write_frame fd payload)
 
 (* the per-request strictness knob is reserved on the wire; the daemon
    applies its configured parse mode (see Proto.check_opts docs) *)
-let handle_request t fd = function
-  | Proto.Ping -> send fd Proto.R_ok
-  | Proto.Stats -> send fd (Proto.R_text (stats_text t))
+let handle_request t fd ~peer ~bytes_in = function
+  | Proto.Ping -> answer t fd ~peer ~kind:"ping" ~bytes_in Proto.R_ok
+  | Proto.Stats Proto.S_text ->
+    answer t fd ~peer ~kind:"stats" ~bytes_in (Proto.R_text (stats_text t))
+  | Proto.Stats Proto.S_json ->
+    answer t fd ~peer ~kind:"stats" ~bytes_in (Proto.R_text (stats_json t))
+  | Proto.Metrics Proto.M_prom ->
+    answer t fd ~peer ~kind:"metrics" ~bytes_in
+      (Proto.R_text (Mctel.Metrics.to_prometheus ()))
+  | Proto.Metrics Proto.M_json ->
+    answer t fd ~peer ~kind:"metrics" ~bytes_in
+      (Proto.R_text (Mctel.Metrics.to_json ()))
+  | Proto.Flight ->
+    answer t fd ~peer ~kind:"flight" ~bytes_in
+      (Proto.R_text (Mctel.Flight.dump_json t.flight))
   | Proto.Drain ->
     Mcobs.count "serve.drain";
     initiate_drain t;
-    send fd Proto.R_ok
+    answer t fd ~peer ~kind:"drain" ~bytes_in Proto.R_ok
   | Proto.Reload -> (
     Mcobs.count "serve.reload";
     match build_session t.cfg with
     | Error msg ->
       locked t.mu (fun () -> t.errors <- t.errors + 1);
-      send fd (Proto.R_error ("reload failed: " ^ msg))
+      answer t fd ~peer ~kind:"reload" ~bytes_in
+        (Proto.R_error ("reload failed: " ^ msg))
     | Ok fresh ->
       (* waits for in-flight checks (they hold session_mu), then swaps *)
       locked t.session_mu (fun () ->
           let old = t.session in
           t.session <- fresh;
           Mcheck_api.Session.close old);
-      send fd Proto.R_ok)
+      answer t fd ~peer ~kind:"reload" ~bytes_in Proto.R_ok)
   | Proto.Check_files (opts, paths) ->
     (* the request's -c selection overrides the session's, per call, so
        findings counts and exit codes match a local run with the same
        flags *)
-    run_check t fd opts (fun session ->
+    run_check t fd ~peer ~kind:"check_files" ~bytes_in opts (fun session ->
         Mcheck_api.Session.check_files ~checkers:opts.Proto.co_checkers
           session paths)
   | Proto.Check_buffer (opts, name, contents) ->
-    run_check t fd opts (fun session ->
+    run_check t fd ~peer ~kind:"check_buffer" ~bytes_in opts (fun session ->
         Mcheck_api.Session.check_buffer ~checkers:opts.Proto.co_checkers
           session ~name ~contents)
 
@@ -247,9 +524,17 @@ let handle_request t fd = function
 (* Connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let peer_string fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+  | exception _ -> "unknown"
+
 let handle_conn t fd =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout
    with _ -> ());
+  let peer = peer_string fd in
   let rec loop () =
     match Proto.read_frame fd with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -262,16 +547,19 @@ let handle_conn t fd =
     | Error msg ->
       (* framing is broken; answer once and hang up *)
       (try send fd (Proto.R_error ("protocol error: " ^ msg)) with _ -> ());
+      Mctel.Metrics.inc m_proto_errors;
       locked t.mu (fun () -> t.errors <- t.errors + 1)
     | Ok payload -> (
+      let bytes_in = Proto.header_len + String.length payload in
       match Proto.decode_request payload with
       | Error msg ->
         (try send fd (Proto.R_error ("protocol error: " ^ msg))
          with _ -> ());
+        Mctel.Metrics.inc m_proto_errors;
         locked t.mu (fun () -> t.errors <- t.errors + 1)
       | Ok req -> (
         Mcobs.count "serve.request";
-        match handle_request t fd req with
+        match handle_request t fd ~peer ~bytes_in req with
         | () -> loop ()
         | exception Unix.Unix_error _ ->
           (* client went away mid-reply *)
@@ -282,8 +570,78 @@ let handle_conn t fd =
       (try Unix.close fd with _ -> ());
       locked t.mu (fun () ->
           t.conns <- t.conns - 1;
+          Mctel.Metrics.set m_conns t.conns;
           Condition.broadcast t.cond))
     loop
+
+(* ------------------------------------------------------------------ *)
+(* Metrics exposition                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec http_write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    http_write_all fd s (off + n) (len - n)
+  end
+
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* the smallest useful scrape endpoint: HTTP/1.0, two routes, close
+   after each response — enough for Prometheus, curl, and the CI
+   smoke *)
+let serve_metrics_http t sock =
+  let handle fd =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        try
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with _ -> ());
+          let buf = Bytes.create 2048 in
+          let n = try Unix.read fd buf 0 2048 with _ -> 0 in
+          let req = Bytes.sub_string buf 0 n in
+          let want_json =
+            (* the request line: GET /metrics.json HTTP/1.x *)
+            match String.index_opt req '\r' with
+            | Some i -> contains_sub (String.sub req 0 i) ".json"
+            | None -> false
+          in
+          let body =
+            if want_json then Mctel.Metrics.to_json ()
+            else Mctel.Metrics.to_prometheus ()
+          in
+          let ctype =
+            if want_json then "application/json"
+            else "text/plain; version=0.0.4"
+          in
+          let resp =
+            Printf.sprintf
+              "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: \
+               %d\r\nConnection: close\r\n\r\n%s"
+              ctype (String.length body) body
+          in
+          http_write_all fd resp 0 (String.length resp)
+        with _ -> ())
+  in
+  let rec loop () =
+    if not (draining t) then begin
+      (match Unix.select [ sock ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> handle fd)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close sock with _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* The accept loop                                                     *)
@@ -293,6 +651,15 @@ let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   Mcobs.logf Mcobs.Normal "mcheckd: listening on %s"
     (Proto.addr_to_string t.cfg.addr);
+  let metrics_thread =
+    Option.map
+      (fun sock ->
+        Mcobs.logf Mcobs.Normal "mcheckd: metrics on %s"
+          (Proto.addr_to_string
+             (Option.get t.cfg.telemetry.tel_metrics_addr));
+        Thread.create (fun () -> serve_metrics_http t sock) ())
+      t.msock
+  in
   let rec loop () =
     let finished =
       locked t.mu (fun () ->
@@ -314,7 +681,9 @@ let run t =
              with _ -> ());
             try Unix.close fd with _ -> ())
           else begin
-            locked t.mu (fun () -> t.conns <- t.conns + 1);
+            locked t.mu (fun () ->
+                t.conns <- t.conns + 1;
+                Mctel.Metrics.set m_conns t.conns);
             ignore (Thread.create (fun () -> handle_conn t fd) ())
           end)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -326,6 +695,11 @@ let run t =
   (match t.cfg.addr with
   | Proto.Unix_sock path -> ( try Unix.unlink path with _ -> ())
   | Proto.Tcp _ -> ());
+  Option.iter Thread.join metrics_thread;
+  (match t.cfg.telemetry.tel_metrics_addr with
+  | Some (Proto.Unix_sock path) -> ( try Unix.unlink path with _ -> ())
+  | _ -> ());
   locked t.session_mu (fun () -> Mcheck_api.Session.close t.session);
+  Mctel.Accesslog.close t.access;
   Mcobs.logf Mcobs.Normal "mcheckd: drained, %d request(s) served"
     t.requests

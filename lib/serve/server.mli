@@ -16,6 +16,26 @@
     swaps the session (metal specs re-read, cache rebuilt) without
     dropping connections. *)
 
+type telemetry = {
+  tel_tracing : bool;
+      (** install each request's trace id as the ambient {!Mcobs}
+          context and harvest its spans into the flight recorder.
+          [true] turns span recording on; [false] never turns it off
+          (the embedding harness may want it for its own ends). *)
+  tel_access_log : string option;  (** JSONL path; [None] disables *)
+  tel_sample : int;  (** write every n-th access-log line *)
+  tel_flight_capacity : int;  (** entries per flight-recorder ring *)
+  tel_flight_threshold_ms : float;
+      (** requests at least this slow are always retained *)
+  tel_metrics_addr : Proto.addr option;
+      (** when set, serve the live metrics over HTTP on this address:
+          [GET /metrics] (Prometheus text) and [GET /metrics.json] *)
+}
+
+val default_telemetry : telemetry
+(** tracing on, no access log, flight ring of 64 with a 250 ms
+    threshold, no HTTP exposition *)
+
 type config = {
   addr : Proto.addr;
   api : Mcheck_api.config;
@@ -26,10 +46,12 @@ type config = {
       (** per-connection receive timeout in seconds; an idle client is
           kept, but during a drain its connection is closed once the
           timeout fires *)
+  telemetry : telemetry;
 }
 
 val default_config : config
-(** unix socket ["mcheckd.sock"], incremental in-memory cache, 1 job *)
+(** unix socket ["mcheckd.sock"], incremental in-memory cache, 1 job,
+    {!default_telemetry} *)
 
 type t
 
@@ -53,9 +75,21 @@ val initiate_drain : t -> unit
 val draining : t -> bool
 
 val stats_text : t -> string
-(** the [Stats] reply: server counters plus {!Mcheck_api.Session}
-    statistics *)
+(** the [Stats S_text] reply: server counters plus
+    {!Mcheck_api.Session} statistics *)
+
+val stats_json : t -> string
+(** the [Stats S_json] reply: the same counters as one JSON object *)
 
 val inflight : t -> int
 (** admitted check requests not yet answered (drain-under-load tests
     observe this) *)
+
+val access_log : t -> Mctel.Accesslog.t
+(** the daemon's access log (tests and drivers read counters off it) *)
+
+val flight_recorder : t -> Mctel.Flight.t
+
+val reopen_access_log : t -> unit
+(** close and reopen the access-log file — what the SIGHUP handler in
+    [bin/mcheckd] routes here for log rotation *)

@@ -442,6 +442,172 @@ let merge_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* quantile estimation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The estimator interpolates inside the bucket holding the target
+   rank, so two properties pin it down: it is monotone in [p], and the
+   estimate lies inside the bounds of the bucket an independent rank
+   computation selects (the overflow bucket's upper bound being the
+   recorded max). *)
+
+let observe_all name samples =
+  List.iter (fun v -> Mcobs.observe name v) samples
+
+(* the bucket the implementation should land in for quantile [p] of
+   [samples], computed from the raw samples rather than the snapshot *)
+let reference_bucket_bounds samples p =
+  let bounds = Mcobs.hist_bounds_ms in
+  let nb = Array.length bounds + 1 in
+  let counts = Array.make nb 0 in
+  let bucket_of v =
+    let rec go i =
+      if i >= Array.length bounds then Array.length bounds
+      else if v <= bounds.(i) then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.iter (fun v -> counts.(bucket_of v) <- counts.(bucket_of v) + 1) samples;
+  let count = List.length samples in
+  let max_ms = List.fold_left Float.max 0. samples in
+  let target = p *. float_of_int count in
+  let rec go i cum =
+    if i >= nb then
+      (* past every bucket: the implementation answers max_ms *)
+      (max_ms, max_ms)
+    else
+      let cum' = cum + counts.(i) in
+      if counts.(i) > 0 && float_of_int cum' >= target then
+        let lo = if i = 0 then 0. else bounds.(i - 1) in
+        let hi =
+          if i < Array.length bounds then bounds.(i)
+          else Float.max lo max_ms
+        in
+        (lo, hi)
+      else go (i + 1) cum'
+  in
+  go 0 0
+
+let samples_gen =
+  (* positive latencies spread across the log-scale buckets, overflow
+     included *)
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (map (fun x -> 0.001 *. (1.5 ** float_of_int x)) (int_bound 45)))
+
+let quantile_of samples p =
+  Mcobs.set_enabled true;
+  Mcobs.reset ();
+  observe_all "q" samples;
+  let snap = Mcobs.snapshot () in
+  Mcobs.reset ();
+  Mcobs.quantile snap "q" p
+
+let quantile_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"quantile monotone in p"
+         samples_gen
+         (fun samples ->
+           let ps = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+           Mcobs.set_enabled true;
+           Mcobs.reset ();
+           observe_all "q" samples;
+           let snap = Mcobs.snapshot () in
+           Mcobs.reset ();
+           let qs =
+             List.map
+               (fun p ->
+                 match Mcobs.quantile snap "q" p with
+                 | Some q -> q
+                 | None -> QCheck2.Test.fail_report "no estimate")
+               ps
+           in
+           let rec nondecreasing = function
+             | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+             | _ -> true
+           in
+           nondecreasing qs));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100
+         ~name:"quantile bracketed by its rank bucket"
+         QCheck2.Gen.(pair samples_gen (float_range 0.0 1.0))
+         (fun (samples, p) ->
+           match quantile_of samples p with
+           | None -> false
+           | Some q ->
+             let lo, hi = reference_bucket_bounds samples p in
+             q >= lo -. 1e-9 && q <= hi +. 1e-9));
+  ]
+
+let quantile_cases =
+  [
+    t "quantile interpolates deterministically" `Quick (fun () ->
+        (* one 0.5 ms sample lands in the (0.1, 1.0] bucket; the median
+           rank is halfway through it: 0.1 + 0.5 * (1.0 - 0.1) = 0.55 *)
+        match quantile_of [ 0.5 ] 0.5 with
+        | None -> Alcotest.fail "no estimate"
+        | Some q ->
+          Alcotest.(check (float 1e-9)) "interpolated median" 0.55 q);
+    t "quantile: empty and unknown histograms answer None" `Quick
+      (fun () ->
+        with_tracing (fun () ->
+            let snap = Mcobs.snapshot () in
+            Alcotest.(check bool) "unknown name" true
+              (Mcobs.quantile snap "nosuch" 0.5 = None);
+            Alcotest.(check bool) "empty hist" true
+              (Mcobs.quantile_hist
+                 { Mcobs.count = 0; sum_ms = 0.; max_ms = 0.; buckets = [||] }
+                 0.5
+              = None);
+            Mcobs.observe "h" 1.0;
+            let snap = Mcobs.snapshot () in
+            Alcotest.(check bool) "p out of range" true
+              (Mcobs.quantile snap "h" 1.5 = None
+              && Mcobs.quantile snap "h" (-0.1) = None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* per-trace span harvest                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cases =
+  [
+    t "drain_trace takes one trace's spans and leaves the rest" `Quick
+      (fun () ->
+        with_tracing (fun () ->
+            Mcobs.with_trace "t-one" (fun () ->
+                Mcobs.with_span "traced.outer" (fun () ->
+                    (* separate the begin times so the ascending-begin
+                       order is deterministic *)
+                    spin_us 1.0;
+                    Mcobs.with_span "traced.inner" ignore));
+            Mcobs.with_span "untraced" ignore;
+            Mcobs.count "survivor";
+            let harvested = Mcobs.drain_trace "t-one" in
+            Alcotest.(check (list string))
+              "the trace's spans, ascending begin"
+              [ "traced.outer"; "traced.inner" ]
+              (List.map (fun sp -> sp.Mcobs.sp_name) harvested);
+            List.iter
+              (fun sp ->
+                Alcotest.(check string) "stamped with the trace" "t-one"
+                  sp.Mcobs.sp_trace)
+              harvested;
+            Alcotest.(check (list string)) "second harvest is empty" []
+              (List.map
+                 (fun sp -> sp.Mcobs.sp_name)
+                 (Mcobs.drain_trace "t-one"));
+            let snap = Mcobs.snapshot () in
+            Alcotest.(check (list string)) "untraced span survives"
+              [ "untraced" ]
+              (List.map (fun sp -> sp.Mcobs.sp_name) snap.Mcobs.spans);
+            Alcotest.(check bool) "counters untouched" true
+              (List.mem_assoc "survivor" snap.Mcobs.counters)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* --explain witness paths                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -526,4 +692,7 @@ let witness_cases =
           diags);
   ]
 
-let suite = ("obs", nesting_cases @ exporter_cases @ merge_props @ witness_cases)
+let suite =
+  ( "obs",
+    nesting_cases @ exporter_cases @ merge_props @ quantile_props
+    @ quantile_cases @ trace_cases @ witness_cases )

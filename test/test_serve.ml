@@ -1,7 +1,9 @@
 (** The serving stack: wire-protocol totality and round-tripping,
     framing safety against hostile bytes, a live in-process daemon
     (checks, interleaved sessions, drain under load, reload, fault
-    containment), daemon ≡ CLI byte-identity, and the dogfood check —
+    containment), daemon ≡ CLI byte-identity, the telemetry surface
+    (stats formats, live metrics, access log, flight recorder, trace
+    propagation), and the dogfood check —
     our own [msg_length] checker run over a Clite model of
     [Serve.Proto]'s framing discipline. *)
 
@@ -22,16 +24,20 @@ let gen_bytes =
 let gen_opts =
   QCheck.Gen.(
     map3
-      (fun names a b ->
+      (fun names trace (a, b) ->
         {
           Proto.co_checkers = names;
           co_explain = a;
           co_verbose = b;
           co_quiet = a <> b;
           co_strict = a && b;
+          (* arbitrary bytes: the codec must round-trip whatever the
+             client put here; sanitisation is the daemon's job *)
+          co_trace = trace;
         })
       (list_size (int_bound 3) gen_bytes)
-      bool bool)
+      gen_bytes
+      (pair bool bool))
 
 let gen_request =
   QCheck.Gen.(
@@ -44,7 +50,14 @@ let gen_request =
         map3
           (fun o n c -> Proto.Check_buffer (o, n, c))
           gen_opts gen_bytes gen_bytes;
-        return Proto.Stats;
+        oneofl
+          [
+            Proto.Stats Proto.S_text;
+            Proto.Stats Proto.S_json;
+            Proto.Metrics Proto.M_prom;
+            Proto.Metrics Proto.M_json;
+            Proto.Flight;
+          ];
         return Proto.Drain;
         return Proto.Reload;
         return Proto.Ping;
@@ -206,6 +219,53 @@ let with_client addr f =
   | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
 let plain = Proto.default_opts
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.equal (String.sub hay i nn) needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains_sub hay needle = find_sub hay needle <> None
+
+(* enough JSON to read a counter out of the daemon's stats reply
+   without dragging in a parser *)
+let json_int_field s name =
+  match find_sub s (Printf.sprintf "\"%s\":" name) with
+  | None -> None
+  | Some i ->
+    let j = ref (i + String.length name + 3) in
+    let start = !j in
+    while
+      !j < String.length s
+      && (match s.[!j] with '0' .. '9' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j = start then None
+    else int_of_string_opt (String.sub s start (!j - start))
+
+(* a bare prometheus sample line: [name value] *)
+let prom_value text name =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         match find_sub line (name ^ " ") with
+         | Some 0 ->
+           float_of_string_opt
+             (String.sub line
+                (String.length name + 1)
+                (String.length line - String.length name - 1))
+         | _ -> None)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
 
 let expect_checked = function
   | Ok (Client.Checked r) -> r
@@ -437,6 +497,227 @@ let daemon_cases =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: stats formats, metrics, access log, flight recorder      *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_cases =
+  [
+    t "stats exposition: text and json agree on the counters" `Quick
+      (fun () ->
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c ->
+                ignore
+                  (expect_checked
+                     (Client.check_buffer c plain ~name:"b.c"
+                        ~contents:buggy_src));
+                (match Client.stats c with
+                | Ok s ->
+                  Alcotest.(check bool) "text mentions requests" true
+                    (contains_sub s "requests")
+                | Error e -> Alcotest.fail e);
+                match Client.stats_json c with
+                | Error e -> Alcotest.fail e
+                | Ok j ->
+                  Alcotest.(check bool) "one object" true
+                    (String.length j > 2 && j.[0] = '{');
+                  Alcotest.(check bool) "nested session block" true
+                    (contains_sub j "\"session\":");
+                  (match json_int_field j "requests" with
+                  | Some n ->
+                    Alcotest.(check bool) "served at least one" true (n >= 1)
+                  | None -> Alcotest.fail "no requests field");
+                  (match json_int_field j "findings" with
+                  | Some n ->
+                    Alcotest.(check bool) "session findings counted" true
+                      (n >= 1)
+                  | None -> Alcotest.fail "no session findings field"))));
+    t "metrics exposition: required series present and monotone" `Quick
+      (fun () ->
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c ->
+                ignore
+                  (expect_checked
+                     (Client.check_buffer c plain ~name:"b.c"
+                        ~contents:buggy_src));
+                let scrape () =
+                  match Client.metrics c Proto.M_prom with
+                  | Ok m -> m
+                  | Error e -> Alcotest.fail e
+                in
+                let m1 = scrape () in
+                List.iter
+                  (fun series ->
+                    Alcotest.(check bool) (series ^ " present") true
+                      (contains_sub m1 series))
+                  [
+                    "mcheckd_requests_total";
+                    "mcheckd_inflight";
+                    "mcheckd_request_ms_bucket";
+                    "mcheckd_request_ms_sum";
+                    "mcheckd_request_ms_count";
+                    "mcheck_unit_cache_probes_total";
+                    "mcheck_unit_cache_hits_total";
+                  ];
+                ignore
+                  (expect_checked
+                     (Client.check_buffer c plain ~name:"b2.c"
+                        ~contents:buggy_src));
+                let m2 = scrape () in
+                let v text =
+                  match prom_value text "mcheckd_requests_total" with
+                  | Some f -> f
+                  | None -> Alcotest.fail "requests_total sample missing"
+                in
+                Alcotest.(check bool) "requests counter is monotone" true
+                  (v m2 >= v m1 +. 1.0);
+                match Client.metrics c Proto.M_json with
+                | Error e -> Alcotest.fail e
+                | Ok j ->
+                  Alcotest.(check bool) "json carries the latency hist" true
+                    (contains_sub j "mcheckd_request_ms");
+                  Alcotest.(check bool) "json carries quantiles" true
+                    (contains_sub j "\"p50_ms\":"))));
+    t "access log: one line per admitted request across a drain" `Quick
+      (fun () ->
+        let log_path = Filename.temp_file "mcheckd-access" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove log_path with _ -> ())
+          (fun () ->
+            let telemetry =
+              {
+                Serve.Server.default_telemetry with
+                tel_access_log = Some log_path;
+              }
+            in
+            let d = Oracle.start ~telemetry () in
+            let n = 6 in
+            let completed = Atomic.make 0
+            and refused = Atomic.make 0
+            and lost = Atomic.make 0 in
+            let worker _ =
+              match Client.connect (Oracle.addr d) with
+              | Error _ -> Atomic.incr lost
+              | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    match
+                      Client.check_buffer c plain ~name:"b.c"
+                        ~contents:buggy_src
+                    with
+                    | Ok (Client.Checked _) -> Atomic.incr completed
+                    | Ok (Client.Refused _) -> Atomic.incr refused
+                    | Error _ -> Atomic.incr lost)
+            in
+            let threads = List.init n (fun i -> Thread.create worker i) in
+            Thread.delay 0.002;
+            Oracle.stop d;
+            List.iter Thread.join threads;
+            Alcotest.(check int) "lost" 0 (Atomic.get lost);
+            (* the daemon has drained: every admitted check wrote exactly
+               one line, every refused one a line marked refused *)
+            let lines =
+              String.split_on_char '\n' (read_file log_path)
+              |> List.filter (fun l -> String.trim l <> "")
+            in
+            let buffer_lines =
+              List.filter
+                (fun l -> contains_sub l "\"kind\":\"check_buffer\"")
+                lines
+            in
+            let refused_lines =
+              List.filter
+                (fun l -> contains_sub l "\"outcome\":\"refused\"")
+                buffer_lines
+            in
+            Alcotest.(check int) "one line per admitted request"
+              (Atomic.get completed)
+              (List.length buffer_lines - List.length refused_lines);
+            Alcotest.(check int) "one line per refused request"
+              (Atomic.get refused)
+              (List.length refused_lines);
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "line carries a trace id" true
+                  (contains_sub l "\"trace\":\"t-"))
+              buffer_lines));
+    t "a fault-barrier trip lands in the flight recorder" `Quick (fun () ->
+        with_daemon (fun d ->
+            (* the hook is installed after the daemon warmed, so only the
+               request below trips it; Mcd spawns its pool per schedule,
+               so the workers see the hook *)
+            Engine.set_fault_hook
+              (Some (fun ~checker:_ ~func -> String.equal func "H"));
+            Fun.protect
+              ~finally:(fun () -> Engine.set_fault_hook None)
+              (fun () ->
+                with_client (Oracle.addr d) (fun c ->
+                    (match
+                       Client.check_buffer c plain ~name:"b.c"
+                         ~contents:buggy_src
+                     with
+                    | Error e -> Alcotest.fail e
+                    | Ok _ -> ());
+                    (* same-connection fetch: the entry is committed
+                       before the daemon reads this request's frame *)
+                    (match Client.flight c with
+                    | Error e -> Alcotest.fail e
+                    | Ok dump ->
+                      Alcotest.(check bool) "dump shows the partial outcome"
+                        true
+                        (contains_sub dump "\"outcome\":\"partial\""));
+                    let fr =
+                      Serve.Server.flight_recorder (Oracle.server d)
+                    in
+                    Alcotest.(check bool) "tail rule retained the fault"
+                      true
+                      (Mctel.Flight.retained fr >= 1);
+                    Alcotest.(check bool)
+                      "a notable check_buffer entry survives" true
+                      (List.exists
+                         (fun e ->
+                           e.Mctel.Flight.fl_notable
+                           && String.equal e.Mctel.Flight.fl_kind
+                                "check_buffer"
+                           && String.equal e.Mctel.Flight.fl_outcome
+                                "partial")
+                         (Mctel.Flight.entries fr))))));
+    t "a client trace id spans server, session, and scheduler" `Quick
+      (fun () ->
+        with_daemon (fun d ->
+            with_client (Oracle.addr d) (fun c ->
+                let trace = Mctel.Trace.mint () in
+                ignore
+                  (expect_checked
+                     (Client.check_buffer c
+                        { plain with Proto.co_trace = trace }
+                        ~name:"b.c" ~contents:buggy_src));
+                (match Client.flight c with
+                | Error e -> Alcotest.fail e
+                | Ok dump ->
+                  Alcotest.(check bool) "dump carries the minted trace" true
+                    (contains_sub dump trace));
+                let fr = Serve.Server.flight_recorder (Oracle.server d) in
+                match
+                  List.find_opt
+                    (fun e -> String.equal e.Mctel.Flight.fl_trace trace)
+                    (Mctel.Flight.entries fr)
+                with
+                | None -> Alcotest.fail "no flight entry for the trace"
+                | Some e ->
+                  let names =
+                    List.map
+                      (fun sp -> sp.Mcobs.sp_name)
+                      e.Mctel.Flight.fl_spans
+                  in
+                  List.iter
+                    (fun name ->
+                      Alcotest.(check bool) (name ^ " span in the tree")
+                        true (List.mem name names))
+                    [ "serve.request"; "api.check_buffer"; "mcd.schedule" ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Dogfood: msg_length over a Clite model of Proto's framing           *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,4 +781,4 @@ let suite =
         prop_decode_total;
         prop_trailing_garbage_rejected;
       ]
-    @ framing_cases @ daemon_cases @ dogfood_cases )
+    @ framing_cases @ daemon_cases @ telemetry_cases @ dogfood_cases )

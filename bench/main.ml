@@ -443,6 +443,128 @@ let run_engine ~quick () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2c': the metal compiler                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The three in-tree metal specs over the full corpus, interpreted
+   ([Mdsl.load], string states, per-function dispatch) against compiled
+   ([Mrun.compile]: typed IR -> transition tables -> prebuilt per-state
+   dispatch, int states), both through the fused multi-machine driver —
+   exactly what [mcheck --metal-interp] and [mcheck --metal-compiled]
+   run.  Diagnostics must be byte-identical (the O7 invariant); the
+   numbers land in BENCH_METALC.json.  Full mode (best of 7,
+   interleaved) fails when compiled is slower than interpreted;
+   [--quick] is the CI tripwire and — like the engine bench's — is
+   noise-tolerant, failing only past 1.25x. *)
+
+let run_metalc ~quick () =
+  print_endline
+    "================ metal compiler benchmark ================";
+  print_newline ();
+  let mc =
+    match Fuzz_metalc.create () with
+    | Ok t -> t
+    | Error e ->
+      prerr_endline ("FAIL: " ^ e);
+      exit 1
+  in
+  let names = List.map (fun (n, _, _) -> n) mc.Fuzz_metalc.specs in
+  let compiled_machines = List.map (fun (_, c, _) -> c) mc.Fuzz_metalc.specs in
+  let interp_machines = List.map (fun (_, _, i) -> i) mc.Fuzz_metalc.specs in
+  let c = Lazy.force corpus in
+  let iters = if quick then 5 else 7 in
+  Printf.printf "host: %d core(s); best of %d run(s); specs: %s\n\n"
+    (Domain.recommended_domain_count ())
+    iters (String.concat ", " names);
+  let run machines () =
+    List.map
+      (fun (p : Corpus.protocol) ->
+        Mrun.check_program_fused machines p.Corpus.tus)
+      c.Corpus.protocols
+  in
+  let render rss =
+    String.concat "\n"
+      (List.concat_map
+         (fun rs -> Fuzz_oracle.render (List.combine names rs))
+         rss)
+  in
+  (* best-of-N with the two back ends interleaved in alternating order:
+     heap growth and background load drift penalize whichever side runs
+     later, so a measure-all-of-A-then-all-of-B loop reads as a phantom
+     regression on a busy host *)
+  let interp_best = ref infinity
+  and compiled_best = ref infinity
+  and interp_res = ref None
+  and compiled_res = ref None in
+  let measure machines best res =
+    let r, ms = time_ms (run machines) in
+    if ms < !best then begin
+      best := ms;
+      res := Some r
+    end
+  in
+  for i = 0 to iters - 1 do
+    let pair =
+      if i mod 2 = 0 then
+        [ (interp_machines, interp_best, interp_res);
+          (compiled_machines, compiled_best, compiled_res) ]
+      else
+        [ (compiled_machines, compiled_best, compiled_res);
+          (interp_machines, interp_best, interp_res) ]
+    in
+    List.iter (fun (m, b, r) -> measure m b r) pair
+  done;
+  let interp_results = Option.get !interp_res
+  and interp_ms = !interp_best
+  and compiled_results = Option.get !compiled_res
+  and compiled_ms = !compiled_best in
+  let identical =
+    String.equal (render interp_results) (render compiled_results)
+  in
+  (* front-end cost: parse + IR + tables + prebuild for all three specs *)
+  let _, compile_ms = time_ms (fun () -> Fuzz_metalc.create ()) in
+  Printf.printf "  %-38s %8.1f ms\n" "interpreted (Mdsl, per-func dispatch)"
+    interp_ms;
+  Printf.printf "  %-38s %8.1f ms   (%.2fx, identical=%b)\n"
+    "compiled (tables, prebuilt dispatch)" compiled_ms
+    (interp_ms /. compiled_ms) identical;
+  Printf.printf "  %-38s %8.1f ms\n\n" "compile all specs (both back ends)"
+    compile_ms;
+  let oc = open_out "BENCH_METALC.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"cores\": %d,\n\
+    \  \"quick\": %b,\n\
+    \  \"specs\": [%s],\n\
+    \  \"interp_ms\": %.1f,\n\
+    \  \"compiled_ms\": %.1f,\n\
+    \  \"compile_all_ms\": %.1f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"diagnostics_identical\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    quick
+    (String.concat ", " (List.map (Printf.sprintf "%S") names))
+    interp_ms compiled_ms compile_ms
+    (interp_ms /. compiled_ms)
+    identical;
+  close_out oc;
+  print_endline "  wrote BENCH_METALC.json";
+  if not identical then begin
+    prerr_endline
+      "FAIL: compiled and interpreted metal diagnostics differ";
+    exit 1
+  end;
+  let budget = if quick then 1.25 *. interp_ms else interp_ms in
+  if compiled_ms > budget then begin
+    Printf.eprintf
+      "FAIL: compiled metal (%.1f ms) slower than interpreted (%.1f ms%s)\n"
+      compiled_ms interp_ms
+      (if quick then " + 25% tripwire margin" else "");
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 2d: Mcobs tracing overhead                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1295,6 +1417,8 @@ let () =
   | [ "parallel" ] -> run_parallel ()
   | [ "engine" ] -> run_engine ~quick:false ()
   | [ "engine"; "--quick" ] -> run_engine ~quick:true ()
+  | [ "metalc" ] -> run_metalc ~quick:false ()
+  | [ "metalc"; "--quick" ] -> run_metalc ~quick:true ()
   | [ "obs" ] -> run_obs ()
   | [ "robust" ] -> run_robust ~quick:false ()
   | [ "robust"; "--quick" ] -> run_robust ~quick:true ()
@@ -1311,6 +1435,7 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
-       ablations | parallel | engine [--quick] | obs | robust [--quick] | \
-       fuzz | serve [--quick] | serve-obs [--quick] | bench]";
+       ablations | parallel | engine [--quick] | metalc [--quick] | obs | \
+       robust [--quick] | fuzz | serve [--quick] | serve-obs [--quick] | \
+       bench]";
     exit 2

@@ -12,6 +12,11 @@
     findings, and exit code must be byte-identical to the local CLI
     path.
 
+    With [--metalc], the three in-tree metal specs run compiled and
+    interpreted over the fixed corpus + golden programs and over every
+    generated program — the seventh oracle: the two back ends'
+    diagnostics must be byte-identical.
+
     Exit status 1 when any pipeline disagrees, any seeded-bug recall
     drops below the threshold, or a generated program crashes the
     pipeline; 0 otherwise.  Failures print the seed, so
@@ -19,7 +24,7 @@
 
 open Cmdliner
 
-let main seed count mutate out quiet threshold serve =
+let main seed count mutate out quiet threshold serve metalc =
   let t0 = Unix.gettimeofday () in
   let log i =
     if (not quiet) && (i mod 100 = 0 || i = count) then
@@ -27,10 +32,34 @@ let main seed count mutate out quiet threshold serve =
         (Unix.gettimeofday () -. t0)
   in
   let daemon = if serve then Some (Serve.Serve_oracle.start ()) else None in
-  let extra_oracle =
-    match daemon with
-    | Some d -> Serve.Serve_oracle.check d
-    | None -> fun _ -> []
+  let mc =
+    if not metalc then None
+    else
+      match Fuzz_metalc.create () with
+      | Ok t -> Some t
+      | Error e ->
+        Printf.eprintf "mcfuzz: %s\n" e;
+        exit 2
+  in
+  (* the fixed-input half of O7 runs once, before the seeded loop *)
+  let sweep_failures =
+    match mc with
+    | Some t ->
+      let fs = Fuzz_metalc.sweep t in
+      if not quiet then
+        Printf.eprintf "mcfuzz: metalc corpus+golden sweep: %d disagreement(s)\n%!"
+          (List.length fs);
+      fs
+    | None -> []
+  in
+  let extra_oracle p =
+    let serve_fs =
+      match daemon with Some d -> Serve.Serve_oracle.check d p | None -> []
+    in
+    let metal_fs =
+      match mc with Some t -> Fuzz_metalc.oracle t p | None -> []
+    in
+    serve_fs @ metal_fs
   in
   let { Fuzz_driver.score; failures } =
     Fun.protect
@@ -38,6 +67,7 @@ let main seed count mutate out quiet threshold serve =
       (fun () ->
         Fuzz_driver.run ~log ~extra_oracle ~base_seed:seed ~count ~mutate ())
   in
+  let failures = sweep_failures @ failures in
   List.iter
     (fun f -> Format.eprintf "FAIL %a@." Fuzz_oracle.pp_failure f)
     failures;
@@ -96,12 +126,21 @@ let serve_arg =
               mcheckd daemon and require its wire output, findings, and \
               exit code to match the local CLI path byte-for-byte.")
 
+let metalc_arg =
+  Arg.(
+    value & flag
+    & info [ "metalc" ]
+        ~doc:"Also run the three in-tree metal specs compiled and \
+              interpreted — over the fixed corpus and golden programs \
+              once, then over every generated program — and require \
+              the two back ends' diagnostics to match byte-for-byte.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mcfuzz"
        ~doc:"differential fuzzing of the FLASH checking pipeline")
     Term.(
       const main $ seed_arg $ count_arg $ mutate_arg $ out_arg $ quiet_arg
-      $ threshold_arg $ serve_arg)
+      $ threshold_arg $ serve_arg $ metalc_arg)
 
 let () = exit (Cmd.eval cmd)

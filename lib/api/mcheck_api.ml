@@ -10,7 +10,7 @@ type config = {
   budget : Engine.budget;
   strict : bool;
   checkers : string list;
-  metal : (string * string Sm.t) list;
+  metal : (string * Mrun.t) list;
 }
 
 let default_config =
@@ -120,19 +120,20 @@ let parse_strict srcs =
     Printf.eprintf "%s: lexical error: %s\n%!" (Loc.to_string loc) msg;
     raise (Robust_exit Robust.Unusable)
 
-let load_metal paths =
+let load_metal ?(mode = Mrun.Mode_compiled) paths =
+  (* errors without a position still name the offending spec file *)
+  let render path (e : Mir.error) =
+    if Loc.is_none e.Mir.e_loc then
+      Printf.sprintf "%s: metal %s: %s" path e.Mir.e_class e.Mir.e_msg
+    else Mir.render_error e
+  in
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | path :: rest -> (
-      match Mdsl.load_file path with
-      | sm -> go ((path, sm) :: acc) rest
-      | exception Mdsl.Parse_error (msg, loc) ->
-        Error
-          (if Loc.is_none loc then
-             Printf.sprintf "%s: metal parse error: %s" path msg
-           else
-             Printf.sprintf "%s: metal parse error: %s" (Loc.to_string loc)
-               msg)
+      match Mrun.load_file ~mode path with
+      | Ok m -> go ((path, m) :: acc) rest
+      | Error errs ->
+        Error (String.concat "\n" (List.map (render path) errs))
       | exception Sys_error msg ->
         Error (Printf.sprintf "%s: cannot read metal spec: %s" path msg))
   in
@@ -299,10 +300,12 @@ module Session = struct
      else the Mcd pool (warm cache) or the fused sequential driver *)
   let run_pipeline t ~names ~spec tus =
     if t.cfg.metal <> [] then
+      (* one Prep per function, shared across every loaded spec;
+         machine-major concatenation keeps the output identical to
+         running each spec alone *)
       let diags =
-        List.concat_map
-          (fun (_, sm) -> Engine.check sm (`Program tus))
-          t.cfg.metal
+        List.concat
+          (Mrun.check_program_fused (List.map snd t.cfg.metal) tus)
       in
       ((if diags = [] then [] else [ ("metal", diags) ]), None, false)
     else if use_mcd t then begin
@@ -473,10 +476,10 @@ module Session = struct
                   ( List.map
                       (fun (j : Mcd.job) ->
                         let diags =
-                          List.concat_map
-                            (fun (_, sm) ->
-                              Engine.check sm (`Program j.Mcd.tus))
-                            t.cfg.metal
+                          List.concat
+                            (Mrun.check_program_fused
+                               (List.map snd t.cfg.metal)
+                               j.Mcd.tus)
                         in
                         if diags = [] then [] else [ ("metal", diags) ])
                       jobs,

@@ -34,9 +34,10 @@ type config = {
   checkers : string list;
       (** report only these checkers ([] = all); containment-layer
           ["internal"] entries always pass the filter *)
-  metal : (string * string Sm.t) list;
-      (** when non-empty, run these compiled metal specs instead of the
-          nine built-in checkers *)
+  metal : (string * Mrun.t) list;
+      (** when non-empty, run these loaded metal specs instead of the
+          nine built-in checkers — compiled to transition tables or
+          interpreted, per {!load_metal}'s mode *)
 }
 
 val default_config : config
@@ -166,9 +167,13 @@ val parse_strict : (string * string) list -> Ast.tunit list
     @raise Robust_exit on the first parse or lexical error *)
 
 val load_metal :
-  string list -> ((string * string Sm.t) list, string) result
-(** compile metal spec files; the first unreadable or unparseable spec
-    fails the whole load (a broken spec makes any run meaningless) *)
+  ?mode:Mrun.mode -> string list -> ((string * Mrun.t) list, string) result
+(** load metal spec files — compiled to transition tables by default
+    ([Mrun.Mode_compiled]), or through the interpreter with
+    [~mode:Mrun.Mode_interp] (the [--metal-interp] escape hatch).  The
+    first unreadable or rejected spec fails the whole load (a broken
+    spec makes any run meaningless); the error string carries the
+    compiler's located, classified diagnostics, newline-separated *)
 
 val corpus_jobs : Corpus.t -> Mcd.job list
 (** one {!Mcd.job} per corpus protocol *)

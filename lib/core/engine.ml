@@ -276,9 +276,27 @@ let render_steps (state_str : 'state -> string)
    invoked once per distinct state in which a path reaches the function
    exit.  All counters are local; the optional [stats] ref is touched
    exactly once, at the end. *)
+(* Default per-state dispatch: compiled on first encounter into a cache
+   private to this call — this also hoists the [rules state @ all]
+   allocation out of the event loop.  Compiled tables (see {!prebuild})
+   pass their own provider instead, built once per machine rather than
+   once per checked function. *)
+let cached_dispatch_for (sm : 'state Sm.t) : 'state -> 'state dispatch =
+  let dispatch_cache : ('state, 'state dispatch) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  fun state ->
+    match Hashtbl.find_opt dispatch_cache state with
+    | Some d -> d
+    | None ->
+      let d = build_dispatch (sm.Sm.rules state @ sm.Sm.all) in
+      Hashtbl.add dispatch_cache state d;
+      d
+
 let check_prep_full ?(stats : stats ref option)
-    ?(at_exit : 'state exit_hook option) (sm : 'state Sm.t) (prep : Prep.t) :
-    Diag.t list =
+    ?(at_exit : 'state exit_hook option)
+    ?(dispatch_for : ('state -> 'state dispatch) option) (sm : 'state Sm.t)
+    (prep : Prep.t) : Diag.t list =
   let func = prep.Prep.func in
   match sm.Sm.start func with
   | None -> []
@@ -300,18 +318,10 @@ let check_prep_full ?(stats : stats ref option)
       Hashtbl.create (max 16 (4 * Array.length cfg.Cfg.nodes))
     in
     let exit_states : ('state, unit) Hashtbl.t = Hashtbl.create 8 in
-    (* per-state compiled dispatch, built on first encounter — this also
-       hoists the [rules state @ all] allocation out of the event loop *)
-    let dispatch_cache : ('state, 'state dispatch) Hashtbl.t =
-      Hashtbl.create 16
-    in
-    let dispatch_for state =
-      match Hashtbl.find_opt dispatch_cache state with
-      | Some d -> d
-      | None ->
-        let d = build_dispatch (sm.Sm.rules state @ sm.Sm.all) in
-        Hashtbl.add dispatch_cache state d;
-        d
+    let dispatch_for =
+      match dispatch_for with
+      | Some f -> f
+      | None -> cached_dispatch_for sm
     in
     (* Process all events of node [id] starting from [state]; returns
        the resulting (state, dispatch, witness), or [None] when a rule
@@ -479,8 +489,9 @@ let check_prep_full ?(stats : stats ref option)
    budget.  Diagnostics it emits are real (every event it matches is in
    the function), it can only miss path-dependent ones. *)
 let check_prep_flat ?(stats : stats ref option)
-    ?(at_exit : 'state exit_hook option) (sm : 'state Sm.t) (prep : Prep.t) :
-    Diag.t list =
+    ?(at_exit : 'state exit_hook option)
+    ?(dispatch_for : ('state -> 'state dispatch) option) (sm : 'state Sm.t)
+    (prep : Prep.t) : Diag.t list =
   let func = prep.Prep.func in
   match sm.Sm.start func with
   | None -> []
@@ -495,16 +506,10 @@ let check_prep_flat ?(stats : stats ref option)
     let diags = ref [] in
     let emit d = diags := d :: !diags in
     let state_str = sm.Sm.state_to_string in
-    let dispatch_cache : ('state, 'state dispatch) Hashtbl.t =
-      Hashtbl.create 16
-    in
-    let dispatch_for state =
-      match Hashtbl.find_opt dispatch_cache state with
-      | Some d -> d
-      | None ->
-        let d = build_dispatch (sm.Sm.rules state @ sm.Sm.all) in
-        Hashtbl.add dispatch_cache state d;
-        d
+    let dispatch_for =
+      match dispatch_for with
+      | Some f -> f
+      | None -> cached_dispatch_for sm
     in
     let state = ref start_state in
     let disp = ref (dispatch_for start_state) in
@@ -613,6 +618,36 @@ let check_prep ?stats ?at_exit (sm : 'state Sm.t) (prep : Prep.t) :
   check_fault_hook ~checker:sm.Sm.name ~func:prep.Prep.func.Ast.f_name;
   if Domain.DLS.get degraded_key then check_prep_flat ?stats ?at_exit sm prep
   else check_prep_full ?stats ?at_exit sm prep
+
+(* ------------------------------------------------------------------ *)
+(* Prebuilt dispatch tables                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A machine over dense integer states with every state's dispatch index
+   compiled up front — once per machine, not once per checked function.
+   This is what the metal compiler's transition tables plug into: same
+   traversal, same containment context, but the per-function
+   [dispatch_cache] hashing is replaced by an array load. *)
+type table = { t_sm : int Sm.t; t_dispatch : int dispatch array }
+
+let prebuild ~(n_states : int) (sm : int Sm.t) : table =
+  {
+    t_sm = sm;
+    t_dispatch =
+      Array.init n_states (fun s -> build_dispatch (sm.Sm.rules s @ sm.Sm.all));
+  }
+
+let table_sm (t : table) : int Sm.t = t.t_sm
+
+(** [check_prep] for a prebuilt table — honours the same fault hook,
+    degraded mode, and budget as the generic path. *)
+let check_prep_table ?stats ?at_exit (t : table) (prep : Prep.t) :
+    Diag.t list =
+  check_fault_hook ~checker:t.t_sm.Sm.name ~func:prep.Prep.func.Ast.f_name;
+  let dispatch_for s = t.t_dispatch.(s) in
+  if Domain.DLS.get degraded_key then
+    check_prep_flat ?stats ?at_exit ~dispatch_for t.t_sm prep
+  else check_prep_full ?stats ?at_exit ~dispatch_for t.t_sm prep
 
 let check_func ?stats ?at_exit (sm : 'state Sm.t) (func : Ast.func) :
     Diag.t list =

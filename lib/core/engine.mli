@@ -105,6 +105,34 @@ val check_prep :
     {!with_degraded}, raises {!Budget_exhausted} under an exhausted
     {!with_budget}. *)
 
+(** {2 Prebuilt dispatch tables}
+
+    A machine over dense integer states [0 .. n_states-1] can have every
+    state's root-dispatch index compiled up front — once per machine
+    instead of once per checked function.  This is what the metal
+    compiler ([lib/metalc]) plugs its transition tables into: same
+    traversal and containment semantics as {!check_prep}, with the
+    per-function dispatch cache replaced by an array load. *)
+
+type table
+(** an [int Sm.t] with prebuilt per-state dispatch *)
+
+val prebuild : n_states:int -> int Sm.t -> table
+(** compile the dispatch index of every state in [0 .. n_states-1]; the
+    machine must only ever reach states in that range *)
+
+val table_sm : table -> int Sm.t
+(** the underlying machine *)
+
+val check_prep_table :
+  ?stats:stats ref ->
+  ?at_exit:int exit_hook ->
+  table ->
+  Prep.t ->
+  Diag.t list
+(** {!check_prep} for a prebuilt table — honours the same fault hook,
+    degraded mode, and budget *)
+
 val run :
   ?stats:stats ref ->
   ?at_exit:'state exit_hook ->

@@ -139,7 +139,22 @@ let tokenize ~(loc : int -> Loc.t) (src : string) : (token * int) list =
         i := brace;
         fail "unbalanced { in metal source"
       end;
-      emit (Code (String.trim (String.sub src start (!i - 1 - start)))) brace
+      (* the token points at the first non-blank content character, so
+         errors inside the block (a bad pattern, a bad action) land on
+         the offending text rather than on the opening brace *)
+      let stop = !i - 1 in
+      let content_start = ref start in
+      while
+        !content_start < stop
+        &&
+        match src.[!content_start] with
+        | ' ' | '\t' | '\n' | '\r' -> true
+        | _ -> false
+      do
+        incr content_start
+      done;
+      let off = if !content_start >= stop then brace else !content_start in
+      emit (Code (String.trim (String.sub src start (stop - start)))) off
     end
     else if c = '=' && !i + 2 < n && src.[!i + 1] = '=' && src.[!i + 2] = '>'
     then begin
@@ -240,16 +255,30 @@ let parse_action (code : string) : string option =
            ( "unsupported action (only err(\"...\") is supported): " ^ code,
              Loc.none ))
 
+(* Rebase a (line, col) position relative to a snippet onto the file
+   location of the snippet's first character. *)
+let rebase_snippet_pos (loc : Loc.t) ~line ~col : Loc.t =
+  if Loc.is_none loc then loc
+  else if line <= 1 then
+    Loc.make ~file:loc.Loc.file ~line:loc.Loc.line ~col:(loc.Loc.col + col - 1)
+  else Loc.make ~file:loc.Loc.file ~line:(loc.Loc.line + line - 1) ~col
+
 (* a code block used as a pattern: strip a trailing ';' and parse as a
-   Clite expression with the declared wildcards *)
-let code_to_pattern ~decls (code : string) : Pattern.t =
+   Clite expression with the declared wildcards.  [loc] is the location
+   of the block's first content character; a parse failure inside the
+   pattern is rebased onto it, so the error points at the offending
+   token of the .metal file (line:col), not at the whole block. *)
+let code_to_pattern ~decls ~(loc : Loc.t) (code : string) : Pattern.t =
   let code = String.trim code in
   let code =
     if String.length code > 0 && code.[String.length code - 1] = ';' then
       String.sub code 0 (String.length code - 1)
     else code
   in
-  Pattern.expr ~decls code
+  match Pattern.expr_located ~decls code with
+  | Ok p -> p
+  | Error (msg, line, col) ->
+    raise (Parse_error (msg, rebase_snippet_pos loc ~line ~col))
 
 (* pattern alternation: {code} | {code} | name ... *)
 let rec parse_pattern_alt p ~decls ~named : Pattern.t =
@@ -258,7 +287,7 @@ let rec parse_pattern_alt p ~decls ~named : Pattern.t =
     | Code code ->
       let loc = cur_loc p in
       advance p;
-      at_loc loc (fun () -> code_to_pattern ~decls code)
+      at_loc loc (fun () -> code_to_pattern ~decls ~loc code)
     | Ident name -> (
       let loc = cur_loc p in
       advance p;
@@ -298,12 +327,23 @@ let parse_target p : target =
       (Parse_error ("==> needs a state, an action, or both", cur_loc p));
   { goto; err }
 
-let parse ?(file = "<metal>") (src : string) : t =
+(* the result of phase 1: the machine's name and its brace-delimited
+   body, plus the offset→location maps the later phases need *)
+type source = {
+  src_name : string;  (** the [sm] name *)
+  src_name_loc : Loc.t;
+  src_body : string;  (** the text between the machine's braces *)
+  src_loc : int -> Loc.t;
+      (** body-relative byte offset → file location *)
+}
+
+let split_source ?(file = "<metal>") (src : string) : source =
   (* Phase 1 is textual: strip comments, skip an optional prelude block,
-     find "sm <name> { ... }" by brace matching.  Phase 2 tokenises the
-     body, where every remaining { ... } is a pattern or an action.
-     Comment-stripping preserves length and newlines, so byte offsets —
-     and the locations derived from them — survive phase 1. *)
+     find "sm <name> { ... }" by brace matching.  Phase 2 (the parsers,
+     interpreted and compiled alike) tokenises the body, where every
+     remaining { ... } is a pattern or an action.  Comment-stripping
+     preserves length and newlines, so byte offsets — and the locations
+     derived from them — survive phase 1. *)
   let n = String.length src in
   let no_comments = Bytes.of_string src in
   let i = ref 0 in
@@ -382,10 +422,19 @@ let parse ?(file = "<metal>") (src : string) : t =
   let body_end = match_brace !pos in
   let body_start = !pos + 1 in
   let body = String.sub src body_start (body_end - !pos - 2) in
-  (* phase 2: token stream over the body; token offsets are
-     body-relative, [body_loc] rebases them onto the whole file *)
   let body_loc off = floc (body_start + off) in
-  let p = { toks = tokenize ~loc:body_loc body; loc = body_loc } in
+  {
+    src_name = sm_name;
+    src_name_loc = floc name_start;
+    src_body = body;
+    src_loc = body_loc;
+  }
+
+let parse ?(file = "<metal>") (src : string) : t =
+  let s = split_source ~file src in
+  (* phase 2: token stream over the body; token offsets are
+     body-relative, [s.src_loc] rebases them onto the whole file *)
+  let p = { toks = tokenize ~loc:s.src_loc s.src_body; loc = s.src_loc } in
   let decls = ref [] in
   let named = ref [] in
   let states : (string * rule list) list ref = ref [] in
@@ -452,7 +501,7 @@ let parse ?(file = "<metal>") (src : string) : t =
   in
   toplevel ();
   {
-    sm_name;
+    sm_name = s.src_name;
     decls = List.rev !decls;
     named_patterns = List.rev !named;
     states = List.rev !states;

@@ -33,3 +33,60 @@ val load : ?file:string -> string -> string Sm.t
 
 val load_file : string -> string Sm.t
 (** parse errors carry [path:line:col] *)
+
+(** {2 Front-end internals, shared with the metal compiler}
+
+    [lib/metalc] builds its located surface AST on the same
+    offset-tracked lexer the interpreter uses, so both front ends agree
+    byte-for-byte on what the concrete syntax means and where every
+    token sits. *)
+
+type token =
+  | Ident of string
+  | Code of string  (** the inside of a balanced [{ ... }] block *)
+  | Colon
+  | Semi
+  | Bar
+  | Comma
+  | Equals
+  | Arrow  (** [==>] *)
+  | Eof
+
+val tokenize : loc:(int -> Loc.t) -> string -> (token * int) list
+(** token stream with start offsets; [Code] tokens point at the block's
+    first non-blank content character (or its opening brace when empty)
+    so diagnostics inside a block land on the offending text *)
+
+val loc_of_offset : file:string -> string -> int -> Loc.t
+(** line/col of a byte offset within a source string *)
+
+(** the result of the textual phase 1: the machine's name and its
+    brace-delimited body, plus the offset→location map phase 2 needs *)
+type source = {
+  src_name : string;  (** the [sm] name *)
+  src_name_loc : Loc.t;
+  src_body : string;  (** the text between the machine's braces *)
+  src_loc : int -> Loc.t;
+      (** body-relative byte offset → file location *)
+}
+
+val split_source : ?file:string -> string -> source
+(** comment-strip (offset-preserving), skip the optional prelude block,
+    and isolate [sm <name> { body }].
+    @raise Parse_error on malformed top-level structure *)
+
+val rebase_snippet_pos : Loc.t -> line:int -> col:int -> Loc.t
+(** rebase a 1-based (line, col) position inside a snippet onto the file
+    location of the snippet's first character *)
+
+val kind_of_string : string -> Pattern.wildcard_kind
+(** [decl { kind }] keyword → wildcard kind.
+    @raise Parse_error (with [Loc.none]) on an unknown kind *)
+
+val parse_action : string -> string option
+(** the [err("...")] action inside a code block; [None] for an empty
+    block.  @raise Parse_error (with [Loc.none]) on anything else *)
+
+val at_loc : Loc.t -> (unit -> 'a) -> 'a
+(** run [f], re-raising location-free [Parse_error]s (and
+    [Pattern.Parse_error]s) with the given location attached *)

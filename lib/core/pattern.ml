@@ -42,16 +42,31 @@ exception Parse_error of string
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(** [expr_located ~decls src] parses [src] as a Clite expression and
+    treats each identifier named in [decls] as a wildcard.  On failure
+    the error carries the (1-based) line and column of the offending
+    token *within the snippet*, so callers embedding patterns in a
+    larger source (the metal front ends) can rebase it onto the file. *)
+let expr_located ?(decls : decl list = []) (src : string) :
+    (t, string * int * int) result =
+  let fail msg (loc : Loc.t) =
+    Error
+      ( Printf.sprintf "bad pattern %S: %s" src msg,
+        max 1 loc.Loc.line,
+        max 1 loc.Loc.col )
+  in
+  match Parser.parse_expr_string ~file:"<pattern>" src with
+  | e -> Ok (Expr (e, decls))
+  | exception Parser.Error (msg, loc) -> fail msg loc
+  | exception Lexer.Error (msg, loc) -> fail msg loc
+
 (** [expr ~decls src] parses [src] as a Clite expression and treats each
     identifier named in [decls] as a wildcard.
     @raise Parse_error if [src] is not a valid expression. *)
 let expr ?(decls : decl list = []) (src : string) : t =
-  match Parser.parse_expr_string ~file:"<pattern>" src with
-  | e -> Expr (e, decls)
-  | exception Parser.Error (msg, _) ->
-    raise (Parse_error (Printf.sprintf "bad pattern %S: %s" src msg))
-  | exception Lexer.Error (msg, _) ->
-    raise (Parse_error (Printf.sprintf "bad pattern %S: %s" src msg))
+  match expr_located ~decls src with
+  | Ok t -> t
+  | Error (msg, _, _) -> raise (Parse_error msg)
 
 (** Ordered disjunction of patterns — metal's [p1 | p2]. *)
 let alt (ps : t list) : t =
@@ -128,8 +143,20 @@ let root_shapes (t : t) : root_shape list =
   go [] t
 
 (* ------------------------------------------------------------------ *)
-(* Matching                                                            *)
+(* Branch introspection (the metal compiler's view)                    *)
 (* ------------------------------------------------------------------ *)
+
+(** The [Alt] branches of a pattern, in match order — the granularity the
+    metal compiler's transition tables work at. *)
+let branches (t : t) : (Ast.expr * decl list) list =
+  let rec go acc = function
+    | Expr (p, decls) -> (p, decls) :: acc
+    | Alt ps -> List.fold_left go acc ps
+  in
+  List.rev (go [] t)
+
+(** Rebuild a single-branch pattern from a {!branches} entry. *)
+let of_branch ((p, decls) : Ast.expr * decl list) : t = Expr (p, decls)
 
 let kind_admits (kind : wildcard_kind) (e : Ast.expr) : bool =
   match kind with

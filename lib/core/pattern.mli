@@ -37,6 +37,13 @@ val expr : ?decls:decl list -> string -> t
     identifier named in [decls] as a wildcard.
     @raise Parse_error when [src] is not a valid expression. *)
 
+val expr_located :
+  ?decls:decl list -> string -> (t, string * int * int) result
+(** [expr] with a structured failure: the message plus the 1-based line
+    and column of the offending token within the snippet, so callers
+    embedding patterns in a larger source (the metal front ends) can
+    rebase the position onto the enclosing file *)
+
 val alt : t list -> t
 (** ordered disjunction — metal's [p1 | p2] *)
 
@@ -69,6 +76,14 @@ val tag_of_expr : Ast.expr -> int
 
 val root_shapes : t -> root_shape list
 (** the shapes a pattern can match at its root, one per [Alt] branch *)
+
+val branches : t -> (Ast.expr * decl list) list
+(** the [Alt] branches in match order, each with its wildcard
+    declarations — the granularity the metal compiler's transition
+    tables work at *)
+
+val of_branch : Ast.expr * decl list -> t
+(** rebuild a single-branch pattern from a {!branches} entry *)
 
 val match_expr : t -> Ast.expr -> Binding.t option
 (** match at the root of an expression *)

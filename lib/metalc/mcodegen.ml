@@ -1,0 +1,345 @@
+(** Table codegen: lowering the IR into flat integer arrays.
+
+    A compiled machine is pure data — dense arrays indexed by interned
+    ids, the paper's "metal extensions are compiled, not interpreted"
+    made literal:
+
+    - states are ids [0 .. n-1] ({!t.g_states} maps back to names);
+    - event classes are interned: classes [0 .. Pattern.n_tags-1] are
+      the head-constructor tags of {!Pattern.tag_of_expr}, and each call
+      name any pattern roots on gets a class of its own above them;
+    - every pattern branch (one [Alt] arm of one rule) has an id, with
+      its next-state ({!t.g_next}: {!stay} / {!stop} / a state id) and
+      its action ({!t.g_err}: an interned message id or -1) in parallel
+      arrays;
+    - {!t.g_rows} is the dispatch table proper: for (state, class), the
+      branch ids an event of that class must be offered to, in priority
+      order — the state's own rules' branches first, then the [all]
+      rules', exactly the interpreter's [rules state @ all].
+
+    Splitting a rule's alternation across per-class rows preserves
+    first-match semantics because root classification is conservative
+    ({!Pattern.root_shapes}): a branch missing from an event's row
+    cannot match that event, so skipping it never changes which branch
+    fires first.  Every array is built in deterministic (declaration /
+    first-encounter) order, so codegen is reproducible byte-for-byte —
+    pinned by the {!to_string} round-trip test. *)
+
+type t = {
+  g_name : string;
+  g_states : string array;
+  g_start : int;
+  g_calls : string array;
+      (** interned call names; name [i] is event class [n_tags + i] *)
+  g_n_classes : int;
+  g_pats : Pattern.t array;  (** per branch: the single-branch pattern *)
+  g_decls : Pattern.decl list array;  (** per branch: its wildcards *)
+  g_next : int array;  (** per branch: {!stay}, {!stop}, or a state id *)
+  g_err : int array;  (** per branch: message id, or -1 for no action *)
+  g_msgs : string array;
+  g_state_branches : int array array;
+      (** per state: all its branch ids in priority order *)
+  g_rows : int array array;
+      (** dispatch: [(state * g_n_classes) + class] → branch ids *)
+}
+
+let stay = -1
+let stop = -2
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let of_ir (ir : Mir.t) : t =
+  let n_states = Array.length ir.Mir.ir_states in
+  (* enumerate branches: each state's own rules first (so their ids are
+     dense per state), then the shared [all] rules once *)
+  let pats = ref [] in
+  let decls = ref [] in
+  let nexts = ref [] in
+  let errs = ref [] in
+  let n_branches = ref 0 in
+  let msgs = ref [] in
+  let n_msgs = ref 0 in
+  let msg_id m =
+    match List.assoc_opt m !msgs with
+    | Some i -> i
+    | None ->
+      let i = !n_msgs in
+      msgs := (m, i) :: !msgs;
+      incr n_msgs;
+      i
+  in
+  let add_rule (r : Mir.rule) : int list =
+    let next =
+      match r.Mir.r_target with
+      | Mir.Stay -> stay
+      | Mir.Stop -> stop
+      | Mir.Goto s -> s
+    in
+    let e = match r.Mir.r_err with Some m -> msg_id m | None -> -1 in
+    List.map
+      (fun (b : Mir.branch) ->
+        let id = !n_branches in
+        incr n_branches;
+        pats := Pattern.of_branch (b.Mir.b_expr, b.Mir.b_decls) :: !pats;
+        decls := b.Mir.b_decls :: !decls;
+        nexts := next :: !nexts;
+        errs := e :: !errs;
+        id)
+      r.Mir.r_branches
+  in
+  let per_state_own =
+    Array.map (fun rules -> List.concat_map add_rule rules) ir.Mir.ir_rules
+  in
+  let all_ids = List.concat_map add_rule ir.Mir.ir_all in
+  let g_state_branches =
+    Array.map (fun own -> Array.of_list (own @ all_ids)) per_state_own
+  in
+  let rev_arr l = Array.of_list (List.rev l) in
+  let g_pats = rev_arr !pats in
+  let g_decls = rev_arr !decls in
+  let g_next = rev_arr !nexts in
+  let g_err = rev_arr !errs in
+  let g_msgs =
+    let a = Array.make !n_msgs "" in
+    List.iter (fun (m, i) -> a.(i) <- m) !msgs;
+    a
+  in
+  (* per-branch root shape; single-branch patterns have exactly one *)
+  let shapes =
+    Array.map
+      (fun p ->
+        match Pattern.root_shapes p with
+        | [ s ] -> s
+        | _ -> Pattern.Root_any)
+      g_pats
+  in
+  (* intern call-name classes in branch-id (first-encounter) order *)
+  let calls = ref [] in
+  let n_calls = ref 0 in
+  Array.iter
+    (function
+      | Pattern.Root_call f ->
+        if not (List.mem_assoc f !calls) then begin
+          calls := (f, Pattern.n_tags + !n_calls) :: !calls;
+          incr n_calls
+        end
+      | Pattern.Root_tag _ | Pattern.Root_any -> ())
+    shapes;
+  let g_calls =
+    let a = Array.make !n_calls "" in
+    List.iter (fun (f, c) -> a.(c - Pattern.n_tags) <- f) !calls;
+    a
+  in
+  let g_n_classes = Pattern.n_tags + !n_calls in
+  (* the rows: which classes each branch is a candidate for.  Mirrors
+     the engine's dispatch index: a [Root_call] branch serves only its
+     name's class; a generic-call branch ([Root_tag tag_call]) serves
+     the anonymous-call class and every named-call class; [Root_any]
+     serves everything. *)
+  let admits shape cls =
+    match shape with
+    | Pattern.Root_any -> true
+    | Pattern.Root_call f ->
+      cls >= Pattern.n_tags && String.equal g_calls.(cls - Pattern.n_tags) f
+    | Pattern.Root_tag t ->
+      cls = t || (t = Pattern.tag_call && cls >= Pattern.n_tags)
+  in
+  let g_rows =
+    Array.init (n_states * g_n_classes) (fun idx ->
+        let s = idx / g_n_classes and cls = idx mod g_n_classes in
+        let row =
+          Array.to_list g_state_branches.(s)
+          |> List.filter (fun b -> admits shapes.(b) cls)
+        in
+        Array.of_list row)
+  in
+  {
+    g_name = ir.Mir.ir_name;
+    g_states = ir.Mir.ir_states;
+    g_start = ir.Mir.ir_start;
+    g_calls;
+    g_n_classes;
+    g_pats;
+    g_decls;
+    g_next;
+    g_err;
+    g_msgs;
+    g_state_branches;
+    g_rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic pretty-printing and re-reading                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_to_string = function
+  | Pattern.Any -> "any"
+  | Pattern.Scalar -> "scalar"
+  | Pattern.Unsigned_int -> "unsigned"
+  | Pattern.Floating -> "float"
+  | Pattern.Constant -> "const"
+
+let ints a =
+  String.concat " " (List.map string_of_int (Array.to_list a))
+
+(** A complete, deterministic dump of the tables — the compiled artifact
+    in the flesh, and what {!of_string} reads back. *)
+let to_string (g : t) : string =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "metalc-table v1\n";
+  pf "sm %s\n" g.g_name;
+  pf "start %d\n" g.g_start;
+  pf "states %d\n" (Array.length g.g_states);
+  Array.iteri (fun i s -> pf "  %d %s\n" i s) g.g_states;
+  pf "calls %d\n" (Array.length g.g_calls);
+  Array.iteri (fun i f -> pf "  %d %s\n" (Pattern.n_tags + i) f) g.g_calls;
+  pf "msgs %d\n" (Array.length g.g_msgs);
+  Array.iteri (fun i m -> pf "  %d %S\n" i m) g.g_msgs;
+  pf "branches %d\n" (Array.length g.g_pats);
+  Array.iteri
+    (fun i p ->
+      let ds =
+        match g.g_decls.(i) with
+        | [] -> "-"
+        | ds ->
+          String.concat ","
+            (List.map
+               (fun (n, k) -> Printf.sprintf "%s:%s" n (kind_to_string k))
+               ds)
+      in
+      pf "  %d next=%d err=%d decls=%s pat=%s\n" i g.g_next.(i) g.g_err.(i)
+        ds
+        (match Pattern.branches p with
+        | [ (e, _) ] -> Pp.expr_to_string e
+        | _ -> "?"))
+    g.g_pats;
+  Array.iteri
+    (fun s own -> pf "state %d branches %s\n" s (ints own))
+    g.g_state_branches;
+  pf "rows %d\n" g.g_n_classes;
+  Array.iteri
+    (fun idx row ->
+      if Array.length row > 0 then
+        pf "  %d %d : %s\n" (idx / g.g_n_classes) (idx mod g.g_n_classes)
+          (ints row))
+    g.g_rows;
+  pf "end\n";
+  Buffer.contents b
+
+let kind_of_string = function
+  | "any" -> Pattern.Any
+  | "scalar" -> Pattern.Scalar
+  | "unsigned" -> Pattern.Unsigned_int
+  | "float" -> Pattern.Floating
+  | "const" -> Pattern.Constant
+  | k -> failwith ("metalc table: unknown wildcard kind " ^ k)
+
+(** Re-read a {!to_string} dump.  Patterns are re-parsed from their
+    printed source, so [to_string (of_string (to_string g))] is
+    [to_string g] — the round-trip law the tests pin.
+    @raise Failure on malformed input *)
+let of_string (s : string) : t =
+  let lines = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !lines with
+    | [] -> failwith "metalc table: truncated"
+    | l :: rest ->
+      lines := rest;
+      String.trim l
+  in
+  let expect_line what =
+    let l = next () in
+    if l <> what then failwith ("metalc table: expected " ^ what);
+    ()
+  in
+  let scan1 fmt l = Scanf.sscanf l fmt (fun x -> x) in
+  expect_line "metalc-table v1";
+  let g_name = scan1 "sm %s" (next ()) in
+  let g_start = scan1 "start %d" (next ()) in
+  let n_states = scan1 "states %d" (next ()) in
+  let g_states =
+    Array.init n_states (fun _ ->
+        Scanf.sscanf (next ()) "%d %s" (fun _ s -> s))
+  in
+  let n_calls = scan1 "calls %d" (next ()) in
+  let g_calls =
+    Array.init n_calls (fun _ ->
+        Scanf.sscanf (next ()) "%d %s" (fun _ s -> s))
+  in
+  let n_msgs = scan1 "msgs %d" (next ()) in
+  let g_msgs =
+    Array.init n_msgs (fun _ ->
+        Scanf.sscanf (next ()) "%d %S" (fun _ s -> s))
+  in
+  let n_branches = scan1 "branches %d" (next ()) in
+  let g_pats = Array.make n_branches (Pattern.expr "0") in
+  let g_decls = Array.make n_branches [] in
+  let g_next = Array.make n_branches stay in
+  let g_err = Array.make n_branches (-1) in
+  for _ = 1 to n_branches do
+    let l = next () in
+    Scanf.sscanf l "%d next=%d err=%d decls=%s pat=%[^\n]"
+      (fun i nx er ds pat ->
+        let decls =
+          if ds = "-" then []
+          else
+            List.map
+              (fun s ->
+                match String.index_opt s ':' with
+                | Some k ->
+                  ( String.sub s 0 k,
+                    kind_of_string
+                      (String.sub s (k + 1) (String.length s - k - 1)) )
+                | None -> failwith "metalc table: bad decl")
+              (String.split_on_char ',' ds)
+        in
+        g_pats.(i) <- Pattern.expr ~decls (String.trim pat);
+        g_decls.(i) <- decls;
+        g_next.(i) <- nx;
+        g_err.(i) <- er)
+  done;
+  let g_state_branches =
+    Array.init n_states (fun _ ->
+        let l = next () in
+        (* a state with no branches prints as the bare prefix *)
+        match
+          Scanf.sscanf l "state %d branches %[^\n]" (fun _ rest -> rest)
+        with
+        | rest ->
+          Array.of_list
+            (List.map int_of_string
+               (String.split_on_char ' ' (String.trim rest)))
+        | exception Scanf.Scan_failure _ -> [||])
+  in
+  let g_n_classes = scan1 "rows %d" (next ()) in
+  let g_rows = Array.make (n_states * g_n_classes) [||] in
+  let rec read_rows () =
+    let l = next () in
+    if l = "end" then ()
+    else begin
+      Scanf.sscanf l "%d %d : %[^\n]" (fun s c rest ->
+          g_rows.((s * g_n_classes) + c) <-
+            Array.of_list
+              (List.map int_of_string
+                 (String.split_on_char ' ' (String.trim rest))));
+      read_rows ()
+    end
+  in
+  read_rows ();
+  {
+    g_name;
+    g_states;
+    g_start;
+    g_calls;
+    g_n_classes;
+    g_pats;
+    g_decls;
+    g_next;
+    g_err;
+    g_msgs;
+    g_state_branches;
+    g_rows;
+  }

@@ -1,0 +1,198 @@
+(** The metal compiler's front end: a located surface AST.
+
+    Built on the same offset-tracked lexer and phase-1 splitter the
+    interpreter uses ({!Mdsl.tokenize} / {!Mdsl.split_source}), so both
+    front ends agree byte-for-byte on the concrete syntax and on where
+    every token sits.  Unlike the interpreter's parser, nothing is
+    resolved here: named-pattern references stay names, code blocks stay
+    unparsed text, and every construct carries the location of its first
+    token — the raw material {!Mir.of_surface} needs to report located,
+    classified diagnostics instead of failing mid-parse. *)
+
+(** an unresolved pattern *)
+type pattern =
+  | P_code of string * Loc.t
+      (** a [{ code }] block; the location is its first content char *)
+  | P_name of string * Loc.t  (** a reference to a [pat] by name *)
+  | P_alt of pattern list  (** ordered disjunction *)
+
+type target = {
+  t_goto : (string * Loc.t) option;  (** the optional state name *)
+  t_action : (string * Loc.t) option;
+      (** the optional action block, unparsed *)
+}
+
+type rule = {
+  r_pattern : pattern;
+  r_target : target;
+  r_loc : Loc.t;  (** where the rule's pattern starts *)
+}
+
+type decl = {
+  d_name : string;
+  d_name_loc : Loc.t;
+  d_kind : string;  (** the raw [decl { kind }] keyword, unvalidated *)
+  d_kind_loc : Loc.t;
+}
+
+type named_pat = { n_name : string; n_name_loc : Loc.t; n_pattern : pattern }
+
+type state = {
+  s_name : string;  (** may be ["all"] *)
+  s_name_loc : Loc.t;
+  s_rules : rule list;
+}
+
+(** one top-level statement, in document order — order matters because
+    the interpreter resolves wildcards and named patterns incrementally
+    (a [pat] only sees the [decl]s and [pat]s above it), and the
+    compiler must agree *)
+type item = I_decl of decl list | I_pat of named_pat | I_state of state
+
+type t = { p_name : string; p_name_loc : Loc.t; p_items : item list }
+
+(* ------------------------------------------------------------------ *)
+(* The parser: the interpreter's grammar, locations kept               *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = {
+  mutable toks : (Mdsl.token * int) list;
+  loc : int -> Loc.t;
+}
+
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> Mdsl.Eof
+let cur_loc p = match p.toks with (_, off) :: _ -> p.loc off | [] -> Loc.none
+let advance p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let fail p msg = raise (Mdsl.Parse_error (msg, cur_loc p))
+
+let expect p tok what =
+  if peek p = tok then advance p
+  else fail p (Printf.sprintf "expected %s" what)
+
+let expect_ident p what =
+  match peek p with
+  | Mdsl.Ident s ->
+    let loc = cur_loc p in
+    advance p;
+    (s, loc)
+  | _ -> fail p (Printf.sprintf "expected %s" what)
+
+let rec parse_pattern_alt p : pattern =
+  let one () =
+    match peek p with
+    | Mdsl.Code code ->
+      let loc = cur_loc p in
+      advance p;
+      P_code (code, loc)
+    | Mdsl.Ident name ->
+      let loc = cur_loc p in
+      advance p;
+      P_name (name, loc)
+    | _ -> fail p "expected a pattern ({ code } or a name)"
+  in
+  let first = one () in
+  if peek p = Mdsl.Bar then begin
+    advance p;
+    match parse_pattern_alt p with
+    | P_alt rest -> P_alt (first :: rest)
+    | other -> P_alt [ first; other ]
+  end
+  else first
+
+let parse_target p : target =
+  let t_goto =
+    match peek p with
+    | Mdsl.Ident s ->
+      let loc = cur_loc p in
+      advance p;
+      Some (s, loc)
+    | _ -> None
+  in
+  let t_action =
+    match peek p with
+    | Mdsl.Code code ->
+      let loc = cur_loc p in
+      advance p;
+      Some (code, loc)
+    | _ -> None
+  in
+  if t_goto = None && t_action = None then
+    fail p "==> needs a state, an action, or both";
+  { t_goto; t_action }
+
+let parse_rules p : rule list =
+  let rec rules acc =
+    let r_loc = cur_loc p in
+    let r_pattern = parse_pattern_alt p in
+    expect p Mdsl.Arrow "'==>'";
+    let r_target = parse_target p in
+    let acc = { r_pattern; r_target; r_loc } :: acc in
+    if peek p = Mdsl.Bar then begin
+      advance p;
+      rules acc
+    end
+    else begin
+      expect p Mdsl.Semi "';' after the state's rules";
+      List.rev acc
+    end
+  in
+  rules []
+
+(** Parse a whole metal source into the located surface form.
+    @raise Mdsl.Parse_error on syntax errors — the same errors, at the
+    same locations, the interpreter's parser reports *)
+let parse ?(file = "<metal>") (src : string) : t =
+  let s = Mdsl.split_source ~file src in
+  let p =
+    { toks = Mdsl.tokenize ~loc:s.Mdsl.src_loc s.Mdsl.src_body;
+      loc = s.Mdsl.src_loc }
+  in
+  let items = ref [] in
+  let rec toplevel () =
+    match peek p with
+    | Mdsl.Eof -> ()
+    | Mdsl.Ident "decl" ->
+      advance p;
+      let d_kind, d_kind_loc =
+        match peek p with
+        | Mdsl.Code k ->
+          let loc = cur_loc p in
+          advance p;
+          (String.trim k, loc)
+        | _ -> fail p "decl needs a '{ kind }'"
+      in
+      let decls = ref [] in
+      let rec names () =
+        let d_name, d_name_loc = expect_ident p "a wildcard name" in
+        decls := { d_name; d_name_loc; d_kind; d_kind_loc } :: !decls;
+        if peek p = Mdsl.Comma then begin
+          advance p;
+          names ()
+        end
+      in
+      names ();
+      expect p Mdsl.Semi "';' after decl";
+      items := I_decl (List.rev !decls) :: !items;
+      toplevel ()
+    | Mdsl.Ident "pat" ->
+      advance p;
+      let n_name, n_name_loc = expect_ident p "a pattern name" in
+      expect p Mdsl.Equals "'='";
+      let n_pattern = parse_pattern_alt p in
+      expect p Mdsl.Semi "';' after pat";
+      items := I_pat { n_name; n_name_loc; n_pattern } :: !items;
+      toplevel ()
+    | Mdsl.Ident s_name ->
+      let s_name_loc = cur_loc p in
+      advance p;
+      expect p Mdsl.Colon "':' after the state name";
+      let s_rules = parse_rules p in
+      items := I_state { s_name; s_name_loc; s_rules } :: !items;
+      toplevel ()
+    | _ -> fail p "expected decl, pat, or a state definition"
+  in
+  toplevel ();
+  { p_name = s.Mdsl.src_name;
+    p_name_loc = s.Mdsl.src_name_loc;
+    p_items = List.rev !items }

@@ -1,0 +1,7 @@
+/* a declared wildcard in callee position: the interpreter would bind
+ * 'addr' to the callee and match every call in the program */
+sm bad_binding {
+  decl { scalar } addr, buf;
+  start:
+    { addr(buf); } ==> stop ;
+}

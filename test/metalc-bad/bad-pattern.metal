@@ -1,0 +1,7 @@
+/* the pattern snippet is not a Clite expression: the compiler must
+ * point at the offending token inside the braces, not at the rule */
+sm bad_pattern {
+  decl { scalar } addr;
+  start:
+    { FOO(+); } ==> stop ;
+}

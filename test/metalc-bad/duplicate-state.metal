@@ -1,0 +1,9 @@
+/* the same state defined twice: the interpreter keeps whichever
+ * section it resolves last and silently shadows the other */
+sm dup_state {
+  decl { scalar } addr;
+  start:
+    { FOO(addr); } ==> stop ;
+  start:
+    { BAR(addr); } ==> stop ;
+}

@@ -1,0 +1,8 @@
+/* the same pattern with the same effect, twice: a copy-paste slip the
+ * interpreter silently tolerates */
+sm dup_transition {
+  decl { scalar } addr;
+  start:
+    { FOO(addr); } ==> stop
+  | { FOO(addr); } ==> stop ;
+}

@@ -1,0 +1,10 @@
+/* two rules in one state match the same events with different effects:
+ * first-match semantics means the second can never fire */
+sm overlapping {
+  decl { scalar } addr;
+  start:
+    { FOO(addr); } ==> next
+  | { FOO(addr); } ==> stop ;
+  next:
+    { BAR(addr); } ==> stop ;
+}

@@ -1,0 +1,7 @@
+/* transition to a state that is never defined: the interpreter would
+ * silently treat 'missing' as an empty state and stop matching */
+sm unknown_state {
+  decl { scalar } addr;
+  start:
+    { FOO(addr); } ==> missing ;
+}

@@ -1,0 +1,9 @@
+/* 'orphan' has no incoming transition from the start state or 'all':
+ * its rules can never fire */
+sm unreachable_state {
+  decl { scalar } addr;
+  start:
+    { FOO(addr); } ==> stop ;
+  orphan:
+    { BAR(addr); } ==> stop ;
+}

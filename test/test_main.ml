@@ -13,6 +13,7 @@ let () =
       Test_engine2.suite;
       Test_interproc.suite;
       Test_mdsl.suite;
+      Test_metalc.suite;
       Test_checkers.suite;
       Test_checkers2.suite;
       Test_fixer.suite;

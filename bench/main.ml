@@ -16,6 +16,30 @@
 let corpus = lazy (Corpus.generate ())
 
 (* ------------------------------------------------------------------ *)
+(* Host context, stamped into every BENCH_*.json this binary writes    *)
+(* ------------------------------------------------------------------ *)
+
+let git_rev =
+  lazy
+    (try
+       let ic =
+         Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+       in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+(* opens the JSON object and writes the "host" field; the caller's
+   format string continues with the measurement fields *)
+let write_host_header oc =
+  Printf.fprintf oc
+    "{\n  \"host\": { \"cores\": %d, \"ocaml\": %S, \"git_rev\": %S },\n"
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version (Lazy.force git_rev)
+
+(* ------------------------------------------------------------------ *)
 (* Part 1: tables                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -292,8 +316,9 @@ let run_parallel () =
     | None -> 0.0
   in
   let oc = open_out "BENCH_PARALLEL.json" in
+  write_host_header oc;
   Printf.fprintf oc
-    "{\n\
+    "\
     \  \"cores\": %d,\n\
     \  \"sequential_ms\": %.1f,\n\
     \  \"mcd_1_ms\": %.1f,\n\
@@ -323,18 +348,68 @@ let run_parallel () =
 (* Part 2c': the fused engine                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* The headline engine benchmark: the fused sequential driver (one
-   shared Prep per function, root-indexed rule dispatch, lazy witnesses)
-   against the legacy per-checker path, plus the function-batched Mcd
-   pool at 1/2/4 domains.  The numbers land in BENCH_ENGINE.json;
-   [--quick] is the CI smoke gate — best of two repetitions, and a hard
-   failure when the 2-domain run regresses past 1.25x the fused
-   sequential time (a noise-tolerant tripwire, not a precision
-   measurement) or any pipeline's diagnostics differ. *)
+(* The headline engine benchmark: the product-automaton driver (one
+   fused walk per function over the composed machines, SoA event
+   streams, dirty-machine rerun) and the fused sequential driver (one
+   shared Prep per function, root-indexed rule dispatch) against the
+   legacy per-checker path, plus the function-batched Mcd pool swept
+   per jobs out to the measured core count.  The numbers — including
+   the {jobs -> ms} scaling curve and the calibrated 2-domain parallel
+   capacity — land in BENCH_ENGINE.json; the full run also fails when
+   2-domain scaling falls short of 60% of the capacity the host
+   measurably delivers.  [--quick] is the CI smoke gate — best of two
+   repetitions, and a hard failure when the product driver regresses
+   past 1.10x the fused time, the 2-domain run past 1.25x (noise-
+   tolerant tripwires, not precision measurements), or any pipeline's
+   diagnostics differ. *)
 
 (* the PR-1 sequential full-corpus wall time (BENCH_PARALLEL.json at the
    time), the fixed yardstick the fused engine is measured against *)
 let baseline_pr1_ms = 2711.3
+
+(* Measured parallel capacity: how much speedup [d] compute-bound OCaml
+   domains actually achieve on this host, runtime included.  Containers
+   routinely advertise N cores but cap the cgroup's cpu shares below
+   N (this is visible as two busy loops each running at ~70%), so
+   [Domain.recommended_domain_count] alone cannot justify a scaling
+   assertion.  The calibration loop is pure arithmetic — no allocation,
+   so no GC rendezvous — which makes it an upper bound on what any
+   allocating workload could scale to. *)
+let parallel_capacity ~domains =
+  let iters = 60_000_000 in
+  let spin () =
+    let x = ref 1 in
+    for i = 1 to iters do
+      x := (!x * 48271) + i
+    done;
+    ignore (Sys.opaque_identity !x)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let together () =
+    wall (fun () ->
+        let others =
+          Array.init (domains - 1) (fun _ -> Domain.spawn spin)
+        in
+        spin ();
+        Array.iter Domain.join others)
+  in
+  (* interleaved repetitions, minimum of each: a host-scheduler burst
+     during a single solo run would otherwise report an impossible
+     capacity.  The ratio of the two burst-free minima is the honest
+     figure, and no host delivers more than [domains]x. *)
+  let reps = 3 in
+  let solo_ms = ref infinity and together_ms = ref infinity in
+  for _ = 1 to reps do
+    solo_ms := min !solo_ms (wall spin);
+    together_ms := min !together_ms (together ())
+  done;
+  Float.min
+    (float_of_int domains)
+    (max 1.0 (float_of_int domains *. !solo_ms /. !together_ms))
 
 let run_engine ~quick () =
   print_endline
@@ -379,52 +454,116 @@ let run_engine ~quick () =
             Registry.run_all_fused ~spec:p.Corpus.spec p.Corpus.tus)
           c.Corpus.protocols)
   in
+  let product_results, product_ms =
+    best (fun () ->
+        List.map
+          (fun (p : Corpus.protocol) ->
+            Registry.run_all_product ~spec:p.Corpus.spec p.Corpus.tus)
+          c.Corpus.protocols)
+  in
   Printf.printf "  %-34s %8.1f ms\n" "legacy per-checker run_all" legacy_ms;
   Printf.printf "  %-34s %8.1f ms   (%.2fx, identical=%b)\n"
     "fused run_all_fused" fused_ms (legacy_ms /. fused_ms)
     (check_identical fused_results);
+  Printf.printf "  %-34s %8.1f ms   (%.2fx, identical=%b)\n"
+    "product run_all_product" product_ms
+    (legacy_ms /. product_ms)
+    (check_identical product_results);
+  let cores = Domain.recommended_domain_count () in
+  (* per-jobs scaling sweep, out to the measured core count *)
+  let jobs_list = List.sort_uniq compare (1 :: 2 :: 4 :: [ min cores 8 ]) in
+  (* Interleaved repetitions: the container host has multi-second
+     contention bursts, so measuring one jobs count's repetitions
+     back-to-back lets a single burst poison that configuration's
+     best-of.  Rotating through the jobs counts each repetition spreads
+     every configuration across the whole sweep window; the per-count
+     minimum then comes from whichever window was quiet. *)
+  let sweep_iters = if quick then 2 else 7 in
   let mcd_ms =
+    let best_of =
+      List.map (fun d -> (d, (ref infinity, ref []))) jobs_list
+    in
+    for _rep = 1 to sweep_iters do
+      List.iter
+        (fun d ->
+          let (results, _), ms =
+            time_ms (fun () -> Mcd.check_jobs ~jobs:d jobs)
+          in
+          let best_ms, best_res = List.assoc d best_of in
+          if ms < !best_ms then begin
+            best_ms := ms;
+            best_res := results
+          end)
+        jobs_list
+    done;
     List.map
-      (fun domains ->
-        let (results, _), ms =
-          best (fun () -> Mcd.check_jobs ~jobs:domains jobs)
-        in
+      (fun d ->
+        let best_ms, best_res = List.assoc d best_of in
         Printf.printf
-          "  mcd --jobs %-23d %8.1f ms   (%.2fx, identical=%b)\n" domains
-          ms (fused_ms /. ms)
-          (check_identical results);
-        (domains, ms))
-      [ 1; 2; 4 ]
+          "  mcd --jobs %-23d %8.1f ms   (%.2fx, identical=%b)\n" d
+          !best_ms (fused_ms /. !best_ms)
+          (check_identical !best_res);
+        (d, !best_ms))
+      jobs_list
   in
+  let mcd_1_ms = List.assoc 1 mcd_ms in
   let mcd_2_ms = List.assoc 2 mcd_ms in
+  (* calibrate what two domains can physically deliver here *)
+  let capacity_2 =
+    if cores > 1 then parallel_capacity ~domains:2 else 1.0
+  in
+  Printf.printf
+    "\n  measured 2-domain parallel capacity: %.2fx (ideal 2.00x)\n"
+    capacity_2;
+  Printf.printf "  scaling (cores=%d):" cores;
+  List.iter
+    (fun (d, ms) -> Printf.printf "  jobs=%d %.2fx" d (mcd_1_ms /. ms))
+    mcd_ms;
+  print_newline ();
   Printf.printf
     "\n\
     \  vs PR-1 sequential baseline (%.1f ms): %.2fx\n\
+    \  product vs fused sequential:             %.2fx\n\
     \  mcd --jobs 2 vs fused sequential:        %.2fx\n\n"
     baseline_pr1_ms
-    (baseline_pr1_ms /. fused_ms)
+    (baseline_pr1_ms /. product_ms)
+    (product_ms /. fused_ms)
     (mcd_2_ms /. fused_ms);
   if not quick then begin
+    let scaling =
+      String.concat ", "
+        (List.map
+           (fun (d, ms) ->
+             Printf.sprintf "{ \"jobs\": %d, \"ms\": %.1f }" d ms)
+           mcd_ms)
+    in
     let oc = open_out "BENCH_ENGINE.json" in
+    write_host_header oc;
     Printf.fprintf oc
-      "{\n\
+      "\
       \  \"cores\": %d,\n\
       \  \"baseline_pr1_ms\": %.1f,\n\
       \  \"legacy_sequential_ms\": %.1f,\n\
+      \  \"fused_ms\": %.1f,\n\
       \  \"sequential_ms\": %.1f,\n\
       \  \"mcd_1_ms\": %.1f,\n\
       \  \"mcd_2_ms\": %.1f,\n\
       \  \"mcd_4_ms\": %.1f,\n\
+      \  \"parallel_capacity_2\": %.3f,\n\
+      \  \"scaling\": [%s],\n\
       \  \"speedup_vs_pr1\": %.3f,\n\
       \  \"speedup_vs_legacy\": %.3f,\n\
+      \  \"product_vs_fused\": %.3f,\n\
       \  \"mcd_2_vs_sequential\": %.3f,\n\
       \  \"diagnostics_identical\": %b\n\
        }\n"
-      (Domain.recommended_domain_count ())
-      baseline_pr1_ms legacy_ms fused_ms (List.assoc 1 mcd_ms) mcd_2_ms
+      cores baseline_pr1_ms legacy_ms fused_ms product_ms
+      (List.assoc 1 mcd_ms) mcd_2_ms
       (List.assoc 4 mcd_ms)
-      (baseline_pr1_ms /. fused_ms)
-      (legacy_ms /. fused_ms)
+      capacity_2 scaling
+      (baseline_pr1_ms /. product_ms)
+      (legacy_ms /. product_ms)
+      (product_ms /. fused_ms)
       (mcd_2_ms /. fused_ms)
       !all_identical;
     close_out oc;
@@ -432,6 +571,61 @@ let run_engine ~quick () =
   end;
   if not !all_identical then begin
     prerr_endline "FAIL: diagnostics differ between engine pipelines";
+    exit 1
+  end;
+  (* Near-linear scaling gate, conditioned on what the host can
+     actually deliver.  When two domains really run concurrently
+     (capacity >= 1.6x, i.e. a second core is genuinely usable), Mcd
+     with more than one domain must buy at least 60% of that measured
+     capacity.  The gate judges the *best* jobs>1 configuration:
+     requested jobs are clamped to the core count, so on a 2-core host
+     jobs=2 and jobs=4 exercise the identical 2-domain pool, and a host
+     contention burst can make one of them slow but can never make one
+     spuriously fast.  On throttled containers that advertise cores
+     they cannot schedule (capacity below 1.6x) no workload can scale,
+     so the gate degrades to a no-pathology tripwire: the best multi-
+     domain run must not be slower than jobs=1 past noise. *)
+  if not quick then begin
+    let best_d, best_multi_ms =
+      List.fold_left
+        (fun (bd, bm) (d, ms) ->
+          if d > 1 && ms < bm then (d, ms) else (bd, bm))
+        (2, mcd_2_ms) mcd_ms
+    in
+    let mcd_speedup = mcd_1_ms /. best_multi_ms in
+    if cores > 1 && capacity_2 >= 1.6 then begin
+      if mcd_speedup < 0.6 *. capacity_2 then begin
+        Printf.eprintf
+          "FAIL: mcd scaling is sub-linear on %d cores: best multi-\
+           domain run (jobs=%d) is only %.2fx over jobs=1 (%.1f ms vs \
+           %.1f ms) against a measured 2-domain capacity of %.2fx \
+           (expected >= %.2fx)\n"
+          cores best_d mcd_speedup best_multi_ms mcd_1_ms capacity_2
+          (0.6 *. capacity_2);
+        exit 1
+      end
+    end
+    else begin
+      Printf.printf
+        "  note: host cannot demonstrate parallel scaling (%d core(s), \
+         measured 2-domain capacity %.2fx); asserting no-regression \
+         only\n"
+        cores capacity_2;
+      if mcd_speedup < 0.75 then begin
+        Printf.eprintf
+          "FAIL: mcd --jobs %d is pathologically slower than --jobs 1 \
+           (%.1f ms vs %.1f ms, %.2fx) on a host with no parallel \
+           headroom\n"
+          best_d best_multi_ms mcd_1_ms mcd_speedup;
+        exit 1
+      end
+    end
+  end;
+  if quick && product_ms > 1.10 *. fused_ms then begin
+    Printf.eprintf
+      "FAIL: product driver (%.1f ms) regressed past 1.10x the fused \
+       sequential time (%.1f ms)\n"
+      product_ms fused_ms;
     exit 1
   end;
   if quick && mcd_2_ms > 1.25 *. fused_ms then begin
@@ -531,8 +725,9 @@ let run_metalc ~quick () =
   Printf.printf "  %-38s %8.1f ms\n\n" "compile all specs (both back ends)"
     compile_ms;
   let oc = open_out "BENCH_METALC.json" in
+  write_host_header oc;
   Printf.fprintf oc
-    "{\n\
+    "\
     \  \"cores\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"specs\": [%s],\n\
@@ -651,8 +846,9 @@ let run_obs () =
     \  overhead:    %+8.2f %%   (budget: < 5%%)\n\n"
     reps off_ms on_ms overhead_pct;
   let oc = open_out "BENCH_OBS.json" in
+  write_host_header oc;
   Printf.fprintf oc
-    "{\n\
+    "\
     \  \"workload\": \"mcd_check_jobs_4_domains_full_corpus\",\n\
     \  \"engine_baseline_sequential_ms\": %s,\n\
     \  \"reps_per_sample\": %d,\n\
@@ -750,8 +946,9 @@ let run_robust ~quick () =
     iters unguarded_ms guarded_ms overhead_pct budget_pct identical;
   if not quick then begin
     let oc = open_out "BENCH_ROBUST.json" in
+    write_host_header oc;
     Printf.fprintf oc
-      "{\n\
+      "\
       \  \"campaign\": {\n\
       \    \"seed\": %d,\n\
       \    \"injections\": %d,\n\
@@ -983,8 +1180,9 @@ let run_serve ~quick () =
     if Float.is_nan cold_p50 then nan else cold_p50 /. warm_p50
   in
   let oc = open_out "BENCH_SERVE.json" in
+  write_host_header oc;
   Printf.fprintf oc
-    "{\n\
+    "\
     \  \"cores\": %d,\n\
     \  \"files\": %d,\n\
     \  \"warm_requests\": %d,\n\
@@ -1255,8 +1453,9 @@ let run_serve_obs ~quick () =
   let budget = 3.0 in
   let within = overhead_pct < budget in
   let oc = open_out "BENCH_SERVE_OBS.json" in
+  write_host_header oc;
   Printf.fprintf oc
-    "{\n\
+    "\
     \  \"cores\": %d,\n\
     \  \"paired_requests\": %d,\n\
     \  \"telemetry_off_p50_ms\": %.3f,\n\

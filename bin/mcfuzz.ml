@@ -17,6 +17,12 @@
     generated program — the seventh oracle: the two back ends'
     diagnostics must be byte-identical.
 
+    With [--product], the product-automaton driver
+    ([Registry.run_all_product]: one fused [Engine.product_scan] walk
+    per function) runs against both the fused and the sequential
+    drivers over the corpus + golden programs and over every generated
+    program — the eighth oracle: all three must be byte-identical.
+
     Exit status 1 when any pipeline disagrees, any seeded-bug recall
     drops below the threshold, or a generated program crashes the
     pipeline; 0 otherwise.  Failures print the seed, so
@@ -24,7 +30,7 @@
 
 open Cmdliner
 
-let main seed count mutate out quiet threshold serve metalc =
+let main seed count mutate out quiet threshold serve metalc product =
   let t0 = Unix.gettimeofday () in
   let log i =
     if (not quiet) && (i mod 100 = 0 || i = count) then
@@ -41,7 +47,7 @@ let main seed count mutate out quiet threshold serve metalc =
         Printf.eprintf "mcfuzz: %s\n" e;
         exit 2
   in
-  (* the fixed-input half of O7 runs once, before the seeded loop *)
+  (* the fixed-input halves of O7/O8 run once, before the seeded loop *)
   let sweep_failures =
     match mc with
     | Some t ->
@@ -52,6 +58,17 @@ let main seed count mutate out quiet threshold serve metalc =
       fs
     | None -> []
   in
+  let sweep_failures =
+    if not product then sweep_failures
+    else begin
+      let fs = Fuzz_product.sweep () in
+      if not quiet then
+        Printf.eprintf
+          "mcfuzz: product corpus+golden sweep: %d disagreement(s)\n%!"
+          (List.length fs);
+      sweep_failures @ fs
+    end
+  in
   let extra_oracle p =
     let serve_fs =
       match daemon with Some d -> Serve.Serve_oracle.check d p | None -> []
@@ -59,7 +76,8 @@ let main seed count mutate out quiet threshold serve metalc =
     let metal_fs =
       match mc with Some t -> Fuzz_metalc.oracle t p | None -> []
     in
-    serve_fs @ metal_fs
+    let product_fs = if product then Fuzz_product.oracle p else [] in
+    serve_fs @ metal_fs @ product_fs
   in
   let { Fuzz_driver.score; failures } =
     Fun.protect
@@ -135,12 +153,22 @@ let metalc_arg =
               once, then over every generated program — and require \
               the two back ends' diagnostics to match byte-for-byte.")
 
+let product_arg =
+  Arg.(
+    value & flag
+    & info [ "product" ]
+        ~doc:"Also run the product-automaton driver against the fused \
+              and sequential drivers — over the fixed corpus and golden \
+              programs once, then over every generated program — and \
+              require the three drivers' diagnostics to match \
+              byte-for-byte.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mcfuzz"
        ~doc:"differential fuzzing of the FLASH checking pipeline")
     Term.(
       const main $ seed_arg $ count_arg $ mutate_arg $ out_arg $ quiet_arg
-      $ threshold_arg $ serve_arg $ metalc_arg)
+      $ threshold_arg $ serve_arg $ metalc_arg $ product_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -297,7 +297,8 @@ module Session = struct
     Mctel.Metrics.inc ~by:stats.Mcd.units_faulted m_units_faulted
 
   (* one checking pass over parsed units: metal specs when configured,
-     else the Mcd pool (warm cache) or the fused sequential driver *)
+     else the Mcd pool (warm cache) or the product-automaton sequential
+     driver *)
   let run_pipeline t ~names ~spec tus =
     if t.cfg.metal <> [] then
       (* one Prep per function, shared across every loaded spec;
@@ -322,7 +323,7 @@ module Session = struct
         stats.Mcd.units_faulted > 0 || stats.Mcd.workers_crashed > 0 )
     end
     else
-      let results = Registry.run_all_fused ~spec tus in
+      let results = Registry.run_all_product ~spec tus in
       ( List.filter (fun (name, _) -> selected names name) results,
         None,
         List.exists
@@ -503,7 +504,7 @@ module Session = struct
                   let results =
                     List.map
                       (fun (j : Mcd.job) ->
-                        Registry.run_all_fused ~spec:j.Mcd.spec j.Mcd.tus)
+                        Registry.run_all_product ~spec:j.Mcd.spec j.Mcd.tus)
                       jobs
                   in
                   ( List.map select results,
@@ -568,9 +569,3 @@ module Session = struct
       | _ -> ()
     end
 end
-
-let run_files ?config files =
-  let s = Session.create ?config () in
-  Fun.protect
-    ~finally:(fun () -> Session.close s)
-    (fun () -> Session.check_files s files)

@@ -139,11 +139,6 @@ module Session : sig
   (** persist the cache when [cache_file] is set; idempotent *)
 end
 
-val run_files : ?config:config -> string list -> report
-[@@deprecated
-  "one-shot shim over Session (kept one PR for out-of-tree callers of \
-   the pre-session wiring); use Session.create / check_files / close"]
-
 (* ------------------------------------------------------------------ *)
 (* Shared pipeline-wiring helpers (were duplicated across the bins)    *)
 (* ------------------------------------------------------------------ *)

@@ -16,6 +16,26 @@
     whose events are identical in both views share the same physical
     array. *)
 
+(** Structure-of-arrays view of the observing event stream: every event
+    of every node, concatenated in node order into parallel int arrays
+    allocated once per function.  The screening keys a dispatch loop
+    needs (root tag, callee symbol, first-argument symbol, owning node,
+    branch visibility) are dense ints read sequentially; [ev_expr] holds
+    the expression itself for the rules that survive screening. *)
+type soa = {
+  ev_expr : Ast.expr array;  (** the event expression *)
+  ev_class : int array;  (** root tag, [Ast.expr_tag] *)
+  ev_callee : int array;
+      (** callee symbol id for a direct call, [-1] otherwise *)
+  ev_arg : int array;
+      (** symbol id of a first plain-identifier argument, [-1] otherwise *)
+  ev_node : int array;  (** owning CFG node id *)
+  ev_flags : int array;
+      (** bit 0: hidden from non-observing machines (branch/switch) *)
+  node_off : int array;  (** per node: first event index *)
+  node_len : int array;  (** per node: event count *)
+}
+
 type t = {
   func : Ast.func;
   cfg : Cfg.t;
@@ -24,10 +44,13 @@ type t = {
           branch/switch conditions included *)
   events_noobs : Ast.expr array array;
       (** the same with branch/switch conditions hidden *)
+  soa : soa;
   n_edges : int;
   back_edges : (int * int) list;
   paths : Paths.stats Lazy.t;
 }
+
+let soa_hidden_bit = 1
 
 (* Sub-expressions of [e] in evaluation (post-) order, including [e].
    This is the one flattening the engine replays; it lived in [Engine]
@@ -81,6 +104,14 @@ let flatten exprs =
 
 let empty_events : Ast.expr array = [||]
 
+(* Arena fill value.  It must be a module-level (hence quickly promoted,
+   thereafter old-generation) block: [Array.make n v] with [n] beyond
+   the young-block limit and a *young* [v] forces a full minor
+   collection per call — with one arena per function that is a
+   stop-the-world rendezvous per function, which serialises the Mcd
+   domains.  A shared old block makes the allocation GC-silent. *)
+let arena_init : Ast.expr = Ast.int_lit 0
+
 let build (func : Ast.func) : t =
   let cfg = Cfg.build func in
   let n = Array.length cfg.Cfg.nodes in
@@ -97,12 +128,63 @@ let build (func : Ast.func) : t =
         | Cfg.Branch _ | Cfg.Switch _ -> empty_events
         | _ -> obs))
     cfg.Cfg.nodes;
+  (* arena pass: one allocation per column for the whole function *)
+  let total = Array.fold_left (fun a evs -> a + Array.length evs) 0 events_obs in
+  let ev_expr = Array.make (max total 1) arena_init in
+  let ev_class = Array.make total 0 in
+  let ev_callee = Array.make total (-1) in
+  let ev_arg = Array.make total (-1) in
+  let ev_node = Array.make total 0 in
+  let ev_flags = Array.make total 0 in
+  let node_off = Array.make n 0 in
+  let node_len = Array.make n 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i (node : Cfg.node) ->
+      let evs = events_obs.(i) in
+      node_off.(i) <- !k;
+      node_len.(i) <- Array.length evs;
+      let hidden =
+        match node.Cfg.kind with
+        | Cfg.Branch _ | Cfg.Switch _ -> soa_hidden_bit
+        | _ -> 0
+      in
+      Array.iter
+        (fun (e : Ast.expr) ->
+          let j = !k in
+          ev_expr.(j) <- e;
+          ev_class.(j) <- Ast.expr_tag e;
+          (match e.Ast.edesc with
+          | Ast.Call ({ Ast.edesc = Ast.Ident f; _ }, args) ->
+            ev_callee.(j) <- Symtab.intern f;
+            (match args with
+            | { Ast.edesc = Ast.Ident a; _ } :: _ ->
+              ev_arg.(j) <- Symtab.intern a
+            | _ -> ())
+          | _ -> ());
+          ev_node.(j) <- i;
+          ev_flags.(j) <- hidden;
+          incr k)
+        evs)
+    cfg.Cfg.nodes;
   Mcobs.count "prep.build";
   {
     func;
     cfg;
     events_obs;
     events_noobs;
+    soa =
+      {
+        ev_expr =
+          (if total = 0 then [||] else ev_expr);
+        ev_class;
+        ev_callee;
+        ev_arg;
+        ev_node;
+        ev_flags;
+        node_off;
+        node_len;
+      };
     n_edges = !n_edges;
     back_edges = Cfg.back_edges cfg;
     paths = lazy (Paths.analyze cfg);

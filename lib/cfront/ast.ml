@@ -308,6 +308,33 @@ let callee_name e =
   | Call ({ edesc = Ident name; _ }, _) -> Some name
   | _ -> None
 
+(* One dense tag per [edesc] constructor: the root-dispatch key shared
+   by the pattern index ([Pattern.tag_of_expr]) and the
+   structure-of-arrays event buffers ([Prep]). *)
+let n_expr_tags = 18
+let tag_call = 5
+
+let expr_tag e =
+  match e.edesc with
+  | Int_lit _ -> 0
+  | Float_lit _ -> 1
+  | Str_lit _ -> 2
+  | Char_lit _ -> 3
+  | Ident _ -> 4
+  | Call _ -> 5
+  | Unop _ -> 6
+  | Binop _ -> 7
+  | Assign _ -> 8
+  | Op_assign _ -> 9
+  | Cond _ -> 10
+  | Cast _ -> 11
+  | Field _ -> 12
+  | Arrow _ -> 13
+  | Index _ -> 14
+  | Comma _ -> 15
+  | Sizeof_expr _ -> 16
+  | Sizeof_type _ -> 17
+
 let functions tu =
   List.filter_map (function Gfunc f -> Some f | _ -> None) tu.tu_globals
 

@@ -160,5 +160,16 @@ val callee_name : expr -> string option
 (** the called function's name when the callee is a plain identifier
     (FLASH macros always are) *)
 
+val n_expr_tags : int
+(** number of distinct {!expr_tag} values *)
+
+val tag_call : int
+(** the tag {!expr_tag} assigns to [Call] expressions *)
+
+val expr_tag : expr -> int
+(** dense tag of the root constructor, in [0, n_expr_tags) — the
+    root-dispatch key shared by the pattern index and the
+    structure-of-arrays event buffers *)
+
 val functions : tunit -> func list
 val find_function : tunit -> string -> func option

@@ -125,7 +125,9 @@ let keyword_table : (string * t) list =
   ]
 
 let of_ident s =
-  match List.assoc_opt s keyword_table with Some kw -> kw | None -> IDENT s
+  match List.assoc_opt s keyword_table with
+  | Some kw -> kw
+  | None -> IDENT (Symtab.canon s)
 
 let to_string = function
   | INT (_, s) -> s

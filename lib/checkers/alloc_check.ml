@@ -65,6 +65,13 @@ let check_prep ~spec : Prep.t -> Diag.t list =
   let _ = spec in
   fun prep -> Engine.check_prep sm prep
 
+(* [Unchecked] carries the stored-into expression, so the state space is
+   not statically enumerable; the product scan interns states
+   dynamically. *)
+let product ~spec : Engine.pmachine option =
+  let _ = spec in
+  Some (Engine.pack sm)
+
 let check_fn ~spec : Ast.func -> Diag.t list =
   let staged = check_prep ~spec in
   fun f -> staged (Prep.build f)

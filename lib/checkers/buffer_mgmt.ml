@@ -212,6 +212,16 @@ let check_fn ~spec : Ast.func -> Diag.t list =
   let staged = check_prep ~spec in
   fun f -> staged (Prep.build f)
 
+(* The product pack gets its own annotation table: the table only feeds
+   the Table 4 counters of [run_with_annotations] (which builds its own),
+   never the diagnostics, so scan-time recording is inert. *)
+let product ~spec : Engine.pmachine option =
+  let suppress =
+    Suppress.create
+      ~reserved:[ Flash_api.ann_has_buffer; Flash_api.ann_no_free_needed ]
+  in
+  Some (Engine.pack ~at_exit:(exit_hook ~spec suppress) (make_sm ~spec ~suppress))
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   (run_with_annotations ~spec tus).diags
 

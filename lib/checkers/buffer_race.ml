@@ -55,6 +55,14 @@ let check_fn ~spec : Ast.func -> Diag.t list =
   let staged = check_prep ~spec in
   fun f -> staged (Prep.build f)
 
+(* One state, so the machine lowers onto the transition-table shape and
+   the product scan gets array-load dispatch. *)
+let table = Engine.prebuild ~n_states:1 (Engine.reindex [| Start |] sm)
+
+let product ~spec : Engine.pmachine option =
+  let _ = spec in
+  Some (Engine.pack_table table)
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
   Engine.check sm (`Program tus)

@@ -141,6 +141,9 @@ let check_fn ?nak_pruning ~spec : Ast.func -> Diag.t list =
   let staged = check_prep ?nak_pruning ~spec in
   fun f -> staged (Prep.build f)
 
+let product ?nak_pruning ~spec () : Engine.pmachine option =
+  Some (Engine.pack ~at_exit:exit_hook (sm ?nak_pruning ~spec ()))
+
 let run ?nak_pruning ~spec (tus : Ast.tunit list) : Diag.t list =
   Engine.check ~at_exit:exit_hook (sm ?nak_pruning ~spec ()) (`Program tus)
 

@@ -11,6 +11,10 @@ val check_prep :
 (** staged: [check_prep ~spec] compiles the spec's state machine once and
     returns the fused per-function phase the scheduler drives *)
 
+val product :
+  ?nak_pruning:bool -> spec:Flash_api.spec -> unit -> Engine.pmachine option
+(** the machine packed for {!Engine.product_scan} *)
+
 val check_fn :
   ?nak_pruning:bool -> spec:Flash_api.spec -> Ast.func -> Diag.t list
 (** staged: [check_fn ~spec] compiles the spec's state machine once and

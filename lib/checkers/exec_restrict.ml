@@ -192,6 +192,11 @@ let check_fn ~spec (f : Ast.func) : Diag.t list =
 let check_prep ~spec (prep : Prep.t) : Diag.t list =
   check_fn ~spec prep.Prep.func
 
+(* Not a state machine — nothing to compose into the product scan. *)
+let product ~spec : Engine.pmachine option =
+  let _ = spec in
+  None
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let diags =
     List.concat_map

@@ -14,6 +14,10 @@ val check_prep : spec:Flash_api.spec -> Prep.t -> Diag.t list
 (** [check_fn] over a prepared function (the CFG is unused — this checker
     walks the AST directly) *)
 
+val product : spec:Flash_api.spec -> Engine.pmachine option
+(** the machine packed for {!Engine.product_scan}, [None] for pure AST
+    walkers with nothing to compose *)
+
 val run : spec:Flash_api.spec -> Ast.tunit list -> Diag.t list
 
 val applied : Ast.tunit list -> int

@@ -70,6 +70,11 @@ let check_prep ~spec (prep : Prep.t) : Diag.t list =
   let _ = spec in
   check_func prep.Prep.func
 
+(* Not a state machine — nothing to compose into the product scan. *)
+let product ~spec : Engine.pmachine option =
+  let _ = spec in
+  None
+
 let run ~spec (tus : Ast.tunit list) : Diag.t list =
   let _ = spec in
   Diag.normalize

@@ -39,6 +39,9 @@ type phase =
           (** applied to the in-order concatenation of per-function
               results; [Fun.id] for most checkers, [Diag.normalize] for
               the ones that historically sorted globally *)
+      product : spec:Flash_api.spec -> Engine.pmachine option;
+          (** the checker's state machine packed for
+              {!Engine.product_scan}; [None] for pure AST walkers *)
     }
   | Whole_program of check_global
 
@@ -80,3 +83,21 @@ val run_all_fused :
     the result list.  The clean path is unchanged either way;
     [~guard:false] exists so the overhead benchmark can A/B the
     barrier. *)
+
+val run_all_product :
+  ?guard:bool ->
+  spec:Flash_api.spec ->
+  Ast.tunit list ->
+  (string * Diag.t list) list
+(** [run_all_fused] with the per-checker traversals replaced by one
+    {!Engine.product_scan} walk per function.  The scan detects which
+    machines could emit on the function; only those (plus the pure AST
+    walkers, which have no machine) re-run per checker, so output —
+    witnesses included — stays byte-identical to [run_all_fused] while a
+    clean function costs one walk instead of seven.
+
+    Delegates to [run_all_fused] outright whenever
+    {!Engine.containment_active}, so budgets, degraded mode, and fault
+    injection keep their exact per-checker semantics; a scan that
+    overflows or crashes falls back to the per-checker path for that
+    function. *)

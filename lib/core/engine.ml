@@ -184,6 +184,10 @@ let event_string (e : Ast.expr) : string =
    root-wildcard patterns. *)
 type 'state dispatch = {
   d_by_name : (string, 'state Sm.rule list) Hashtbl.t;
+  d_by_sym : (int, 'state Sm.rule list) Hashtbl.t;
+      (** the same buckets keyed by interned callee symbol — what the
+          SoA product scan probes, an int hash instead of a string
+          hash *)
   d_by_tag : 'state Sm.rule list array;
 }
 
@@ -215,6 +219,7 @@ let build_dispatch (rules : 'state Sm.rule list) : 'state dispatch =
         shapes)
     classified;
   let d_by_name = Hashtbl.create (Hashtbl.length names) in
+  let d_by_sym = Hashtbl.create (Hashtbl.length names) in
   Hashtbl.iter
     (fun n () ->
       let admits shapes =
@@ -225,12 +230,15 @@ let build_dispatch (rules : 'state Sm.rule list) : 'state dispatch =
             | Pattern.Root_call m -> String.equal m n)
           shapes
       in
-      Hashtbl.replace d_by_name n
-        (List.filter_map
-           (fun (r, shapes) -> if admits shapes then Some r else None)
-           classified))
+      let bucket =
+        List.filter_map
+          (fun (r, shapes) -> if admits shapes then Some r else None)
+          classified
+      in
+      Hashtbl.replace d_by_name n bucket;
+      Hashtbl.replace d_by_sym (Symtab.intern n) bucket)
     names;
-  { d_by_name; d_by_tag }
+  { d_by_name; d_by_sym; d_by_tag }
 
 let candidates (d : 'state dispatch) (e : Ast.expr) : 'state Sm.rule list =
   match e.Ast.edesc with
@@ -648,6 +656,440 @@ let check_prep_table ?stats ?at_exit (t : table) (prep : Prep.t) :
   if Domain.DLS.get degraded_key then
     check_prep_flat ?stats ?at_exit ~dispatch_for t.t_sm prep
   else check_prep_full ?stats ?at_exit ~dispatch_for t.t_sm prep
+
+(* ------------------------------------------------------------------ *)
+(* Generic reindexing: a finite machine lowered onto dense int states   *)
+(* ------------------------------------------------------------------ *)
+
+(** Lower a machine whose reachable states are exactly the entries of
+    [states] onto dense integer states — the transition-table shape the
+    metal compiler emits — so it can be {!prebuild}-compiled once per
+    machine.  Actions are wrapped to translate their outcomes;
+    [action_ctx] is state-independent, so behaviour is unchanged. *)
+let reindex (states : 'state array) (sm : 'state Sm.t) : int Sm.t =
+  let n = Array.length states in
+  let id_of (s : 'state) : int =
+    let rec go i =
+      if i >= n then
+        invalid_arg
+          (Printf.sprintf "Engine.reindex: %s reached a state outside its \
+                           declared set"
+             sm.Sm.name)
+      else if states.(i) = s then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let wrap (r : 'state Sm.rule) : int Sm.rule =
+    {
+      Sm.pattern = r.Sm.pattern;
+      action =
+        (fun ctx ->
+          match r.Sm.action ctx with
+          | Sm.Stay -> Sm.Stay
+          | Sm.Goto s -> Sm.Goto (id_of s)
+          | Sm.Stop -> Sm.Stop);
+    }
+  in
+  Sm.make ~name:sm.Sm.name
+    ~start:(fun f -> Option.map id_of (sm.Sm.start f))
+    ~rules:(fun i -> List.map wrap (sm.Sm.rules states.(i)))
+    ~all:(List.map wrap sm.Sm.all)
+    ~observe_branches:sm.Sm.observe_branches
+    ?branch:
+      (Option.map
+         (fun refine i cond dir -> id_of (refine states.(i) cond dir))
+         sm.Sm.branch)
+    ~state_to_string:(fun i -> sm.Sm.state_to_string states.(i))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* The product scan: one walk per function, all machines               *)
+(* ------------------------------------------------------------------ *)
+
+(** Is any containment context armed on this domain?  Product drivers
+    delegate to the per-checker path when it is, so budgets, degraded
+    mode, and fault injection keep their exact per-checker semantics. *)
+let containment_active () =
+  Domain.DLS.get degraded_key
+  || Option.is_some (Domain.DLS.get limiter_key)
+  || Option.is_some !fault_hook
+
+(** A machine packed for the product scan, its state type hidden. *)
+type pmachine =
+  | Pmachine : {
+      p_sm : 'state Sm.t;
+      p_at_exit : 'state exit_hook option;
+      p_dispatch : ('state -> 'state dispatch) option;
+    }
+      -> pmachine
+
+let pack ?at_exit (sm : 'state Sm.t) : pmachine =
+  Pmachine { p_sm = sm; p_at_exit = at_exit; p_dispatch = None }
+
+let pack_table ?at_exit (t : table) : pmachine =
+  Pmachine
+    {
+      p_sm = t.t_sm;
+      p_at_exit = at_exit;
+      p_dispatch = Some (fun s -> t.t_dispatch.(s));
+    }
+
+exception Product_overflow
+(** the product vector space of this function blew the scan's visit cap;
+    callers fall back to per-checker traversals *)
+
+(* Sentinel for a machine with no live state on this path: inactive on
+   the function, stopped by a rule, or already known dirty. *)
+let p_stopped = -1
+
+(* The per-machine runtime: monomorphic closures over dense dynamic
+   state ids, so the scan's driver never sees the state type.
+
+   The scan detects, it does not report: it walks the product automaton
+   once and flags each machine that could emit a diagnostic (from a rule
+   action or its exit hook).  A clean machine's per-checker result is []
+   by construction; a dirty machine re-runs through the ordinary
+   traversal, whose output — witnesses included — is the per-checker
+   path's, byte for byte.
+
+   Why detection is exact: per-checker, emissions fire exactly at fresh
+   [(node, state)] configurations of that machine's DFS visited set
+   (plus fresh exit states).  The product DFS reaches every reachable
+   product vector, and the projection of those vectors onto machine [i]
+   is machine [i]'s full reachable configuration set — each per-machine
+   path is the projection of a product path.  The per-machine memo runs
+   actions exactly once per fresh configuration, so the scan fires a
+   superset-of-nothing and misses nothing: dirty here iff ≥1 diagnostic
+   there.  Once a machine is dirty its evolution no longer matters; it
+   collapses to [p_stopped], which only merges product vectors (more
+   pruning for the others, never less coverage — the remaining product
+   still reaches every sub-vector). *)
+type pinst = {
+  i_start : int option;
+  i_observe : bool;
+  i_has_branch : bool;
+  i_step : int -> int -> int;  (** node -> state id -> out id / stopped *)
+  i_refine : int -> Ast.expr -> bool -> int;
+  i_record_exit : int -> unit;
+  i_finish : unit -> unit;  (** replay the exit hook over exit states *)
+  i_dirty : unit -> bool;
+}
+
+let inactive_inst : pinst =
+  {
+    i_start = None;
+    i_observe = true;
+    i_has_branch = false;
+    i_step = (fun _ s -> s);
+    i_refine = (fun s _ _ -> s);
+    i_record_exit = ignore;
+    i_finish = ignore;
+    i_dirty = (fun () -> false);
+  }
+
+let make_inst (prep : Prep.t) (pm : pmachine) : pinst =
+  match pm with
+  | Pmachine { p_sm = sm; p_at_exit; p_dispatch } -> (
+    let func = prep.Prep.func in
+    match sm.Sm.start func with
+    | None -> inactive_inst
+    | Some start_state ->
+      let soa = prep.Prep.soa in
+      let cfg = prep.Prep.cfg in
+      let n_nodes = Array.length cfg.Cfg.nodes in
+      let dirty = ref false in
+      let emit _ = dirty := true in
+      let dispatch_for =
+        match p_dispatch with
+        | Some f -> f
+        | None -> cached_dispatch_for sm
+      in
+      (* dynamic state interning: dense ids under structural equality —
+         the same equality the per-checker visited set uses *)
+      let states = ref (Array.make 8 start_state) in
+      let ids = Hashtbl.create 8 in
+      let n_states = ref 0 in
+      let id_of s =
+        match Hashtbl.find_opt ids s with
+        | Some id -> id
+        | None ->
+          let id = !n_states in
+          if id >= Array.length !states then begin
+            let bigger = Array.make (2 * Array.length !states) s in
+            Array.blit !states 0 bigger 0 (Array.length !states);
+            states := bigger
+          end;
+          !states.(id) <- s;
+          Hashtbl.add ids s id;
+          incr n_states;
+          id
+      in
+      let start_id = id_of start_state in
+      (* whole-node step memo: state-in -> state-out per node, actions
+         run exactly once per fresh (node, state-in) configuration *)
+      let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let observe = sm.Sm.observe_branches in
+      let step node s_id =
+        let key = (s_id * n_nodes) + node in
+        match Hashtbl.find_opt memo key with
+        | Some out -> out
+        | None ->
+          let off = soa.Prep.node_off.(node) in
+          let stop_at = off + soa.Prep.node_len.(node) in
+          let rec consume j state disp =
+            if j >= stop_at then id_of state
+            else if
+              (not observe)
+              && soa.Prep.ev_flags.(j) land Prep.soa_hidden_bit <> 0
+            then consume (j + 1) state disp
+            else begin
+              (* int screening over the SoA columns before any pattern
+                 or expression is touched *)
+              let cls = soa.Prep.ev_class.(j) in
+              let rules =
+                if cls = Pattern.tag_call then begin
+                  let callee = soa.Prep.ev_callee.(j) in
+                  if callee >= 0 then
+                    match Hashtbl.find_opt disp.d_by_sym callee with
+                    | Some rs -> rs
+                    | None -> disp.d_by_tag.(Pattern.tag_call)
+                  else disp.d_by_tag.(Pattern.tag_call)
+                end
+                else disp.d_by_tag.(cls)
+              in
+              match rules with
+              | [] -> consume (j + 1) state disp
+              | rules -> (
+                let event = soa.Prep.ev_expr.(j) in
+                let fired =
+                  List.find_map
+                    (fun (r : _ Sm.rule) ->
+                      match Pattern.match_expr r.Sm.pattern event with
+                      | Some bindings -> Some (r, bindings)
+                      | None -> None)
+                    rules
+                in
+                match fired with
+                | None -> consume (j + 1) state disp
+                | Some (r, bindings) ->
+                  let ctx =
+                    {
+                      Sm.func;
+                      matched = event;
+                      loc = event.Ast.eloc;
+                      bindings;
+                      trace = [];
+                      emit;
+                    }
+                  in
+                  (match r.Sm.action ctx with
+                  | Sm.Stay -> consume (j + 1) state disp
+                  | Sm.Goto next -> consume (j + 1) next (dispatch_for next)
+                  | Sm.Stop -> p_stopped))
+            end
+          in
+          let state = !states.(s_id) in
+          let out = consume off state (dispatch_for state) in
+          Hashtbl.add memo key out;
+          out
+      in
+      let refine =
+        match sm.Sm.branch with
+        | None -> fun s _ _ -> s
+        | Some f -> fun s_id cond dir -> id_of (f !states.(s_id) cond dir)
+      in
+      let exit_seen : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      let finish () =
+        match p_at_exit with
+        | Some hook when not !dirty ->
+          let exit_loc = (Cfg.node cfg cfg.Cfg.exit).Cfg.loc in
+          Hashtbl.iter
+            (fun s_id () ->
+              let ctx =
+                {
+                  Sm.func;
+                  matched = Ast.ident "return";
+                  loc = exit_loc;
+                  bindings = Binding.empty;
+                  trace = [];
+                  emit;
+                }
+              in
+              hook ctx !states.(s_id))
+            exit_seen
+        | _ -> ()
+      in
+      {
+        i_start = Some start_id;
+        i_observe = observe;
+        i_has_branch = Option.is_some sm.Sm.branch;
+        i_step = step;
+        i_refine = refine;
+        i_record_exit = (fun s_id -> Hashtbl.replace exit_seen s_id ());
+        i_finish = finish;
+        i_dirty = (fun () -> !dirty);
+      })
+
+exception Pack_overflow
+(* internal to [product_scan]: a dynamic machine outgrew the 8-bit
+   state field of the packed visited key; the scan restarts with
+   structural keys *)
+
+(* Open-addressing set of non-negative ints, linear probing, zero
+   allocation per insert: the packed-key fast path of [product_scan]
+   tests ~80k configurations per corpus run, and a generic [Hashtbl]
+   would allocate a bucket (and hash a key array) for each. *)
+module Iset = struct
+  type t = { mutable slots : int array; mutable mask : int; mutable n : int }
+
+  (* slots hold key+1, 0 means empty *)
+  let create () = { slots = Array.make 512 0; mask = 511; n = 0 }
+
+  let mix k = (k * 0x9E3779B1) lxor (k lsr 24)
+
+  (* probe for [v] (non-zero); insert if absent; true when fresh *)
+  let rec insert slots mask h v =
+    let s = slots.(h) in
+    if s = 0 then begin
+      slots.(h) <- v;
+      true
+    end
+    else if s = v then false
+    else insert slots mask ((h + 1) land mask) v
+
+  let grow t =
+    let old = t.slots in
+    let size = 2 * Array.length old in
+    t.slots <- Array.make size 0;
+    t.mask <- size - 1;
+    Array.iter
+      (fun v ->
+        if v <> 0 then ignore (insert t.slots t.mask (mix v land t.mask) v))
+      old
+
+  let add t key =
+    let v = key + 1 in
+    let fresh = insert t.slots t.mask (mix v land t.mask) v in
+    if fresh then begin
+      t.n <- t.n + 1;
+      (* keep load under 1/2 *)
+      if 2 * t.n > t.mask then grow t
+    end;
+    fresh
+end
+
+(** One fused walk of the product automaton over a prepared function.
+    Returns a per-machine flag: [false] means the machine provably emits
+    nothing on this function (its per-checker result is []); [true]
+    means it may emit and must re-run through {!check_prep}.
+
+    Honours an installed budget ({!Budget_exhausted} propagates).
+    @raise Product_overflow when the function's product vector space
+    exceeds the visit cap — callers fall back per checker. *)
+let product_scan (prep : Prep.t) (machines : pmachine array) : bool array =
+  let m = Array.length machines in
+  let cfg = prep.Prep.cfg in
+  let n_nodes = Array.length cfg.Cfg.nodes in
+  (* Visited-set representation.  Packed mode folds (node, vector) into
+     one tagged int — 14 bits of node, 8 bits per machine state — and
+     dedups through the allocation-free [Iset]; it covers every real
+     function (6 machines, <16k nodes, <255 live states per machine).
+     The structural-key path remains both as the fallback when packing
+     overflows mid-scan and as the shape for degenerate inputs. *)
+  let packed_ok = m <= 6 && n_nodes <= 0x3FFF in
+  let run ~packed =
+  let insts = Array.map (make_inst prep) machines in
+  if not (Array.exists (fun i -> Option.is_some i.i_start) insts) then
+    Array.make m false
+  else begin
+    let limiter = Domain.DLS.get limiter_key in
+    let iset = Iset.create () in
+    let visited : (int array, unit) Hashtbl.t =
+      if packed then Hashtbl.create 1
+      else Hashtbl.create (max 16 (4 * n_nodes))
+    in
+    let fresh_visit node (vec : int array) =
+      if packed then begin
+        let key = ref node in
+        for i = 0 to m - 1 do
+          let s = vec.(i) + 1 in
+          if s > 0xFF then raise Pack_overflow;
+          key := !key lor (s lsl (14 + (8 * i)))
+        done;
+        Iset.add iset !key
+      end
+      else begin
+        let key = Array.make (m + 1) node in
+        Array.blit vec 0 key 1 m;
+        let before = Hashtbl.length visited in
+        Hashtbl.replace visited key ();
+        Hashtbl.length visited > before
+      end
+    in
+    let visits = ref 0 in
+    (* generous: clean protocol code sees a handful of distinct vectors
+       per node; a function that blows this is cheaper per checker *)
+    let cap = 256 * (n_nodes + 4) in
+    let rec visit node (vec : int array) =
+      if fresh_visit node vec then begin
+        incr visits;
+        if !visits > cap then raise Product_overflow;
+        (match limiter with Some lim -> consume_fuel lim | None -> ());
+        let out = Array.make m p_stopped in
+        for i = 0 to m - 1 do
+          let inst = insts.(i) in
+          if vec.(i) >= 0 && not (inst.i_dirty ()) then
+            out.(i) <- inst.i_step node vec.(i)
+        done;
+        let node_r = Cfg.node cfg node in
+        if node = cfg.Cfg.exit then
+          for i = 0 to m - 1 do
+            if out.(i) >= 0 && not (insts.(i).i_dirty ()) then
+              insts.(i).i_record_exit out.(i)
+          done
+        else
+          List.iter
+            (fun (label, succ) ->
+              let vec' =
+                match (node_r.Cfg.kind, label) with
+                | Cfg.Branch cond, (Cfg.True | Cfg.False) ->
+                  let dir = label = Cfg.True in
+                  let refined = ref out in
+                  for i = 0 to m - 1 do
+                    if out.(i) >= 0 && insts.(i).i_has_branch then begin
+                      let s' = insts.(i).i_refine out.(i) cond dir in
+                      if s' <> out.(i) then begin
+                        if !refined == out then refined := Array.copy out;
+                        !refined.(i) <- s'
+                      end
+                    end
+                  done;
+                  !refined
+                | _ -> out
+              in
+              visit succ vec')
+            node_r.Cfg.succs
+      end
+    in
+    let entry_vec =
+      Array.map
+        (fun i -> match i.i_start with Some s -> s | None -> p_stopped)
+        insts
+    in
+    visit cfg.Cfg.entry entry_vec;
+    Array.iter (fun i -> i.i_finish ()) insts;
+    Mcobs.count "engine.product_scans";
+    Mcobs.count ~by:!visits "engine.product_nodes_visited";
+    Array.map (fun i -> i.i_dirty ()) insts
+  end
+  in
+  if packed_ok then
+    try run ~packed:true
+    with Pack_overflow ->
+      Mcobs.count "engine.product_pack_fallbacks";
+      run ~packed:false
+  else run ~packed:false
 
 let check_func ?stats ?at_exit (sm : 'state Sm.t) (func : Ast.func) :
     Diag.t list =

@@ -133,6 +133,47 @@ val check_prep_table :
 (** {!check_prep} for a prebuilt table — honours the same fault hook,
     degraded mode, and budget *)
 
+(** {2 The product automaton}
+
+    [product_scan] composes every packed machine into one automaton over
+    state vectors and walks the function's CFG once, instead of once per
+    machine.  The walk only {e detects}: it returns, per machine, whether
+    the machine could emit at least one diagnostic on this function.
+    Clean machines (the overwhelmingly common case on real protocol
+    code) are done — their per-checker result is [] by construction.
+    Dirty machines re-run through {!check_prep}, whose output (witnesses
+    included) is byte-identical to the per-checker path.
+
+    Drivers must delegate to the per-checker path whenever
+    {!containment_active} — budgets, degraded mode and fault injection
+    keep their exact per-checker semantics that way. *)
+
+type pmachine
+(** a state machine packed for the product scan, state type hidden *)
+
+val pack : ?at_exit:'state exit_hook -> 'state Sm.t -> pmachine
+
+val pack_table : ?at_exit:int exit_hook -> table -> pmachine
+(** pack a prebuilt table; per-state dispatch is an array load *)
+
+val reindex : 'state array -> 'state Sm.t -> int Sm.t
+(** [reindex states sm] lowers a machine whose reachable states are
+    exactly the entries of [states] onto dense integer states — the
+    transition-table shape — so it can be {!prebuild}-compiled once.
+    @raise Invalid_argument if the machine leaves the declared set *)
+
+exception Product_overflow
+(** the product vector space of a function blew the scan's visit cap;
+    callers fall back to per-checker traversals *)
+
+val containment_active : unit -> bool
+(** is a budget, degraded mode, or fault hook armed on this domain? *)
+
+val product_scan : Prep.t -> pmachine array -> bool array
+(** one fused walk; [result.(i)] is [true] iff machine [i] may emit on
+    this function and must re-run per checker.  Honours an installed
+    budget. @raise Product_overflow when the visit cap blows *)
+
 val run :
   ?stats:stats ref ->
   ?at_exit:'state exit_hook ->

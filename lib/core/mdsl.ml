@@ -538,15 +538,22 @@ let to_sm (t : t) : string Sm.t =
         | Some state -> Sm.Goto state
         | None -> Sm.Stay)
   in
-  let compiled_states =
-    List.map (fun (name, rules) -> (name, List.map compile_rule rules))
-      t.states
+  (* state names are interned so the per-dispatch rule lookup is an
+     int-keyed table probe, not a string-compare assoc walk *)
+  let compiled_states : (int, string Sm.rule list) Hashtbl.t =
+    Hashtbl.create 8
   in
+  List.iter
+    (fun (name, rules) ->
+      Hashtbl.replace compiled_states (Symtab.intern name)
+        (List.map compile_rule rules))
+    t.states;
   let all = List.map compile_rule t.all_rules in
   Sm.make ~name:t.sm_name
     ~start:(fun _ -> Some start_state)
     ~rules:(fun state ->
-      Option.value ~default:[] (List.assoc_opt state compiled_states))
+      Option.value ~default:[]
+        (Hashtbl.find_opt compiled_states (Symtab.intern state)))
     ~all
     ~state_to_string:(fun s -> s)
     ()

@@ -99,30 +99,11 @@ type root_shape =
   | Root_tag of int  (** any expression with this head constructor *)
   | Root_any  (** wildcard at the root — a candidate for every event *)
 
-let n_tags = 18
-
-let tag_of_expr (e : Ast.expr) : int =
-  match e.Ast.edesc with
-  | Ast.Int_lit _ -> 0
-  | Ast.Float_lit _ -> 1
-  | Ast.Str_lit _ -> 2
-  | Ast.Char_lit _ -> 3
-  | Ast.Ident _ -> 4
-  | Ast.Call _ -> 5
-  | Ast.Unop _ -> 6
-  | Ast.Binop _ -> 7
-  | Ast.Assign _ -> 8
-  | Ast.Op_assign _ -> 9
-  | Ast.Cond _ -> 10
-  | Ast.Cast _ -> 11
-  | Ast.Field _ -> 12
-  | Ast.Arrow _ -> 13
-  | Ast.Index _ -> 14
-  | Ast.Comma _ -> 15
-  | Ast.Sizeof_expr _ -> 16
-  | Ast.Sizeof_type _ -> 17
-
-let tag_call = 5
+(* the tag space is defined once in [Ast] so the cfg-level SoA event
+   buffers and this index agree by construction *)
+let n_tags = Ast.n_expr_tags
+let tag_of_expr (e : Ast.expr) : int = Ast.expr_tag e
+let tag_call = Ast.tag_call
 
 let root_shape_of (p : Ast.expr) (decls : decl list) : root_shape =
   match p.Ast.edesc with
@@ -192,7 +173,12 @@ let rec match_e (decls : decl list) (p : Ast.expr) (e : Ast.expr)
       if Float.equal a c then Some b else None
     | Ast.Str_lit a, Ast.Str_lit c -> if String.equal a c then Some b else None
     | Ast.Char_lit a, Ast.Char_lit c -> if Char.equal a c then Some b else None
-    | Ast.Ident a, Ast.Ident c -> if String.equal a c then Some b else None
+    (* pattern and event identifiers both come out of the lexer
+       canonicalized through [Symtab], so pointer equality decides the
+       common case; the [String.equal] fallback keeps synthesized ASTs
+       (fuzz generators, fixers) correct *)
+    | Ast.Ident a, Ast.Ident c ->
+      if a == c || String.equal a c then Some b else None
     | Ast.Call (pf, pargs), Ast.Call (ef, eargs) ->
       if List.length pargs <> List.length eargs then None
       else
@@ -217,7 +203,7 @@ let rec match_e (decls : decl list) (p : Ast.expr) (e : Ast.expr)
       if Ctype.equal pt et then match_e decls pa ea b else None
     | Ast.Field (pa, pf), Ast.Field (ea, ef)
     | Ast.Arrow (pa, pf), Ast.Arrow (ea, ef) ->
-      if String.equal pf ef then match_e decls pa ea b else None
+      if pf == ef || String.equal pf ef then match_e decls pa ea b else None
     | Ast.Index (pa, pi), Ast.Index (ea, ei) ->
       Option.bind (match_e decls pa ea b) (fun b -> match_e decls pi ei b)
     | Ast.Comma (pa, pb), Ast.Comma (ea, eb) ->

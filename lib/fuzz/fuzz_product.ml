@@ -1,0 +1,60 @@
+(** O8 [product]: the product-automaton driver must equal the fused and
+    sequential drivers.
+
+    {!Registry.run_all_product} walks each function once over the
+    composed automaton and re-runs only the machines the scan flags
+    dirty, so its entire claim is behavioural equivalence: rendered
+    diagnostics — per-checker order and content, witnesses upstream of
+    the rendering — must be byte-identical to {!Registry.run_all_fused}
+    and to the per-checker {!Registry.run_all}.  Every program the
+    fuzzer produces is checked under all three drivers.
+
+    [sweep] is the one-shot fixed-input pass — the five corpus
+    protocols and both golden-protocol variants — run once per fuzz
+    session before the seeded loop; [oracle] is the per-program hook
+    shaped for {!Fuzz_driver.run}'s [extra_oracle]. *)
+
+(* product vs fused vs sequential on one program *)
+let compare_on ~(seed : int) ~(label : string) ~(spec : Flash_api.spec)
+    (tus : Ast.tunit list) : Fuzz_oracle.failure list =
+  let rp = Fuzz_oracle.render (Registry.run_all_product ~spec tus)
+  and rf = Fuzz_oracle.render (Registry.run_all_fused ~spec tus)
+  and rs = Fuzz_oracle.render (Registry.run_all ~spec tus) in
+  let diff oracle a b =
+    if a <> b then
+      Some
+        {
+          Fuzz_oracle.f_seed = seed;
+          f_oracle = oracle;
+          f_detail = label ^ ": " ^ Fuzz_oracle.first_diff a b;
+        }
+    else None
+  in
+  List.filter_map Fun.id
+    [ diff "product-fused" rp rf; diff "product-seq" rp rs ]
+
+(** the per-generated-program hook for {!Fuzz_driver.run}'s
+    [extra_oracle] *)
+let oracle (p : Fuzz_gen.program) : Fuzz_oracle.failure list =
+  compare_on ~seed:p.Fuzz_gen.seed ~label:"fuzz program"
+    ~spec:p.Fuzz_gen.spec p.Fuzz_gen.tus
+
+(** the fixed-input pass: every corpus protocol plus both golden
+    variants, reported under seed 0 *)
+let sweep () : Fuzz_oracle.failure list =
+  let corpus = Corpus.generate () in
+  let corpus_fs =
+    List.concat_map
+      (fun (p : Corpus.protocol) ->
+        compare_on ~seed:0
+          ~label:("corpus " ^ p.Corpus.name)
+          ~spec:p.Corpus.spec p.Corpus.tus)
+      corpus.Corpus.protocols
+  in
+  let golden_fs =
+    List.concat_map
+      (fun (v, lbl) ->
+        compare_on ~seed:0 ~label:lbl ~spec:Golden.spec (Golden.program v))
+      [ (Golden.Clean, "golden-clean"); (Golden.Buggy, "golden-buggy") ]
+  in
+  corpus_fs @ golden_fs

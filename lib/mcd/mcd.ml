@@ -249,12 +249,19 @@ let check_jobs ?cache ?(budget = Engine.no_budget) ~jobs
   (* staged per-function closures are domain-local: a fresh DLS key per
      call keeps one staging table per worker, so spec-dependent state
      machines compile once per (domain, job) and are never shared across
-     domains *)
-  let stage_key : (int, (Prep.t -> Diag.t list) array) Hashtbl.t Domain.DLS.key
-      =
+     domains.  Alongside the per-checker closures we stage the product
+     machines: a batch first runs the composed product walk, and only
+     the checkers whose machine turned dirty (or that have no machine)
+     re-run individually — same detect-then-rerun contract as
+     [Registry.run_all_product], so the slices stay byte-identical. *)
+  let stage_key :
+      (int, (Prep.t -> Diag.t list) array * Engine.pmachine option array)
+      Hashtbl.t
+      Domain.DLS.key =
     Domain.DLS.new_key (fun () -> Hashtbl.create 8)
   in
-  let staged ~job : (Prep.t -> Diag.t list) array =
+  let staged ~job :
+      (Prep.t -> Diag.t list) array * Engine.pmachine option array =
     let tbl = Domain.DLS.get stage_key in
     match Hashtbl.find_opt tbl job with
     | Some fns -> fns
@@ -269,8 +276,17 @@ let check_jobs ?cache ?(budget = Engine.no_budget) ~jobs
             | Registry.Whole_program _ -> assert false)
           pf_indices
       in
-      Hashtbl.add tbl job fns;
-      fns
+      let machines =
+        Array.map
+          (fun ci ->
+            match checkers.(ci).Registry.phase with
+            | Registry.Per_function { product; _ } ->
+              product ~spec:p.p_job.spec
+            | Registry.Whole_program _ -> assert false)
+          pf_indices
+      in
+      Hashtbl.add tbl job (fns, machines);
+      (fns, machines)
   in
   (* The per-unit fault barrier.  Each checker within a batch runs under
      the unit budget; an exception (checker bug, injected fault) or an
@@ -301,25 +317,56 @@ let check_jobs ?cache ?(budget = Engine.no_budget) ~jobs
                              all checkers skipped for this function"
                (describe_fault exn));
         ]
-    | fns, prep ->
+    | (fns, machines), prep ->
       let out = Array.make n_pf [] in
       let unit_faults = ref [] in
+      (* Product fast path: one composed walk detects which machines
+         are dirty; clean machine-backed checkers are done (their slice
+         is [] by construction).  Only legal when nothing can interfere
+         with per-checker semantics — a real budget, degraded mode or
+         an armed fault hook sends every checker down the ordinary
+         per-checker path, exactly like [Registry.run_all_product]. *)
+      let needs_run = Array.make n_pf true in
+      if budget = Engine.no_budget && not (Engine.containment_active ())
+      then begin
+        let idx = ref [] and ms = ref [] in
+        Array.iteri
+          (fun k m ->
+            match m with
+            | Some pm ->
+              idx := k :: !idx;
+              ms := pm :: !ms
+            | None -> ())
+          machines;
+        let pms = Array.of_list (List.rev !ms) in
+        let ks = Array.of_list (List.rev !idx) in
+        match Engine.product_scan prep pms with
+        | dirty ->
+          Array.iteri
+            (fun mi k -> if not dirty.(mi) then needs_run.(k) <- false)
+            ks
+        | exception _ ->
+          (* overflow or a machine crash: every checker re-runs, and
+             any real fault surfaces through its own barrier below *)
+          ()
+      end;
       Array.iteri
         (fun k chk ->
-          match Engine.with_budget budget (fun () -> chk prep) with
-          | slices -> out.(k) <- slices
-          | exception exn ->
-            let cname = checkers.(pf_indices.(k)).Registry.name in
-            unit_faults :=
-              fault ~loc:f.Ast.f_loc ~func:f.Ast.f_name
-                (Printf.sprintf
-                   "checker %s failed (%s); a degraded flow-insensitive \
-                    pass was substituted"
-                   cname (describe_fault exn))
-              :: !unit_faults;
-            out.(k) <-
-              (try Engine.with_degraded (fun () -> chk prep)
-               with _ -> []))
+          if needs_run.(k) then
+            match Engine.with_budget budget (fun () -> chk prep) with
+            | slices -> out.(k) <- slices
+            | exception exn ->
+              let cname = checkers.(pf_indices.(k)).Registry.name in
+              unit_faults :=
+                fault ~loc:f.Ast.f_loc ~func:f.Ast.f_name
+                  (Printf.sprintf
+                     "checker %s failed (%s); a degraded flow-insensitive \
+                      pass was substituted"
+                     cname (describe_fault exn))
+                :: !unit_faults;
+              out.(k) <-
+                (try Engine.with_degraded (fun () -> chk prep)
+                 with _ -> []))
         fns;
       results.(slot) <- out;
       faults.(slot) <- List.rev !unit_faults

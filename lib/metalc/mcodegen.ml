@@ -265,9 +265,12 @@ let of_string (s : string) : t =
         Scanf.sscanf (next ()) "%d %s" (fun _ s -> s))
   in
   let n_calls = scan1 "calls %d" (next ()) in
+  (* canonicalize through the interner so a dump round trip keeps the
+     pointer-equality fast paths of the pattern matcher and the symbol
+     dispatch index *)
   let g_calls =
     Array.init n_calls (fun _ ->
-        Scanf.sscanf (next ()) "%d %s" (fun _ s -> s))
+        Scanf.sscanf (next ()) "%d %s" (fun _ s -> Symtab.canon s))
   in
   let n_msgs = scan1 "msgs %d" (next ()) in
   let g_msgs =

@@ -214,9 +214,14 @@ let session_cases =
           (List.map
              (fun h -> h.Flash_api.h_name)
              spec.Flash_api.p_handlers));
-    t "deprecated run_files shim still works" `Quick (fun () ->
+    t "one-shot session check of a clean file" `Quick (fun () ->
         let path = write_tmp "api_shim.c" clean_src in
-        let r = (Mcheck_api.run_files [@warning "-3"]) [ path ] in
+        let s = Mcheck_api.Session.create () in
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Mcheck_api.Session.close s)
+            (fun () -> Mcheck_api.Session.check_files s [ path ])
+        in
         Alcotest.(check int) "clean" 0
           (Robust.exit_code r.Mcheck_api.r_outcome));
   ]

@@ -50,7 +50,19 @@ let build_once_tests =
           (counter_of snap "prep.build"));
   ]
 
+let product_tests =
+  [
+    t "product walk is identical on the corpus and golden protocols"
+      `Quick (fun () ->
+        match Fuzz_product.sweep () with
+        | [] -> ()
+        | fs ->
+          Alcotest.failf "product sweep: %d disagreement(s), first: %s"
+            (List.length fs)
+            (match fs with f :: _ -> f.Fuzz_oracle.f_detail | [] -> ""));
+  ]
+
 let suite =
   ( "prep",
-    build_once_tests @ [ QCheck_alcotest.to_alcotest prop_fused_identical ]
-  )
+    build_once_tests @ product_tests
+    @ [ QCheck_alcotest.to_alcotest prop_fused_identical ] )

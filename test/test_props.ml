@@ -142,10 +142,128 @@ let prop_callgraph_order_invariant =
       in
       edge_set shuffled = edge_set tus && reach shuffled = reach tus)
 
+(* ------------------------------------------------------------------ *)
+(* Symbol interning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A physically fresh copy of [s]: equal contents, distinct block, so
+   any accidental reliance on pointer identity in the interner or the
+   matcher shows up. *)
+let fresh s = String.init (String.length s) (String.get s)
+
+let prop_symtab_roundtrip =
+  QCheck.Test.make
+    ~name:"symtab: intern/name round-trip, id uniqueness, canon sharing"
+    ~count:200
+    QCheck.(pair string string)
+    (fun (s1, s2) ->
+      let id1 = Symtab.intern s1 in
+      let id2 = Symtab.intern s2 in
+      (* name is the exact spelling interned *)
+      String.equal (Symtab.name id1) s1
+      (* a fresh physical copy maps to the same id *)
+      && Symtab.intern (fresh s1) = id1
+      (* ids are equal exactly when spellings are *)
+      && String.equal s1 s2 = (id1 = id2)
+      (* canon returns one shared block regardless of which copy asks *)
+      && Symtab.canon s1 == Symtab.canon (fresh s1)
+      (* find sees what intern published *)
+      && Symtab.find s1 = Some id1)
+
+(* Interned matching must be observationally identical to the old
+   string-compare semantics: matching an event against a physically
+   fresh deep copy (every string re-allocated) yields the same verdict
+   and the same bindings.  The events come from fuzz-generated handler
+   code flattened by the same [Prep] pass the engine replays. *)
+let rec copy_expr (e : Ast.expr) : Ast.expr =
+  let edesc =
+    match e.Ast.edesc with
+    | Ast.Int_lit (v, sp) -> Ast.Int_lit (v, fresh sp)
+    | Ast.Float_lit (v, sp) -> Ast.Float_lit (v, fresh sp)
+    | Ast.Str_lit s -> Ast.Str_lit (fresh s)
+    | Ast.Char_lit c -> Ast.Char_lit c
+    | Ast.Ident s -> Ast.Ident (fresh s)
+    | Ast.Call (f, args) -> Ast.Call (copy_expr f, List.map copy_expr args)
+    | Ast.Unop (op, a) -> Ast.Unop (op, copy_expr a)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, copy_expr a, copy_expr b)
+    | Ast.Assign (a, b) -> Ast.Assign (copy_expr a, copy_expr b)
+    | Ast.Op_assign (op, a, b) -> Ast.Op_assign (op, copy_expr a, copy_expr b)
+    | Ast.Cond (a, b, c) -> Ast.Cond (copy_expr a, copy_expr b, copy_expr c)
+    | Ast.Cast (t, a) -> Ast.Cast (t, copy_expr a)
+    | Ast.Field (a, f) -> Ast.Field (copy_expr a, fresh f)
+    | Ast.Arrow (a, f) -> Ast.Arrow (copy_expr a, fresh f)
+    | Ast.Index (a, b) -> Ast.Index (copy_expr a, copy_expr b)
+    | Ast.Comma (a, b) -> Ast.Comma (copy_expr a, copy_expr b)
+    | Ast.Sizeof_expr a -> Ast.Sizeof_expr (copy_expr a)
+    | Ast.Sizeof_type t -> Ast.Sizeof_type t
+  in
+  { e with Ast.edesc }
+
+let match_patterns =
+  lazy
+    [
+      Pattern.expr "FREE_DB()";
+      Pattern.expr ~decls:[ ("addr", Pattern.Any) ] "WAIT_FOR_DB_FULL(addr)";
+      Pattern.expr ~decls:[ ("x", Pattern.Any); ("y", Pattern.Any) ] "x = y";
+      Pattern.call "SIM_HANDLER_HOOK" ~arity:0;
+    ]
+
+let same_binding b1 b2 =
+  let n1 = List.sort String.compare (Binding.names b1) in
+  let n2 = List.sort String.compare (Binding.names b2) in
+  n1 = n2
+  && List.for_all
+       (fun n ->
+         match (Binding.find b1 n, Binding.find b2 n) with
+         | Some e1, Some e2 ->
+           String.equal (Pp.expr_to_string e1) (Pp.expr_to_string e2)
+         | None, None -> true
+         | _ -> false)
+       n1
+
+let prop_interned_matching_string_semantics =
+  QCheck.Test.make
+    ~name:"interned matching = string-compare matching on fresh copies"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p = Fuzz_gen.generate ~seed () in
+      let funcs =
+        List.concat_map
+          (fun (tu : Ast.tunit) ->
+            List.filter_map
+              (function Ast.Gfunc f -> Some f | _ -> None)
+              tu.Ast.tu_globals)
+          p.Fuzz_gen.tus
+      in
+      List.for_all
+        (fun f ->
+          let prep = Prep.build f in
+          let events = Prep.events prep ~observe_branches:true in
+          Array.for_all
+            (fun evs ->
+              Array.for_all
+                (fun e ->
+                  let e' = copy_expr e in
+                  List.for_all
+                    (fun pat ->
+                      match
+                        (Pattern.match_expr pat e, Pattern.match_expr pat e')
+                      with
+                      | None, None -> true
+                      | Some b, Some b' -> same_binding b b'
+                      | _ -> false)
+                    (Lazy.force match_patterns))
+                evs)
+            events)
+        funcs)
+
 let suite =
   ( "props",
     [
       QCheck_alcotest.to_alcotest prop_matching_annotation_suppresses;
       QCheck_alcotest.to_alcotest prop_non_matching_annotation_never_hides;
       QCheck_alcotest.to_alcotest prop_callgraph_order_invariant;
+      QCheck_alcotest.to_alcotest prop_symtab_roundtrip;
+      QCheck_alcotest.to_alcotest prop_interned_matching_string_semantics;
     ] )

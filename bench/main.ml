@@ -1080,7 +1080,7 @@ let run_serve ~quick () =
   let addr = Serve.Serve_oracle.addr daemon in
   let with_client f =
     match Serve.Client.connect addr with
-    | Error msg -> failwith ("bench serve: " ^ msg)
+    | Error e -> failwith ("bench serve: " ^ Serve.Client.err_to_string e)
     | Ok c ->
       Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
   in
@@ -1088,7 +1088,8 @@ let run_serve ~quick () =
     match Serve.Client.check_files c plain_opts [ file ] with
     | Ok (Serve.Client.Checked _) -> ()
     | Ok (Serve.Client.Refused msg) -> failwith ("refused: " ^ msg)
-    | Error msg -> failwith ("transport: " ^ msg)
+    | Ok (Serve.Client.Overloaded _) -> failwith "overloaded"
+    | Error e -> failwith ("transport: " ^ Serve.Client.err_to_string e)
   in
   (* warm: first pass fills the daemon's content-hash cache *)
   with_client (fun c -> List.iter (check_one c) files);
@@ -1161,7 +1162,8 @@ let run_serve ~quick () =
           let file = List.nth files (i mod List.length files) in
           match Serve.Client.check_files c plain_opts [ file ] with
           | Ok (Serve.Client.Checked _) -> Atomic.incr completed
-          | Ok (Serve.Client.Refused _) -> Atomic.incr refused
+          | Ok (Serve.Client.Refused _) | Ok (Serve.Client.Overloaded _) ->
+            Atomic.incr refused
           | Error _ -> Atomic.incr lost)
   in
   let threads = List.init n_threads (fun i -> Thread.create worker i) in
@@ -1292,7 +1294,8 @@ let run_serve_obs ~quick () =
   in
   let with_client addr f =
     match Serve.Client.connect addr with
-    | Error msg -> failwith ("bench serve-obs: " ^ msg)
+    | Error e ->
+      failwith ("bench serve-obs: " ^ Serve.Client.err_to_string e)
     | Ok c ->
       Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
   in
@@ -1302,7 +1305,8 @@ let run_serve_obs ~quick () =
     match Serve.Client.check_files c plain_opts [ file ] with
     | Ok (Serve.Client.Checked _) -> ()
     | Ok (Serve.Client.Refused msg) -> failwith ("refused: " ^ msg)
-    | Error msg -> failwith ("transport: " ^ msg)
+    | Ok (Serve.Client.Overloaded _) -> failwith "overloaded"
+    | Error e -> failwith ("transport: " ^ Serve.Client.err_to_string e)
   in
   let addr_off = Serve.Serve_oracle.addr daemon_off in
   let addr_on = Serve.Serve_oracle.addr daemon_on in
@@ -1388,11 +1392,12 @@ let run_serve_obs ~quick () =
          with
         | Ok (Serve.Client.Checked _) -> ()
         | Ok (Serve.Client.Refused msg) -> failwith ("refused: " ^ msg)
-        | Error msg -> failwith ("transport: " ^ msg));
+        | Ok (Serve.Client.Overloaded _) -> failwith "overloaded"
+        | Error e -> failwith ("transport: " ^ Serve.Client.err_to_string e));
         let dump =
           match Serve.Client.flight c with
           | Ok d -> d
-          | Error msg -> failwith ("flight: " ^ msg)
+          | Error e -> failwith ("flight: " ^ Serve.Client.err_to_string e)
         in
         let tree_ok =
           match find_sub dump trace 0 with
@@ -1488,6 +1493,139 @@ let run_serve_obs ~quick () =
     Printf.eprintf
       "FAIL: telemetry overhead %.2f%% exceeds the %.0f%% gate\n"
       overhead_pct gate;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Part 2c: chaos campaign + supervised-dispatch overhead              *)
+(* ------------------------------------------------------------------ *)
+
+(* The service-tier robustness run: the full chaos campaign (worker
+   kills mid-request, OOM/stack/CPU bombs, worker death, slowloris,
+   garbage frames, cache-directory corruption under concurrent
+   writers, overload bursts) gated on zero failed injections, zero
+   daemon deaths, and zero lost in-flight requests at the drain
+   finale; then a paired A/B of the warm request path against an
+   in-process daemon and a supervised one — the supervision layer
+   must cost under 10% p50 on the warm path.  Lands in
+   BENCH_CHAOS.json. *)
+let run_chaos ~quick () =
+  print_endline
+    "================ service-tier chaos ================";
+  print_newline ();
+  Mcobs.set_verbosity Mcobs.Quiet;
+  let s = Chaos.campaign ~quick () in
+  Chaos.pp_summary Format.std_formatter s;
+  print_newline ();
+  (* paired A/B: the same warm corpus-file stream, request latencies
+     interleaved so host noise hits both sides equally *)
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mcheck-chaos-bench-%d" (Unix.getpid ()))
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  Corpus.write_to_dir (Lazy.force corpus) dir;
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".c")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  let daemon_in = Serve.Serve_oracle.start () in
+  let daemon_sup = Serve.Serve_oracle.start ~supervised:true () in
+  let connect addr =
+    match Serve.Client.connect addr with
+    | Error e -> failwith ("bench chaos: " ^ Serve.Client.err_to_string e)
+    | Ok c -> c
+  in
+  (* the measured request is batch-shaped — a client submits its file
+     set in one request, which is how the service is actually driven;
+     the fixed dispatch cost must disappear into the batch *)
+  let check_one c files =
+    match Serve.Client.check_files c plain_opts files with
+    | Ok (Serve.Client.Checked _) -> ()
+    | Ok (Serve.Client.Refused msg) -> failwith ("refused: " ^ msg)
+    | Ok (Serve.Client.Overloaded _) -> failwith "overloaded"
+    | Error e -> failwith ("transport: " ^ Serve.Client.err_to_string e)
+  in
+  let c_in = connect (Serve.Serve_oracle.addr daemon_in) in
+  let c_sup = connect (Serve.Serve_oracle.addr daemon_sup) in
+  let in_p50, sup_p50 =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Client.close c_in;
+        Serve.Client.close c_sup;
+        Serve.Serve_oracle.stop daemon_in;
+        Serve.Serve_oracle.stop daemon_sup;
+        rm_rf dir)
+      (fun () ->
+        (* warm both daemons (and the supervised workers\' own caches) *)
+        check_one c_in files;
+        check_one c_sup files;
+        check_one c_sup files;
+        Mctel.Metrics.reset_all ();
+        let n = if quick then 30 else 120 in
+        let lat_in = ref [] and lat_sup = ref [] in
+        for _ = 1 to n do
+          lat_in := snd (time_ms (fun () -> check_one c_in files)) :: !lat_in;
+          lat_sup := snd (time_ms (fun () -> check_one c_sup files)) :: !lat_sup
+        done;
+        (percentile !lat_in 50.0, percentile !lat_sup 50.0))
+  in
+  let ratio = sup_p50 /. in_p50 in
+  let ratio_gate = if quick then 1.5 else 1.10 in
+  let ratio_ok = ratio <= ratio_gate in
+  let count_floor = if quick then 0 else 300 in
+  let count_ok = s.Chaos.total >= count_floor in
+  Printf.printf
+    "  warm-path dispatch: in-process p50 %.3f ms, supervised p50 %.3f \
+     ms (%.2fx, gate %.2fx)\n"
+    in_p50 sup_p50 ratio ratio_gate;
+  Printf.printf "  campaign gates: %s (%d injection(s), floor %d)\n\n"
+    (if Chaos.gates_ok s then "ok" else "FAILED")
+    s.Chaos.total count_floor;
+  let oc = open_out "BENCH_CHAOS.json" in
+  write_host_header oc;
+  Printf.fprintf oc "  \"campaign\": %s,\n"
+    (String.trim (Chaos.summary_to_json s));
+  Printf.fprintf oc
+    "\
+    \  \"supervised_overhead\": {\n\
+    \    \"paired_requests\": %d,\n\
+    \    \"inproc_p50_ms\": %.3f,\n\
+    \    \"supervised_p50_ms\": %.3f,\n\
+    \    \"ratio\": %.3f,\n\
+    \    \"gate_ratio\": %.2f,\n\
+    \    \"gate_ok\": %b\n\
+    \  },\n"
+    (if quick then 30 else 120)
+    in_p50 sup_p50 ratio ratio_gate ratio_ok;
+  Printf.fprintf oc "  \"injection_floor\": %d,\n" count_floor;
+  Printf.fprintf oc "  \"gates_ok\": %b\n}\n"
+    (Chaos.gates_ok s && ratio_ok && count_ok);
+  close_out oc;
+  print_endline "  wrote BENCH_CHAOS.json";
+  if not (Chaos.gates_ok s) then begin
+    prerr_endline
+      "FAIL: chaos campaign (failed injections, daemon death, or lost \
+       in-flight)";
+    exit 1
+  end;
+  if not count_ok then begin
+    Printf.eprintf "FAIL: %d injection(s) under the %d floor\n"
+      s.Chaos.total count_floor;
+    exit 1
+  end;
+  if not ratio_ok then begin
+    Printf.eprintf
+      "FAIL: supervised dispatch %.2fx over in-process exceeds the %.2fx \
+       gate\n"
+      ratio ratio_gate;
     exit 1
   end
 
@@ -1601,6 +1739,7 @@ let run_bench () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Serve.Worker.exit_if_worker ();
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [] ->
@@ -1626,6 +1765,8 @@ let () =
   | [ "serve"; "--quick" ] -> run_serve ~quick:true ()
   | [ "serve-obs" ] -> run_serve_obs ~quick:false ()
   | [ "serve-obs"; "--quick" ] -> run_serve_obs ~quick:true ()
+  | [ "chaos" ] -> run_chaos ~quick:false ()
+  | [ "chaos"; "--quick" ] -> run_chaos ~quick:true ()
   | [ "bench" ] -> run_bench ()
   | [ arg ]
     when String.length arg = 6 && String.sub arg 0 5 = "table"
@@ -1636,5 +1777,5 @@ let () =
       "usage: main.exe [tables | table1..table7 | sim | sensitivity | \
        ablations | parallel | engine [--quick] | metalc [--quick] | obs | \
        robust [--quick] | fuzz | serve [--quick] | serve-obs [--quick] | \
-       bench]";
+       chaos [--quick] | bench]";
     exit 2

@@ -23,6 +23,11 @@
     drivers over the corpus + golden programs and over every generated
     program — the eighth oracle: all three must be byte-identical.
 
+    With [--supervised], every clean program also runs through a
+    daemon that dispatches into supervised worker processes — the
+    ninth oracle: the extra process hop, framing relay, and worker-side
+    session must not change a byte of output.
+
     Exit status 1 when any pipeline disagrees, any seeded-bug recall
     drops below the threshold, or a generated program crashes the
     pipeline; 0 otherwise.  Failures print the seed, so
@@ -30,7 +35,8 @@
 
 open Cmdliner
 
-let main seed count mutate out quiet threshold serve metalc product =
+let main seed count mutate out quiet threshold serve metalc product
+    supervised =
   let t0 = Unix.gettimeofday () in
   let log i =
     if (not quiet) && (i mod 100 = 0 || i = count) then
@@ -38,6 +44,10 @@ let main seed count mutate out quiet threshold serve metalc product =
         (Unix.gettimeofday () -. t0)
   in
   let daemon = if serve then Some (Serve.Serve_oracle.start ()) else None in
+  let sup_daemon =
+    if supervised then Some (Serve.Serve_oracle.start ~supervised:true ())
+    else None
+  in
   let mc =
     if not metalc then None
     else
@@ -73,15 +83,22 @@ let main seed count mutate out quiet threshold serve metalc product =
     let serve_fs =
       match daemon with Some d -> Serve.Serve_oracle.check d p | None -> []
     in
+    let sup_fs =
+      match sup_daemon with
+      | Some d -> Serve.Serve_oracle.check d p
+      | None -> []
+    in
     let metal_fs =
       match mc with Some t -> Fuzz_metalc.oracle t p | None -> []
     in
     let product_fs = if product then Fuzz_product.oracle p else [] in
-    serve_fs @ metal_fs @ product_fs
+    serve_fs @ sup_fs @ metal_fs @ product_fs
   in
   let { Fuzz_driver.score; failures } =
     Fun.protect
-      ~finally:(fun () -> Option.iter Serve.Serve_oracle.stop daemon)
+      ~finally:(fun () ->
+        Option.iter Serve.Serve_oracle.stop daemon;
+        Option.iter Serve.Serve_oracle.stop sup_daemon)
       (fun () ->
         Fuzz_driver.run ~log ~extra_oracle ~base_seed:seed ~count ~mutate ())
   in
@@ -163,12 +180,24 @@ let product_arg =
               require the three drivers' diagnostics to match \
               byte-for-byte.")
 
+let supervised_arg =
+  Arg.(
+    value & flag
+    & info [ "supervised" ]
+        ~doc:"Also run every clean program through a daemon that \
+              dispatches checks into supervised worker processes and \
+              require the wire output, findings, and exit code to match \
+              the local CLI path byte-for-byte.")
+
 let cmd =
   Cmd.v
     (Cmd.info "mcfuzz"
        ~doc:"differential fuzzing of the FLASH checking pipeline")
     Term.(
       const main $ seed_arg $ count_arg $ mutate_arg $ out_arg $ quiet_arg
-      $ threshold_arg $ serve_arg $ metalc_arg $ product_arg)
+      $ threshold_arg $ serve_arg $ metalc_arg $ product_arg
+      $ supervised_arg)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Serve.Worker.exit_if_worker ();
+  exit (Cmd.eval cmd)

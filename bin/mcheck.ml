@@ -180,7 +180,7 @@ let run_server addr_spec checker_names files ropts ~want_metrics =
     | Error msg -> fail_unusable msg
     | Ok addr -> (
       match Serve.Client.connect addr with
-      | Error msg -> fail_unusable msg
+      | Error e -> fail_unusable (Serve.Client.err_to_string e)
       | Ok c ->
         (* the client mints the trace id, so one request is
            attributable end-to-end: grep this id in the daemon's
@@ -205,13 +205,18 @@ let run_server addr_spec checker_names files ropts ~want_metrics =
           Printf.eprintf "trace: %s\n" trace;
           match Serve.Client.metrics c Serve.Proto.M_prom with
           | Ok text -> prerr_string text
-          | Error msg -> Printf.eprintf "mcheck: metrics: %s\n" msg
+          | Error e ->
+            Printf.eprintf "mcheck: metrics: %s\n"
+              (Serve.Client.err_to_string e)
         end;
         Serve.Client.close c;
         (match r with
-        | Error msg -> fail_unusable msg
+        | Error e -> fail_unusable (Serve.Client.err_to_string e)
         | Ok (Serve.Client.Refused msg) ->
           Printf.eprintf "mcheck: server refused: %s\n" msg;
+          Robust.exit_code Robust.Partial
+        | Ok (Serve.Client.Overloaded ms) ->
+          Printf.eprintf "mcheck: server overloaded; retry in %dms\n" ms;
           Robust.exit_code Robust.Partial
         | Ok (Serve.Client.Checked res) ->
           if
@@ -238,6 +243,7 @@ let main checker_names files table list_flag seed verbose metal_paths
       Mcheck_api.jobs;
       incremental;
       cache_file = (if incremental then Some cache_file else None);
+      cache_dir = None;
       budget;
       strict;
       checkers;
@@ -470,4 +476,6 @@ let cmd =
       $ trace_arg $ metrics_arg $ strict_arg $ unit_fuel_arg
       $ unit_deadline_arg $ server_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Serve.Worker.exit_if_worker ();
+  exit (Cmd.eval' cmd)

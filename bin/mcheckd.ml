@@ -13,7 +13,15 @@
     - [--metal FILE] — serve a metal-spec checker instead of the nine
       builtins (re-read on reload);
     - [--warm] — run the builtin corpus through the session before
-      accepting, so the first request is already incremental.
+      accepting, so the first request is already incremental;
+    - [--workers N] — dispatch checks into a pool of N supervised
+      worker processes (0, the default, keeps the in-process path):
+      a poisoned unit can kill a worker but never the daemon.
+      [--worker-mem MB] / [--worker-cpu S] set per-worker RLIMIT_AS /
+      RLIMIT_CPU, [--request-timeout MS] the per-request wall deadline,
+      [--cache-dir DIR] a shared multi-writer cache directory;
+    - [--max-inflight N] — admission bound: past N in-flight checks,
+      new ones are shed with a fast R_overloaded + Retry-After.
 
     Telemetry (serve mode): [--metrics-addr HOST:PORT] serves the live
     metrics registry over HTTP ([/metrics] Prometheus text,
@@ -51,7 +59,7 @@ let fail_usable msg =
 
 let run_control addr ctl ~human ~json =
   match Serve.Client.connect addr with
-  | Error msg -> fail_usable msg
+  | Error e -> fail_usable (Serve.Client.err_to_string e)
   | Ok c ->
     let r =
       match ctl with
@@ -73,11 +81,14 @@ let run_control addr ctl ~human ~json =
       print_string text;
       if text = "" || text.[String.length text - 1] <> '\n' then
         print_newline ()
-    | Error msg -> fail_usable msg);
+    | Error e -> fail_usable (Serve.Client.err_to_string e));
     0
 
 let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
-    unit_deadline idle_timeout telemetry =
+    unit_deadline idle_timeout telemetry supervise max_inflight =
+  (* a client that vanishes mid-reply must not kill the daemon: EPIPE
+     becomes a counted metric, not a signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let api =
     {
       Mcheck_api.default_config with
@@ -95,6 +106,8 @@ let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
       metal_paths = metal;
       idle_timeout;
       telemetry;
+      supervise;
+      max_inflight;
     }
   in
   match Serve.Server.create cfg with
@@ -136,7 +149,8 @@ let run_serve addr jobs cache_file metal warm_flag strict unit_fuel
 let main socket tcp ctl_drain ctl_reload ctl_stats ctl_ping ctl_metrics
     ctl_flight human json jobs cache metal warm_flag strict unit_fuel
     unit_deadline idle_timeout metrics_addr access_log log_sample
-    flight_capacity flight_threshold no_tracing quiet verbose =
+    flight_capacity flight_threshold no_tracing workers worker_mem
+    worker_cpu request_timeout max_inflight cache_dir quiet verbose =
   Mcobs.set_verbosity
     (if quiet then Mcobs.Quiet
      else if verbose then Mcobs.Verbose
@@ -187,8 +201,21 @@ let main socket tcp ctl_drain ctl_reload ctl_stats ctl_ping ctl_metrics
             | Error msg -> fail_usable ("--metrics-addr: " ^ msg)));
       }
     in
+    let supervise =
+      if workers <= 0 then None
+      else
+        Some
+          {
+            Serve.Server.sv_workers = workers;
+            sv_mem_mb = worker_mem;
+            sv_cpu_s = worker_cpu;
+            sv_wall_ms = request_timeout;
+            sv_cache_dir = cache_dir;
+            sv_allow_chaos = false;
+          }
+    in
     run_serve addr jobs cache metal warm_flag strict unit_fuel unit_deadline
-      idle_timeout telemetry
+      idle_timeout telemetry supervise max_inflight
   | ctl -> run_control addr ctl ~human ~json
 
 let socket_arg =
@@ -359,6 +386,58 @@ let no_tracing_arg =
           "Do not record request spans (disables the flight recorder's \
            span trees; metrics and the access log stay live).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Dispatch each check into a pool of $(docv) supervised worker \
+           processes (plus one hot spare).  A worker that dies, blows \
+           its memory/CPU limit, or misses the request deadline is \
+           killed and respawned; the request is retried once on a \
+           fresh worker before the client sees an error.  0 (the \
+           default) keeps the historical in-process path.")
+
+let worker_mem_arg =
+  Arg.(
+    value & opt (some int) (Some 1024)
+    & info [ "worker-mem" ] ~docv:"MB"
+        ~doc:"Per-worker address-space limit (RLIMIT_AS), in MiB.")
+
+let worker_cpu_arg =
+  Arg.(
+    value & opt (some int) (Some 30)
+    & info [ "worker-cpu" ] ~docv:"S"
+        ~doc:"Per-worker CPU-time limit (RLIMIT_CPU), in seconds.")
+
+let request_timeout_arg =
+  Arg.(
+    value & opt (some float) (Some 30000.)
+    & info [ "request-timeout" ] ~docv:"MS"
+        ~doc:
+          "Per-request wall deadline in supervised mode: a worker that \
+           has not answered within $(docv) milliseconds is killed and \
+           the request retried once.")
+
+let max_inflight_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admission bound: past $(docv) in-flight checks, new ones \
+           are shed immediately with R_overloaded and a Retry-After \
+           hint instead of queueing without bound.")
+
+let cache_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Shared result-cache directory for supervised workers: each \
+           worker publishes content-addressed segments atomically and \
+           loads the others' at startup (safe under concurrent \
+           writers).")
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No status output.")
 
@@ -375,6 +454,12 @@ let cmd =
       $ jobs_arg $ cache_arg $ metal_arg $ warm_arg $ strict_arg
       $ unit_fuel_arg $ unit_deadline_arg $ idle_arg $ metrics_addr_arg
       $ access_log_arg $ log_sample_arg $ flight_capacity_arg
-      $ flight_threshold_arg $ no_tracing_arg $ quiet_arg $ verbose_arg)
+      $ flight_threshold_arg $ no_tracing_arg $ workers_arg $ worker_mem_arg
+      $ worker_cpu_arg $ request_timeout_arg $ max_inflight_arg
+      $ cache_dir_arg $ quiet_arg $ verbose_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* re-exec'd as a supervised worker?  never parse argv — serve the
+     socketpair on stdin and exit *)
+  Serve.Worker.exit_if_worker ();
+  exit (Cmd.eval' cmd)

@@ -7,6 +7,7 @@ type config = {
   jobs : int;
   incremental : bool;
   cache_file : string option;
+  cache_dir : string option;
   budget : Engine.budget;
   strict : bool;
   checkers : string list;
@@ -18,6 +19,7 @@ let default_config =
     jobs = 1;
     incremental = false;
     cache_file = None;
+    cache_dir = None;
     budget = Engine.no_budget;
     strict = false;
     checkers = [];
@@ -203,11 +205,19 @@ module Session = struct
 
   let create ?(config = default_config) () =
     let cache =
-      if config.incremental then
-        Some
-          (match config.cache_file with
+      if config.incremental then begin
+        let c =
+          match config.cache_file with
           | Some f -> Mcd_cache.load f
-          | None -> Mcd_cache.create ())
+          | None -> Mcd_cache.create ()
+        in
+        (* warm up from the shared multi-writer directory: segments
+           other worker processes published merge in on top *)
+        (match config.cache_dir with
+        | Some dir -> Mcd_cache.merge ~into:c (Mcd_cache.load_dir dir)
+        | None -> ());
+        Some c
+      end
       else None
     in
     {
@@ -561,9 +571,23 @@ module Session = struct
       s.requests s.files_checked s.diags_emitted s.findings s.units_run
       s.cache_hits s.cache_entries s.check_wall_ms s.uptime_s
 
+  (* share this session's warm results with concurrent writers; safe
+     to call any time — failures are counted, never raised (a worker
+     must not die because the cache directory got hostile) *)
+  let publish_cache t =
+    match (t.cache, t.cfg.cache_dir) with
+    | Some cache, Some dir -> (
+      match Mcd_cache.publish_dir cache dir with
+      | Ok _ -> ()
+      | Error msg ->
+        Mcobs.count "mcd.cache.publish.failed";
+        Mcobs.logf Mcobs.Verbose "cache publish: %s\n" msg)
+    | _ -> ()
+
   let close t =
     if not t.closed then begin
       t.closed <- true;
+      publish_cache t;
       match (t.cache, t.cfg.cache_file) with
       | Some cache, Some path -> Mcd_cache.save cache path
       | _ -> ()

@@ -27,6 +27,11 @@ type config = {
           (sound — the pipeline is deterministic in its inputs) *)
   cache_file : string option;
       (** load the cache here at [create], persist it at [close] *)
+  cache_dir : string option;
+      (** multi-writer shared cache directory: merge every valid
+          segment at [create], publish this session's entries with
+          {!Session.publish_cache} (and at [close]) — the discipline
+          that lets concurrent worker processes share warm results *)
   budget : Engine.budget;  (** per-unit fuel / deadline under Mcd *)
   strict : bool;
       (** fail fast on unreadable or unparseable input instead of
@@ -135,8 +140,14 @@ module Session : sig
   val stats : t -> stats
   val pp_stats : Format.formatter -> stats -> unit
 
+  val publish_cache : t -> unit
+  (** publish the warm cache as a content-addressed segment in
+      [config.cache_dir] (no-op otherwise); lock-free, atomic, and
+      failure-tolerant — errors are counted, never raised *)
+
   val close : t -> unit
-  (** persist the cache when [cache_file] is set; idempotent *)
+  (** publish to [cache_dir] and persist to [cache_file] when set;
+      idempotent *)
 end
 
 (* ------------------------------------------------------------------ *)

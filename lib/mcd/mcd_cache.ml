@@ -144,3 +144,124 @@ let load path =
           { mutex = Mutex.create (); table }
         | _ -> cold "stale"
         | exception _ -> cold "corrupt"))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-writer cache directories                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Concurrent worker processes share warm results through a directory
+   of content-addressed segments: [seg-<md5(payload)>.mc], each a
+   complete footer-validated container.  Content addressing makes
+   publish races benign — two writers with the same entries race to
+   the same name and the loser simply skips — and the claim-file dance
+   (O_CREAT|O_EXCL, lock-free) keeps even *different* writers of the
+   same segment from doing duplicate work.  Publication itself is the
+   classic temp-in-dir + rename, so readers never observe a torn
+   segment; corrupt or partial segments (crashed writers, chaos
+   injection) are classified and skipped at load exactly like the
+   single-file path. *)
+
+let merge ~into src =
+  locked src (fun () ->
+      locked into (fun () ->
+          Hashtbl.iter
+            (fun k v ->
+              if not (Hashtbl.mem into.table k) then Hashtbl.add into.table k v)
+            src.table))
+
+let segment_path dir hex = Filename.concat dir (Printf.sprintf "seg-%s.mc" hex)
+
+let publish_dir c dir =
+  let payload =
+    locked c (fun () -> Marshal.to_string (format_tag, c.table) [])
+  in
+  let hex = Digest.to_hex (Digest.string payload) in
+  let seg = segment_path dir hex in
+  if Sys.file_exists seg then begin
+    (* someone already published identical content *)
+    Mcobs.count "mcd.cache.publish.dup";
+    Ok seg
+  end
+  else begin
+    let claim = seg ^ ".claim" in
+    match
+      Unix.openfile claim [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644
+    with
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      (* another writer is publishing this very content right now —
+         its rename will land the same bytes, so ours is redundant *)
+      Mcobs.count "mcd.cache.publish.contended";
+      Ok seg
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cache claim %s: %s" claim (Unix.error_message e))
+    | claim_fd -> (
+      (try Unix.close claim_fd with _ -> ());
+      let release () = try Sys.remove claim with Sys_error _ -> () in
+      match
+        let footer = Buffer.create footer_len in
+        Buffer.add_string footer footer_magic;
+        Buffer.add_int64_le footer (Int64.of_int (String.length payload));
+        Buffer.add_string footer (Digest.string payload);
+        let tmp = Filename.temp_file ~temp_dir:dir "seg" ".tmp" in
+        (try
+           let oc = open_out_bin tmp in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               output_string oc payload;
+               Buffer.output_buffer oc footer);
+           Sys.rename tmp seg
+         with exn ->
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise exn)
+      with
+      | () ->
+        release ();
+        Mcobs.count "mcd.cache.publish.ok";
+        Ok seg
+      | exception exn ->
+        release ();
+        Error (Printexc.to_string exn))
+  end
+
+let is_segment name =
+  String.length name > 7
+  && String.sub name 0 4 = "seg-"
+  && Filename.check_suffix name ".mc"
+
+let load_dir dir =
+  let acc = create () in
+  let cold reason = Mcobs.count ("mcd.cache.dir." ^ reason) in
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> cold "missing"
+  | names ->
+    Array.sort String.compare names;
+    Array.iter
+      (fun name ->
+        if is_segment name then begin
+          let path = Filename.concat dir name in
+          match
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | exception _ -> cold "error"
+          | data -> (
+            match classify_container data with
+            | Error Partial -> cold "partial"
+            | Error Corrupt -> cold "corrupt"
+            | Ok payload -> (
+              match
+                (Marshal.from_string payload 0
+                  : string * (string, Diag.t list array) Hashtbl.t)
+              with
+              | tag, table when String.equal tag format_tag ->
+                cold "ok";
+                merge ~into:acc { mutex = Mutex.create (); table }
+              | _ -> cold "stale"
+              | exception _ -> cold "corrupt"))
+        end)
+      names);
+  acc

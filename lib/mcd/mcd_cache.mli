@@ -29,3 +29,27 @@ val load : string -> t
     cache — the footer is validated before any unmarshalling runs, and
     the failure class is recorded as an [mcd.cache.load.*] counter
     ([ok] / [missing] / [partial] / [corrupt] / [stale] / [error]) *)
+
+(** {2 Multi-writer cache directories}
+
+    Concurrent worker processes share warm results through a directory
+    of content-addressed segments ([seg-<md5>.mc]), each a complete
+    footer-validated container.  Writers never take a lock: identical
+    content races to the same name (the loser skips), a lock-free claim
+    file ([O_CREAT|O_EXCL]) suppresses duplicate publication work, and
+    the segment itself lands by temp-file + [rename], so readers never
+    observe a torn write.  Corrupt, partial, or stale segments are
+    classified and skipped at load ([mcd.cache.dir.*] counters). *)
+
+val merge : into:t -> t -> unit
+(** fold [src]'s entries into [into]; existing keys win (results are
+    content-addressed, so a duplicate key carries identical value) *)
+
+val publish_dir : t -> string -> (string, string) result
+(** atomically publish this cache's entries as one segment in [dir];
+    returns the segment path (which may already have existed — identical
+    content is deduplicated, a concurrent identical publish is skipped) *)
+
+val load_dir : string -> t
+(** merge every valid segment in [dir] into a fresh cache; a missing
+    directory or invalid segment is cold data, never an error *)

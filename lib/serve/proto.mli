@@ -93,6 +93,11 @@ type response =
       (** the per-request fault barrier: the request failed inside the
           daemon, the daemon survives, the client applies exit-code-2
           (partial) semantics *)
+  | R_overloaded of { ro_retry_after_ms : int }
+      (** admission control shed the request before any work (or any
+          output) happened; retry after the hinted delay — never sent
+          after an [R_diag], so a client that sees it knows nothing
+          partial was written *)
 
 val equal_request : request -> request -> bool
 val equal_response : response -> response -> bool
@@ -122,6 +127,15 @@ val read_frame : Unix.file_descr -> (string, string) result
 (** read exactly one frame; [Error _] on EOF, bad magic/version, a
     length over {!max_payload}, or truncation.  Blocks only as long as
     the descriptor does (honours [SO_RCVTIMEO]). *)
+
+val split_frame :
+  Bytes.t -> int -> int -> [ `Frame of string * int | `Need | `Bad of string ]
+(** [split_frame buf off len] parses one frame from the byte window
+    [buf.\[off .. off+len)]: [`Frame (payload, consumed)] on success,
+    [`Need] when the window holds only a frame prefix, [`Bad _] on the
+    same malformations {!read_frame} rejects.  The incremental face of
+    the codec — a reader can drain a burst of frames from one bulk
+    [read] instead of paying two syscalls per frame. *)
 
 (* ------------------------------------------------------------------ *)
 (* Addresses                                                           *)

@@ -8,6 +8,7 @@ type t = {
   srv : Server.t;
   thread : Thread.t;
   o_addr : Proto.addr;
+  o_name : string;
   local : Mcheck_api.Session.t;
 }
 
@@ -23,11 +24,16 @@ let fresh_addr () =
 let start
     ?(config =
       { Mcheck_api.default_config with jobs = 2; incremental = true })
-    ?(telemetry = Server.default_telemetry) () =
+    ?(telemetry = Server.default_telemetry) ?(supervised = false) () =
   let o_addr = fresh_addr () in
   let cfg =
     { Server.default_config with Server.addr = o_addr; api = config;
       telemetry }
+  in
+  let cfg =
+    if supervised then
+      { cfg with Server.supervise = Some Server.default_supervise }
+    else cfg
   in
   match Server.create cfg with
   | Error msg -> failwith ("serve_oracle: " ^ msg)
@@ -54,6 +60,7 @@ let start
       srv;
       thread;
       o_addr;
+      o_name = (if supervised then "serve-sup" else "serve");
       local = Mcheck_api.Session.create ~config:Mcheck_api.default_config ();
     }
 
@@ -82,10 +89,12 @@ let plain_opts =
     co_trace = "";
   }
 
-let fail (p : Fuzz_gen.program) detail =
-  { Fuzz_oracle.f_seed = p.Fuzz_gen.seed; f_oracle = "serve"; f_detail = detail }
+let fail t (p : Fuzz_gen.program) detail =
+  { Fuzz_oracle.f_seed = p.Fuzz_gen.seed; f_oracle = t.o_name;
+    f_detail = detail }
 
 let check t (p : Fuzz_gen.program) =
+  let fail = fail t in
   let name = "fz.c" in
   (* the prelude-free body: both sides' check_buffer prepend the
      prelude themselves, exactly like a file read *)
@@ -99,13 +108,15 @@ let check t (p : Fuzz_gen.program) =
   in
   let local_exit = Robust.exit_code local.Mcheck_api.r_outcome in
   match Client.connect t.o_addr with
-  | Error msg -> [ fail p ("connect: " ^ msg) ]
+  | Error e -> [ fail p ("connect: " ^ Client.err_to_string e) ]
   | Ok c -> (
     let r = Client.check_buffer c plain_opts ~name ~contents in
     Client.close c;
     match r with
-    | Error msg -> [ fail p ("transport: " ^ msg) ]
+    | Error e -> [ fail p ("transport: " ^ Client.err_to_string e) ]
     | Ok (Client.Refused msg) -> [ fail p ("refused: " ^ msg) ]
+    | Ok (Client.Overloaded ms) ->
+      [ fail p (Printf.sprintf "overloaded (retry after %dms)" ms) ]
     | Ok (Client.Checked res) ->
       let remote_text =
         String.concat ""

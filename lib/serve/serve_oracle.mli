@@ -12,12 +12,20 @@ type t
 (** a running in-process daemon plus its local mirror session *)
 
 val start :
-  ?config:Mcheck_api.config -> ?telemetry:Server.telemetry -> unit -> t
+  ?config:Mcheck_api.config ->
+  ?telemetry:Server.telemetry ->
+  ?supervised:bool ->
+  unit ->
+  t
 (** spawn the daemon on a fresh temp unix socket and wait until it
     answers pings.  [config] is the daemon's (default: 2 domains,
     incremental — the warm path worth differencing); [telemetry]
     defaults to {!Server.default_telemetry} (tracing on), so the
     differential exercises the fully instrumented path.
+    [supervised] (default false) routes every check through a
+    {!Mcsup} worker-process pool instead — the ninth oracle: the
+    supervised wire path must still be byte-identical to the CLI.
+    Failures are tagged ["serve-sup"] instead of ["serve"].
     @raise Failure if the daemon cannot start *)
 
 val server : t -> Server.t

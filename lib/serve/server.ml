@@ -30,12 +30,33 @@ let default_telemetry =
     tel_metrics_addr = None;
   }
 
+type supervise = {
+  sv_workers : int;
+  sv_mem_mb : int option;
+  sv_cpu_s : int option;
+  sv_wall_ms : float option;
+  sv_cache_dir : string option;
+  sv_allow_chaos : bool;
+}
+
+let default_supervise =
+  {
+    sv_workers = 2;
+    sv_mem_mb = Some 1024;
+    sv_cpu_s = Some 30;
+    sv_wall_ms = Some 30_000.;
+    sv_cache_dir = None;
+    sv_allow_chaos = false;
+  }
+
 type config = {
   addr : Proto.addr;
   api : Mcheck_api.config;
   metal_paths : string list;
   idle_timeout : float;
   telemetry : telemetry;
+  supervise : supervise option;
+  max_inflight : int;
 }
 
 let default_config =
@@ -45,6 +66,8 @@ let default_config =
     metal_paths = [];
     idle_timeout = 10.0;
     telemetry = default_telemetry;
+    supervise = None;
+    max_inflight = 64;
   }
 
 type t = {
@@ -57,6 +80,7 @@ type t = {
   cond : Condition.t;  (* signalled when conns/inflight drop *)
   session_mu : Mutex.t;  (* serializes session use (checks, reload) *)
   mutable session : Mcheck_api.Session.t;
+  sup : Mcsup.t option;  (* the worker pool, in supervised mode *)
   mutable is_draining : bool;
   mutable conns : int;
   mutable requests : int;
@@ -115,6 +139,15 @@ let m_req_ms =
   Mctel.Metrics.hist ~help:"request wall time (all request kinds), ms"
     "mcheckd_request_ms"
 
+let m_shed =
+  Mctel.Metrics.counter ~help:"requests shed by admission control"
+    "mcheckd_shed_total"
+
+let m_client_aborts =
+  Mctel.Metrics.counter
+    ~help:"response writes that found the client gone (EPIPE/ECONNRESET)"
+    "mcheckd_client_aborts_total"
+
 (* ------------------------------------------------------------------ *)
 (* Session construction                                                *)
 (* ------------------------------------------------------------------ *)
@@ -126,10 +159,13 @@ let build_session cfg =
     let api = { cfg.api with Mcheck_api.metal } in
     Ok (Mcheck_api.Session.create ~config:api ())
 
+(* listeners are close-on-exec: spawned workers must not inherit them
+   (an inherited listener keeps the port bound past the daemon's own
+   death) *)
 let sock_of = function
   | Proto.Unix_sock path ->
     if Sys.file_exists path then (try Unix.unlink path with _ -> ());
-    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let s = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind s (Unix.ADDR_UNIX path);
     s
   | Proto.Tcp (host, port) ->
@@ -137,10 +173,39 @@ let sock_of = function
       try (Unix.gethostbyname host).Unix.h_addr_list.(0)
       with Not_found -> Unix.inet_addr_of_string host
     in
-    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let s = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt s Unix.SO_REUSEADDR true;
     Unix.bind s (Unix.ADDR_INET (ip, port));
     s
+
+(* what each fresh worker process needs to rebuild the server's session
+   on its side of the exec: paths and scalars only, no closures *)
+let wconfig_of cfg sv =
+  {
+    Worker.wc_jobs = cfg.api.Mcheck_api.jobs;
+    wc_incremental = cfg.api.Mcheck_api.incremental;
+    wc_strict = cfg.api.Mcheck_api.strict;
+    wc_fuel = cfg.api.Mcheck_api.budget.Engine.fuel;
+    wc_deadline_ms = cfg.api.Mcheck_api.budget.Engine.deadline_ms;
+    wc_checkers = cfg.api.Mcheck_api.checkers;
+    wc_metal_paths = cfg.metal_paths;
+    wc_cache_dir = sv.sv_cache_dir;
+    wc_mem_mb = sv.sv_mem_mb;
+    wc_cpu_s = sv.sv_cpu_s;
+    wc_allow_chaos = sv.sv_allow_chaos;
+  }
+
+let build_pool cfg =
+  match cfg.supervise with
+  | None -> Ok None
+  | Some sv -> (
+    let pool_cfg =
+      Worker.pool_config ~size:sv.sv_workers ~wall_ms:sv.sv_wall_ms
+        (wconfig_of cfg sv)
+    in
+    match Mcsup.create pool_cfg with
+    | Ok pool -> Ok (Some pool)
+    | Error msg -> Error ("cannot start worker pool: " ^ msg))
 
 let create cfg =
   match build_session cfg with
@@ -175,6 +240,15 @@ let create cfg =
         Mcheck_api.Session.close session;
         Error msg
       | Ok msock ->
+      match build_pool cfg with
+      | Error msg ->
+        (try Unix.close lsock with _ -> ());
+        (match msock with
+        | Some s -> ( try Unix.close s with _ -> ())
+        | None -> ());
+        Mcheck_api.Session.close session;
+        Error msg
+      | Ok sup ->
         (* spans are the raw material for the flight recorder; turn
            recording on when the telemetry wants them (never off — a
            test harness may have enabled tracing for its own ends) *)
@@ -184,6 +258,7 @@ let create cfg =
             cfg;
             lsock;
             msock;
+            sup;
             access =
               Mctel.Accesslog.create ~sample:cfg.telemetry.tel_sample
                 ~path:cfg.telemetry.tel_access_log ();
@@ -215,6 +290,7 @@ let initiate_drain t =
 
 let draining t = locked t.mu (fun () -> t.is_draining)
 let inflight t = locked t.mu (fun () -> t.inflight_n)
+let supervisor t = t.sup
 let access_log t = t.access
 let flight_recorder t = t.flight
 let reopen_access_log t = Mctel.Accesslog.reopen t.access
@@ -264,17 +340,35 @@ let warm t =
 
 let send fd resp = Proto.write_frame fd (Proto.encode_response resp)
 
+(* the Retry-After hint for shed requests: roughly how long the
+   backlog ahead of the client will take, from the live p50 — clamped
+   so a cold histogram still produces a sane hint *)
+let retry_after_ms t inflight =
+  let p50 =
+    Option.value ~default:50.
+      (Mcobs.quantile_hist (Mctel.Metrics.hist_snapshot m_req_ms) 0.5)
+  in
+  let lanes =
+    match t.sup with Some pool -> max 1 (Mcsup.size pool) | None -> 1
+  in
+  let ms = p50 *. float_of_int inflight /. float_of_int lanes in
+  max 25 (min 5000 (int_of_float ms))
+
 (* admission: a check admitted before the drain flag flips always runs
-   to completion — the drain-under-load zero-loss guarantee *)
+   to completion — the drain-under-load zero-loss guarantee.  Beyond
+   [max_inflight] the request is shed with a Retry-After hint instead
+   of queueing without bound (fail fast beats slow-everything). *)
 let admit t =
   locked t.mu (fun () ->
-      if t.is_draining then false
+      if t.is_draining then `Draining
+      else if t.inflight_n >= t.cfg.max_inflight then
+        `Shed (retry_after_ms t t.inflight_n)
       else begin
         t.inflight_n <- t.inflight_n + 1;
         t.requests <- t.requests + 1;
         Mctel.Metrics.inc m_requests;
         Mctel.Metrics.set m_inflight t.inflight_n;
-        true
+        `Admitted
       end)
 
 let finish_inflight t =
@@ -299,7 +393,15 @@ let request_trace (opts : Proto.check_opts) =
 
 let req_seq = Atomic.make 0
 
-let run_check t fd ~peer ~kind ~bytes_in (opts : Proto.check_opts) work =
+(* al_outcome for a supervised check, recovered from the worker's own
+   R_done exit code (the report object never crosses the process line) *)
+let outcome_of_exit = function
+  | 0 -> "clean"
+  | 1 -> "findings"
+  | 2 -> "partial"
+  | _ -> "unusable"
+
+let run_check t fd ~peer ~kind ~bytes_in ~req (opts : Proto.check_opts) work =
   let begin_us = Mcobs.now_us () in
   let t0 = Unix.gettimeofday () in
   let trace = request_trace opts in
@@ -348,20 +450,76 @@ let run_check t fd ~peer ~kind ~bytes_in (opts : Proto.check_opts) work =
       if kept > 0 then Mctel.Metrics.inc ~by:kept m_flight_notable
     end
   in
-  if not (admit t) then begin
+  (* the supervised path: ship the encoded request to a pooled worker
+     process and forward its response frames verbatim — byte-identical
+     to what the worker (sharing the in-process rendering code) wrote,
+     while this address space never touches request data.  On worker
+     failure (already retried once inside the pool) degrade to a
+     structured R_error. *)
+  let run_supervised pool =
+    match Mcsup.dispatch pool (Proto.encode_request req) with
+    | Ok frames ->
+      Mcobs.count "serve.check.ok";
+      (* one coalesced write: the whole frame list is already in hand
+         (nothing was streamed during dispatch), so forwarding it frame
+         by frame would only pay a syscall per diagnostic *)
+      let buf = Buffer.create 65536 in
+      List.iter
+        (fun payload ->
+          bytes_out := !bytes_out + Proto.header_len + String.length payload;
+          Buffer.add_string buf (Proto.frame payload))
+        frames;
+      let b = Buffer.to_bytes buf in
+      let n = Bytes.length b in
+      let rec wall off =
+        if off < n then wall (off + Unix.write fd b off (n - off))
+      in
+      wall 0;
+      let last = List.nth frames (List.length frames - 1) in
+      (match Proto.decode_response last with
+      | Ok (Proto.R_done { rd_exit; rd_findings; rd_diags }) ->
+        outcome := outcome_of_exit rd_exit;
+        findings := rd_findings;
+        diags_n := rd_diags
+      | Ok (Proto.R_error _) ->
+        locked t.mu (fun () -> t.errors <- t.errors + 1);
+        Mcobs.count "serve.check.fault";
+        Mctel.Metrics.inc m_faults;
+        outcome := "fault"
+      | _ -> outcome := "ok")
+    | Error f ->
+      locked t.mu (fun () -> t.errors <- t.errors + 1);
+      Mcobs.count "serve.check.fault";
+      Mctel.Metrics.inc m_faults;
+      outcome := "fault";
+      send_counted
+        (Proto.R_error ("worker failed: " ^ Mcsup.describe_failure f))
+  in
+  match admit t with
+  | `Draining ->
     locked t.mu (fun () -> t.refused <- t.refused + 1);
     Mctel.Metrics.inc m_refused;
     outcome := "refused";
     Fun.protect ~finally:finish_log (fun () ->
         send_counted (Proto.R_error "draining: request refused"))
-  end
-  else begin
+  | `Shed ms ->
+    locked t.mu (fun () -> t.refused <- t.refused + 1);
+    Mctel.Metrics.inc m_shed;
+    outcome := "overloaded";
+    Fun.protect ~finally:finish_log (fun () ->
+        send_counted (Proto.R_overloaded { ro_retry_after_ms = ms }))
+  | `Admitted ->
     Mctel.Metrics.add m_queue 1;
     Fun.protect
       ~finally:(fun () ->
         finish_inflight t;
         finish_log ())
       (fun () ->
+        match t.sup with
+        | Some pool ->
+          Mctel.Metrics.add m_queue (-1);
+          Mcobs.with_span "serve.check" (fun () -> run_supervised pool)
+        | None ->
         match
           Mcobs.with_span "serve.check" (fun () ->
               locked t.session_mu (fun () ->
@@ -440,7 +598,6 @@ let run_check t fd ~peer ~kind ~bytes_in (opts : Proto.check_opts) work =
           Mctel.Metrics.inc m_faults;
           outcome := "fault";
           send_counted (Proto.R_error (Engine.describe_fault exn)))
-  end
 
 (* control requests get the same accounting as checks — a trace id,
    the latency histogram, and an access-log line — without the
@@ -475,7 +632,8 @@ let answer t fd ~peer ~kind ~bytes_in resp =
 
 (* the per-request strictness knob is reserved on the wire; the daemon
    applies its configured parse mode (see Proto.check_opts docs) *)
-let handle_request t fd ~peer ~bytes_in = function
+let handle_request t fd ~peer ~bytes_in req =
+  match req with
   | Proto.Ping -> answer t fd ~peer ~kind:"ping" ~bytes_in Proto.R_ok
   | Proto.Stats Proto.S_text ->
     answer t fd ~peer ~kind:"stats" ~bytes_in (Proto.R_text (stats_text t))
@@ -507,16 +665,22 @@ let handle_request t fd ~peer ~bytes_in = function
           let old = t.session in
           t.session <- fresh;
           Mcheck_api.Session.close old);
+      (* supervised mode: roll every worker too — each retiring worker
+         publishes its warm cache on EOF, each fresh one reloads specs
+         from disk *)
+      Option.iter Mcsup.retire_all t.sup;
       answer t fd ~peer ~kind:"reload" ~bytes_in Proto.R_ok)
   | Proto.Check_files (opts, paths) ->
     (* the request's -c selection overrides the session's, per call, so
        findings counts and exit codes match a local run with the same
        flags *)
-    run_check t fd ~peer ~kind:"check_files" ~bytes_in opts (fun session ->
+    run_check t fd ~peer ~kind:"check_files" ~bytes_in ~req opts
+      (fun session ->
         Mcheck_api.Session.check_files ~checkers:opts.Proto.co_checkers
           session paths)
   | Proto.Check_buffer (opts, name, contents) ->
-    run_check t fd ~peer ~kind:"check_buffer" ~bytes_in opts (fun session ->
+    run_check t fd ~peer ~kind:"check_buffer" ~bytes_in ~req opts
+      (fun session ->
         Mcheck_api.Session.check_buffer ~checkers:opts.Proto.co_checkers
           session ~name ~contents)
 
@@ -561,6 +725,11 @@ let handle_conn t fd =
         Mcobs.count "serve.request";
         match handle_request t fd ~peer ~bytes_in req with
         | () -> loop ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+          ->
+          (* the client hung up mid-reply: a per-connection event worth
+             counting, never a fault-barrier trip *)
+          Mctel.Metrics.inc m_client_aborts
         | exception Unix.Unix_error _ ->
           (* client went away mid-reply *)
           ()))
@@ -592,9 +761,18 @@ let contains_sub s sub =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
-(* the smallest useful scrape endpoint: HTTP/1.0, two routes, close
-   after each response — enough for Prometheus, curl, and the CI
-   smoke *)
+(* liveness vs readiness: /healthz answers 200 while the process can
+   answer at all (an orchestrator restarts on failure); /readyz goes
+   503 once draining or when the worker pool has no live workers (a
+   balancer stops routing, the process keeps finishing in-flight
+   work) *)
+let ready t =
+  (not (draining t))
+  && match t.sup with None -> true | Some pool -> Mcsup.alive pool >= 1
+
+(* the smallest useful scrape endpoint: HTTP/1.0, four routes, close
+   after each response — enough for Prometheus, curl, an orchestrator
+   probe, and the CI smoke *)
 let serve_metrics_http t sock =
   let handle fd =
     Fun.protect
@@ -605,25 +783,28 @@ let serve_metrics_http t sock =
           let buf = Bytes.create 2048 in
           let n = try Unix.read fd buf 0 2048 with _ -> 0 in
           let req = Bytes.sub_string buf 0 n in
-          let want_json =
-            (* the request line: GET /metrics.json HTTP/1.x *)
+          let line =
             match String.index_opt req '\r' with
-            | Some i -> contains_sub (String.sub req 0 i) ".json"
-            | None -> false
+            | Some i -> String.sub req 0 i
+            | None -> req
           in
-          let body =
-            if want_json then Mctel.Metrics.to_json ()
-            else Mctel.Metrics.to_prometheus ()
-          in
-          let ctype =
-            if want_json then "application/json"
-            else "text/plain; version=0.0.4"
+          let status, ctype, body =
+            if contains_sub line "/healthz" then ("200 OK", "text/plain", "ok\n")
+            else if contains_sub line "/readyz" then
+              if ready t then ("200 OK", "text/plain", "ready\n")
+              else ("503 Service Unavailable", "text/plain", "not ready\n")
+            else if contains_sub line ".json" then
+              ("200 OK", "application/json", Mctel.Metrics.to_json ())
+            else
+              ( "200 OK",
+                "text/plain; version=0.0.4",
+                Mctel.Metrics.to_prometheus () )
           in
           let resp =
             Printf.sprintf
-              "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: \
+              "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: \
                %d\r\nConnection: close\r\n\r\n%s"
-              ctype (String.length body) body
+              status ctype (String.length body) body
           in
           http_write_all fd resp 0 (String.length resp)
         with _ -> ())
@@ -633,7 +814,7 @@ let serve_metrics_http t sock =
       (match Unix.select [ sock ] [] [] 0.25 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
-        match Unix.accept sock with
+        match Unix.accept ~cloexec:true sock with
         | exception Unix.Unix_error _ -> ()
         | fd, _ -> handle fd)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -669,7 +850,7 @@ let run t =
       (match Unix.select [ t.lsock ] [] [] 0.25 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
-        match Unix.accept t.lsock with
+        match Unix.accept ~cloexec:true t.lsock with
         | exception
             Unix.Unix_error
               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -699,6 +880,10 @@ let run t =
   (match t.cfg.telemetry.tel_metrics_addr with
   | Some (Proto.Unix_sock path) -> ( try Unix.unlink path with _ -> ())
   | _ -> ());
+  (* every in-flight request has finished (the drain condition above),
+     so this only retires idle workers — each publishes its cache on
+     EOF and exits cleanly *)
+  Option.iter Mcsup.close t.sup;
   locked t.session_mu (fun () -> Mcheck_api.Session.close t.session);
   Mctel.Accesslog.close t.access;
   Mcobs.logf Mcobs.Normal "mcheckd: drained, %d request(s) served"

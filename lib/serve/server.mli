@@ -36,6 +36,22 @@ val default_telemetry : telemetry
 (** tracing on, no access log, flight ring of 64 with a 250 ms
     threshold, no HTTP exposition *)
 
+type supervise = {
+  sv_workers : int;  (** pool size (a hot spare rides on top) *)
+  sv_mem_mb : int option;  (** per-worker RLIMIT_AS *)
+  sv_cpu_s : int option;  (** per-worker RLIMIT_CPU *)
+  sv_wall_ms : float option;  (** per-request wall deadline *)
+  sv_cache_dir : string option;
+      (** shared multi-writer cache directory (see {!Mcd_cache}) *)
+  sv_allow_chaos : bool;
+      (** let workers recognize [__chaos_*__] fault-injection buffer
+          names — campaigns only, never production *)
+}
+
+val default_supervise : supervise
+(** 2 workers, 1 GiB / 30 s limits, 30 s wall deadline, no shared
+    cache dir, chaos off *)
+
 type config = {
   addr : Proto.addr;
   api : Mcheck_api.config;
@@ -47,11 +63,20 @@ type config = {
           kept, but during a drain its connection is closed once the
           timeout fires *)
   telemetry : telemetry;
+  supervise : supervise option;
+      (** [Some _] dispatches every check into a {!Mcsup} pool of
+          worker processes: a poisoned unit can kill a worker (one
+          request pays one transparent retry) but never this daemon.
+          [None] keeps the historical in-process path. *)
+  max_inflight : int;
+      (** admission bound: past this many in-flight checks new ones
+          are shed with [R_overloaded] + Retry-After instead of
+          queueing without bound *)
 }
 
 val default_config : config
 (** unix socket ["mcheckd.sock"], incremental in-memory cache, 1 job,
-    {!default_telemetry} *)
+    {!default_telemetry}, in-process dispatch, [max_inflight = 64] *)
 
 type t
 
@@ -73,6 +98,10 @@ val initiate_drain : t -> unit
     another thread *)
 
 val draining : t -> bool
+
+val supervisor : t -> Mcsup.t option
+(** the worker pool in supervised mode — chaos campaigns pick their
+    kill victims here *)
 
 val stats_text : t -> string
 (** the [Stats S_text] reply: server counters plus

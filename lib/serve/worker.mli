@@ -1,0 +1,55 @@
+(** Worker — the serve tier's instantiation of {!Mcsup}.
+
+    [Mcsup] is protocol-agnostic; this module supplies the [Proto]
+    codec, the worker-process main loop, and the init-frame
+    configuration record the supervisor ships to each fresh worker.
+    The worker mirrors {!Server}'s response generation exactly —
+    [R_diag] frames rendered with {!Mcheck_api.render_diag}, then
+    [R_done]; strict-mode input failures as [R_done]; the fault
+    barrier as [R_error] — so the supervisor can forward its frames to
+    the client verbatim and stay byte-identical to in-process
+    dispatch. *)
+
+val env_key : string
+(** the environment gate ([MCSUP_WORKER]) that turns a re-exec of the
+    hosting binary into a worker *)
+
+type wconfig = {
+  wc_jobs : int;
+  wc_incremental : bool;
+  wc_strict : bool;
+  wc_fuel : int option;
+  wc_deadline_ms : float option;  (** per-unit engine deadline *)
+  wc_checkers : string list;
+  wc_metal_paths : string list;  (** workers re-load specs by path —
+                                     closures cannot cross [exec] *)
+  wc_cache_dir : string option;  (** shared multi-writer cache dir *)
+  wc_mem_mb : int option;  (** RLIMIT_AS, set by the worker at birth *)
+  wc_cpu_s : int option;  (** RLIMIT_CPU *)
+  wc_allow_chaos : bool;
+      (** recognize [__chaos_*__] buffer names as fault injections
+          (spin / oom / stack / exit / kill / sleep); a production
+          worker treats them as ordinary file names *)
+}
+
+val default_wconfig : wconfig
+(** jobs 1, incremental, non-strict, no budget, no limits, no chaos *)
+
+val codec : Mcsup.codec
+(** [Proto] framing: [R_diag] is [More], every other response is
+    [Final], an undecodable payload is [Garbage] *)
+
+val pool_config :
+  ?name:string -> size:int -> wall_ms:float option -> wconfig -> Mcsup.config
+(** a ready {!Mcsup.config}: [Proto] codec, {!env_key}, the encoded
+    init frame for [wconfig] *)
+
+val encode_init : wconfig -> string
+(** the init-frame payload (shipped to a fresh worker as its first
+    frame); [pool_config] calls this — exposed for [retire_all ~init]
+    config swaps *)
+
+val exit_if_worker : unit -> unit
+(** the hosting binary's first statement: when the environment gate is
+    set, run the worker main loop on fd 0 and [exit] — never returns
+    in a worker process, a no-op otherwise *)

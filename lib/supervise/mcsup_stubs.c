@@ -1,0 +1,38 @@
+/* mcsup_stubs.c — setrlimit bindings for worker processes.
+ *
+ * The OCaml Unix library exposes no setrlimit, and workers must cap
+ * their own address space and CPU time before touching request data:
+ * RLIMIT_AS turns a runaway allocation into Out_of_memory (caught and
+ * reported) or a clean death the supervisor classifies; RLIMIT_CPU
+ * turns an unbounded spin into SIGXCPU / SIGKILL instead of a wedged
+ * core the deadline has to sweep up.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <sys/resource.h>
+
+/* Cap the address space at [mb] MiB (soft = hard). Returns whether
+ * setrlimit succeeded; callers treat failure as advisory — the wall
+ * deadline still backstops the request. */
+CAMLprim value mcsup_set_rlimit_as(value mb)
+{
+  CAMLparam1(mb);
+  struct rlimit rl;
+  rlim_t bytes = (rlim_t) Long_val(mb) * 1024 * 1024;
+  rl.rlim_cur = bytes;
+  rl.rlim_max = bytes;
+  CAMLreturn(Val_bool(setrlimit(RLIMIT_AS, &rl) == 0));
+}
+
+/* Cap CPU time at [s] seconds soft / [s]+2 hard: the kernel sends
+ * SIGXCPU at the soft limit and SIGKILL at the hard one, so even a
+ * handler that ignores SIGXCPU dies two seconds later. */
+CAMLprim value mcsup_set_rlimit_cpu(value s)
+{
+  CAMLparam1(s);
+  struct rlimit rl;
+  rl.rlim_cur = (rlim_t) Long_val(s);
+  rl.rlim_max = (rlim_t) Long_val(s) + 2;
+  CAMLreturn(Val_bool(setrlimit(RLIMIT_CPU, &rl) == 0));
+}

@@ -100,6 +100,22 @@ module Metrics = struct
       (fun () -> M_hist (make_hist ()))
       (function M_hist h -> Some h | _ -> None)
 
+  (* One series of a labeled family.  The registry key carries the
+     rendered label pair (["name{key=\"value\"}"]); exposition groups
+     HELP/TYPE lines under the family (base) name so Prometheus sees
+     one family with several series. *)
+  let series_name name (k, v) = Printf.sprintf "%s{%s=%S}" name k v
+
+  let counter_labeled ?(help = "") name ~label =
+    register (series_name name label) help
+      (fun () -> M_counter (Atomic.make 0))
+      (function M_counter c -> Some c | _ -> None)
+
+  let base_of name =
+    match String.index_opt name '{' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+
   let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
   let counter_value c = Atomic.get c
   let set g v = Atomic.set g v
@@ -142,18 +158,27 @@ module Metrics = struct
 
   let to_prometheus () =
     let b = Buffer.create 1024 in
+    let last_base = ref "" in
     List.iter
       (fun (name, help, m) ->
-        if help <> "" then Printf.bprintf b "# HELP %s %s\n" name help;
+        let base = base_of name in
+        let head kind =
+          if !last_base <> base then begin
+            if help <> "" then Printf.bprintf b "# HELP %s %s\n" base help;
+            Printf.bprintf b "# TYPE %s %s\n" base kind;
+            last_base := base
+          end
+        in
         match m with
         | M_counter c ->
-          Printf.bprintf b "# TYPE %s counter\n%s %d\n" name name
-            (Atomic.get c)
+          head "counter";
+          Printf.bprintf b "%s %d\n" name (Atomic.get c)
         | M_gauge g ->
-          Printf.bprintf b "# TYPE %s gauge\n%s %d\n" name name (Atomic.get g)
+          head "gauge";
+          Printf.bprintf b "%s %d\n" name (Atomic.get g)
         | M_hist h ->
           let s = hist_snapshot h in
-          Printf.bprintf b "# TYPE %s histogram\n" name;
+          head "histogram";
           let cum = ref 0 in
           Array.iteri
             (fun i n ->

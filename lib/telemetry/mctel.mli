@@ -51,6 +51,13 @@ module Metrics : sig
   val hist : ?help:string -> string -> hist
   (** log-scale latency histogram over {!Mcobs.hist_bounds_ms} (ms) *)
 
+  val counter_labeled : ?help:string -> string -> label:string * string -> counter
+  (** one series of a labeled counter family:
+      [counter_labeled "kills_total" ~label:("sig", "term")] registers
+      the series [kills_total{sig="term"}].  Exposition emits HELP/TYPE
+      once per family (the name before ['{']) so Prometheus scrapes the
+      series as one family *)
+
   val inc : ?by:int -> counter -> unit
   val counter_value : counter -> int
 

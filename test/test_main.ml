@@ -1,6 +1,9 @@
 (** Aggregated test runner: [dune runtest]. *)
 
 let () =
+  (* supervised-worker tests re-exec this binary; serve the socketpair
+     instead of running the suite again *)
+  Serve.Worker.exit_if_worker ();
   Alcotest.run "metal-flash"
     [
       Test_lexer.suite;

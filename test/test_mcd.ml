@@ -236,6 +236,55 @@ let incremental_tests =
             Alcotest.(check int) "empty" 0
               (Mcd_cache.size (Mcd_cache.load file))));
     QCheck_alcotest.to_alcotest prop_invalidation_is_exact;
+    t "multi-writer directory: publish, merge, corruption tolerated" `Quick
+      (fun () ->
+        let _, cache, _, _, _ = Lazy.force incr_base in
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "mcd-dir-%d" (Unix.getpid ()))
+        in
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+              (Sys.readdir dir);
+            try Unix.rmdir dir with _ -> ())
+          (fun () ->
+            (* two writers with disjoint extra entries publish segments *)
+            let w1 = Mcd_cache.copy cache and w2 = Mcd_cache.create () in
+            Mcd_cache.add w2 "only-in-w2" [| [] |];
+            let seg1 =
+              match Mcd_cache.publish_dir w1 dir with
+              | Ok p -> p
+              | Error e -> Alcotest.failf "publish w1: %s" e
+            in
+            (match Mcd_cache.publish_dir w2 dir with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "publish w2: %s" e);
+            (* an identical re-publish deduplicates to the same segment *)
+            (match Mcd_cache.publish_dir w1 dir with
+            | Ok p -> Alcotest.(check string) "dedup" seg1 p
+            | Error e -> Alcotest.failf "re-publish: %s" e);
+            (* a corrupt segment must be skipped, not fatal *)
+            let oc = open_out (Filename.concat dir "seg-dead.mc") in
+            output_string oc "garbage segment";
+            close_out oc;
+            let merged = Mcd_cache.load_dir dir in
+            Alcotest.(check int)
+              "all writers' entries merged"
+              (Mcd_cache.size w1 + Mcd_cache.size w2)
+              (Mcd_cache.size merged);
+            Alcotest.(check bool) "w2's entry present" true
+              (Mcd_cache.find merged "only-in-w2" <> None);
+            (* in-memory merge folds the other writer's entries in *)
+            Mcd_cache.merge ~into:w1 w2;
+            Alcotest.(check bool) "merge picked up the entry" true
+              (Mcd_cache.find w1 "only-in-w2" <> None);
+            (* a missing directory is cold data, never an error *)
+            Alcotest.(check int) "missing dir loads empty" 0
+              (Mcd_cache.size (Mcd_cache.load_dir "/no/such/dir"))));
   ]
 
 let suite =

@@ -82,6 +82,9 @@ let gen_response =
             Proto.R_done { rd_exit = e; rd_findings = f; rd_diags = d })
           (int_bound 3) small_nat small_nat;
         map (fun s -> Proto.R_text s) gen_bytes;
+        map
+          (fun ms -> Proto.R_overloaded { ro_retry_after_ms = ms })
+          small_nat;
         return Proto.R_ok;
         map (fun s -> Proto.R_error s) gen_bytes;
       ])
@@ -136,6 +139,35 @@ let write_all fd s =
 
 let framing_cases =
   [
+    t "split_frame: prefixes want more, whole frames split exactly" `Quick
+      (fun () ->
+        let f = Proto.frame "hello" in
+        let buf = Bytes.of_string f in
+        for len = 0 to String.length f - 1 do
+          match Proto.split_frame buf 0 len with
+          | `Need -> ()
+          | `Frame _ -> Alcotest.failf "prefix %d split a frame" len
+          | `Bad msg -> Alcotest.failf "prefix %d rejected: %s" len msg
+        done;
+        (match Proto.split_frame buf 0 (String.length f) with
+        | `Frame (p, used) ->
+          Alcotest.(check string) "payload" "hello" p;
+          Alcotest.(check int) "consumed" (String.length f) used
+        | _ -> Alcotest.fail "whole frame not split");
+        (* back-to-back frames parse from the running offset *)
+        let both = Bytes.of_string (f ^ Proto.frame "") in
+        (match Proto.split_frame both 0 (Bytes.length both) with
+        | `Frame (_, used) -> (
+          match Proto.split_frame both used (Bytes.length both - used) with
+          | `Frame (p2, used2) ->
+            Alcotest.(check string) "second payload" "" p2;
+            Alcotest.(check int)
+              "fully consumed" (Bytes.length both) (used + used2)
+          | _ -> Alcotest.fail "second frame not split")
+        | _ -> Alcotest.fail "first frame not split");
+        match Proto.split_frame (Bytes.make 16 'X') 0 16 with
+        | `Bad _ -> ()
+        | _ -> Alcotest.fail "bad magic accepted");
     t "frame carries its exact length big-endian" `Quick (fun () ->
         let payload = "hello \x00 frame" in
         let f = Proto.frame payload in
@@ -215,7 +247,7 @@ let with_daemon ?config f =
 
 let with_client addr f =
   match Client.connect addr with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Client.err_to_string e)
   | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
 let plain = Proto.default_opts
@@ -270,7 +302,8 @@ let read_file path =
 let expect_checked = function
   | Ok (Client.Checked r) -> r
   | Ok (Client.Refused msg) -> Alcotest.failf "refused: %s" msg
-  | Error msg -> Alcotest.fail msg
+  | Ok (Client.Overloaded ms) -> Alcotest.failf "overloaded: %dms" ms
+  | Error e -> Alcotest.fail (Client.err_to_string e)
 
 let daemon_cases =
   [
@@ -279,7 +312,7 @@ let daemon_cases =
             with_client (Oracle.addr d) (fun c ->
                 (match Client.ping c with
                 | Ok () -> ()
-                | Error e -> Alcotest.fail e);
+                | Error e -> Alcotest.fail (Client.err_to_string e));
                 let r =
                   expect_checked
                     (Client.check_buffer c plain ~name:"b.c"
@@ -295,7 +328,7 @@ let daemon_cases =
                 | Ok s ->
                   Alcotest.(check bool) "stats mention requests" true
                     (String.length s > 0)
-                | Error e -> Alcotest.fail e)));
+                | Error e -> Alcotest.fail (Client.err_to_string e))));
     t "daemon output byte-identical to the CLI path" `Quick (fun () ->
         (* corpus files on disk, like the real CLI differential in CI *)
         let dir =
@@ -383,7 +416,8 @@ let daemon_cases =
                         ~contents:buggy_src
                     with
                     | Ok (Client.Checked _) -> Atomic.incr completed
-                    | Ok (Client.Refused _) -> Atomic.incr refused
+                    | Ok (Client.Refused _) | Ok (Client.Overloaded _) ->
+                      Atomic.incr refused
                     | Error _ -> Atomic.incr lost)
             in
             let threads = List.init n (fun i -> Thread.create worker i) in
@@ -399,11 +433,11 @@ let daemon_cases =
         with_client (Oracle.addr d) (fun c ->
             (match Client.drain c with
             | Ok () -> ()
-            | Error e -> Alcotest.fail e);
+            | Error e -> Alcotest.fail (Client.err_to_string e));
             match
               Client.check_buffer c plain ~name:"b.c" ~contents:buggy_src
             with
-            | Ok (Client.Refused _) -> ()
+            | Ok (Client.Refused _) | Ok (Client.Overloaded _) -> ()
             | Ok (Client.Checked _) ->
               Alcotest.fail "check accepted during drain"
             | Error _ ->
@@ -437,7 +471,7 @@ let daemon_cases =
             with_client (Oracle.addr d) (fun c ->
                 match Client.ping c with
                 | Ok () -> ()
-                | Error e -> Alcotest.fail e)));
+                | Error e -> Alcotest.fail (Client.err_to_string e))));
     t "reload swaps the session without dropping service" `Quick (fun () ->
         with_daemon (fun d ->
             with_client (Oracle.addr d) (fun c ->
@@ -448,7 +482,7 @@ let daemon_cases =
                 in
                 (match Client.reload c with
                 | Ok () -> ()
-                | Error e -> Alcotest.fail e);
+                | Error e -> Alcotest.fail (Client.err_to_string e));
                 let after =
                   expect_checked
                     (Client.check_buffer c plain ~name:"b.c"
@@ -483,7 +517,7 @@ let daemon_cases =
             with_client (Oracle.addr d) (fun c ->
                 match Client.ping c with
                 | Ok () -> ()
-                | Error e -> Alcotest.fail e)));
+                | Error e -> Alcotest.fail (Client.err_to_string e))));
     t "serve oracle: daemon = CLI on generated programs" `Quick (fun () ->
         with_daemon (fun d ->
             List.iter
@@ -494,6 +528,293 @@ let daemon_cases =
                 | f :: _ ->
                   Alcotest.failf "seed %d: %s" seed f.Fuzz_oracle.f_detail)
               [ 1; 2; 3 ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervised dispatch: worker pool, retry, overload, drain            *)
+(* ------------------------------------------------------------------ *)
+
+let sup_sock_seq = Atomic.make 0
+
+(* a daemon whose checks run in supervised worker processes; chaos
+   units are only honoured when [allow_chaos] asks for them *)
+let with_sup_daemon ?(allow_chaos = false) ?(max_inflight = 64)
+    ?(wall_ms = 10_000.) f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcsup-test-%d-%d.sock" (Unix.getpid ())
+         (Atomic.fetch_and_add sup_sock_seq 1))
+  in
+  let addr = Proto.Unix_sock path in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      Serve.Server.addr;
+      idle_timeout = 2.0;
+      max_inflight;
+      supervise =
+        Some
+          {
+            Serve.Server.default_supervise with
+            Serve.Server.sv_wall_ms = Some wall_ms;
+            sv_allow_chaos = allow_chaos;
+          };
+    }
+  in
+  match Serve.Server.create cfg with
+  | Error msg -> Alcotest.fail msg
+  | Ok srv ->
+    let th = Thread.create Serve.Server.run srv in
+    let rec wait n =
+      if n = 0 then Alcotest.fail "supervised daemon did not answer pings"
+      else
+        match Client.connect addr with
+        | Error _ ->
+          Thread.delay 0.05;
+          wait (n - 1)
+        | Ok c -> (
+          let r = Client.ping c in
+          Client.close c;
+          match r with
+          | Ok () -> ()
+          | Error _ ->
+            Thread.delay 0.05;
+            wait (n - 1))
+    in
+    wait 100;
+    Fun.protect
+      ~finally:(fun () ->
+        (match Client.connect addr with
+        | Ok c ->
+          ignore (Client.drain c);
+          Client.close c
+        | Error _ -> Serve.Server.initiate_drain srv);
+        (try Thread.join th with _ -> ());
+        try Unix.unlink path with _ -> ())
+      (fun () -> f srv addr)
+
+let retries_now () =
+  Mctel.Metrics.counter_value (Mctel.Metrics.counter "mcsup_retries_total")
+
+let supervised_cases =
+  [
+    t "supervised serve oracle: daemon = CLI on generated programs" `Quick
+      (fun () ->
+        let d = Oracle.start ~supervised:true () in
+        Fun.protect
+          ~finally:(fun () -> try Oracle.stop d with _ -> ())
+          (fun () ->
+            List.iter
+              (fun seed ->
+                let p = Fuzz_gen.generate ~seed () in
+                match Oracle.check d p with
+                | [] -> ()
+                | f :: _ ->
+                  Alcotest.failf "seed %d: %s" seed f.Fuzz_oracle.f_detail)
+              [ 1; 2 ]));
+    t "worker killed mid-request: one transparent retry, same answer" `Quick
+      (fun () ->
+        with_sup_daemon ~allow_chaos:true (fun srv addr ->
+            let retries0 = retries_now () in
+            let result = ref None in
+            let th =
+              Thread.create
+                (fun () ->
+                  with_client addr (fun c ->
+                      result :=
+                        Some
+                          (Client.check_buffer c plain
+                             ~name:"__chaos_sleep_500__b.c"
+                             ~contents:buggy_src)))
+                ()
+            in
+            let pool =
+              match Serve.Server.supervisor srv with
+              | Some p -> p
+              | None -> Alcotest.fail "no worker pool"
+            in
+            let rec busy n =
+              if n = 0 then Alcotest.fail "no busy worker to kill"
+              else
+                match Mcsup.busy_pids pool with
+                | pid :: _ -> pid
+                | [] ->
+                  Thread.delay 0.05;
+                  busy (n - 1)
+            in
+            ignore (Mcsup.kill_pid pool (busy 40));
+            Thread.join th;
+            (match !result with
+            | Some (Ok (Client.Checked r)) ->
+              Alcotest.(check int) "same verdict after the kill" 1
+                r.Client.cr_exit
+            | Some (Ok (Client.Refused msg)) -> Alcotest.failf "refused: %s" msg
+            | Some (Ok (Client.Overloaded ms)) ->
+              Alcotest.failf "overloaded: %dms" ms
+            | Some (Error e) -> Alcotest.fail (Client.err_to_string e)
+            | None -> Alcotest.fail "no result");
+            Alcotest.(check bool) "a transparent retry happened" true
+              (retries_now () > retries0)));
+    t "queue full: R_overloaded with nothing partial written" `Quick
+      (fun () ->
+        with_sup_daemon ~allow_chaos:true ~max_inflight:1 (fun _ addr ->
+            let blocker =
+              Thread.create
+                (fun () ->
+                  with_client addr (fun c ->
+                      ignore
+                        (Client.check_buffer c plain
+                           ~name:"__chaos_sleep_600__b.c" ~contents:buggy_src)))
+                ()
+            in
+            Thread.delay 0.15;
+            let shed = ref 0 in
+            for _ = 1 to 4 do
+              with_client addr (fun c ->
+                  let frames = ref 0 in
+                  match
+                    Client.check_buffer
+                      ~on_diag:(fun _ -> incr frames)
+                      c plain ~name:"b.c" ~contents:buggy_src
+                  with
+                  | Ok (Client.Overloaded ms) ->
+                    incr shed;
+                    Alcotest.(check bool) "positive retry-after" true (ms > 0);
+                    Alcotest.(check int) "no partial frames" 0 !frames
+                  | Ok (Client.Checked _) -> ()
+                  | Ok (Client.Refused msg) -> Alcotest.failf "refused: %s" msg
+                  | Error e -> Alcotest.fail (Client.err_to_string e))
+            done;
+            Thread.join blocker;
+            Alcotest.(check bool) "at least one request shed" true (!shed > 0)));
+    t "worker death answered with a structured error, daemon survives" `Quick
+      (fun () ->
+        with_sup_daemon ~allow_chaos:true (fun _ addr ->
+            with_client addr (fun c ->
+                match
+                  Client.check_buffer c plain ~name:"__chaos_exit__"
+                    ~contents:"int x;"
+                with
+                | Ok (Client.Refused msg) ->
+                  Alcotest.(check bool) "names the worker failure" true
+                    (contains_sub msg "worker")
+                | Ok _ -> Alcotest.fail "expected a structured refusal"
+                | Error e -> Alcotest.fail (Client.err_to_string e));
+            with_client addr (fun c ->
+                let r =
+                  expect_checked
+                    (Client.check_buffer c plain ~name:"b.c"
+                       ~contents:buggy_src)
+                in
+                Alcotest.(check int) "daemon recovered on a fresh worker" 1
+                  r.Client.cr_exit)));
+    t "supervised drain under load: zero admitted responses lost" `Quick
+      (fun () ->
+        with_sup_daemon (fun srv addr ->
+            let n = 6 in
+            let completed = Atomic.make 0
+            and refused = Atomic.make 0
+            and lost = Atomic.make 0 in
+            let worker _ =
+              match Client.connect addr with
+              | Error _ -> Atomic.incr refused
+              | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    match
+                      Client.check_buffer c plain ~name:"b.c"
+                        ~contents:buggy_src
+                    with
+                    | Ok (Client.Checked _) -> Atomic.incr completed
+                    | Ok (Client.Refused _) | Ok (Client.Overloaded _) ->
+                      Atomic.incr refused
+                    | Error _ -> Atomic.incr lost)
+            in
+            let threads = List.init n (fun i -> Thread.create worker i) in
+            Thread.delay 0.05;
+            Serve.Server.initiate_drain srv;
+            List.iter Thread.join threads;
+            Alcotest.(check int) "lost" 0 (Atomic.get lost);
+            Alcotest.(check int)
+              "every request accounted" n
+              (Atomic.get completed + Atomic.get refused)));
+    t "client errors: a refused connection is not a timeout" `Quick (fun () ->
+        (match
+           Client.connect (Proto.Unix_sock "/tmp/mcsup-no-such-daemon.sock")
+         with
+        | Error { Client.e_kind = Client.E_refused; _ } -> ()
+        | Error e ->
+          Alcotest.failf "expected refused: %s" (Client.err_to_string e)
+        | Ok _ -> Alcotest.fail "connected to nothing");
+        (* a listener that accepts but never answers: the read deadline
+           must classify as timeout, not refusal *)
+        let path =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "mcsup-mute-%d.sock" (Unix.getpid ()))
+        in
+        (try Unix.unlink path with _ -> ());
+        let l = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind l (Unix.ADDR_UNIX path);
+        Unix.listen l 1;
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close l with _ -> ());
+            try Unix.unlink path with _ -> ())
+          (fun () ->
+            match Client.connect ~read_timeout:0.2 (Proto.Unix_sock path) with
+            | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.ping c with
+                  | Error { Client.e_kind = Client.E_timeout; _ } -> ()
+                  | Error e ->
+                    Alcotest.failf "expected timeout: %s"
+                      (Client.err_to_string e)
+                  | Ok () -> Alcotest.fail "mute daemon answered")
+            | Error e ->
+              Alcotest.failf "connect to mute listener: %s"
+                (Client.err_to_string e)));
+    t "circuit breaker: opens, fast-fails, half-open probe re-opens" `Quick
+      (fun () ->
+        Client.breaker_reset ();
+        Client.set_breaker ~threshold:2 ~cooldown_ms:200 ();
+        let dead = Proto.Unix_sock "/tmp/mcsup-dead-daemon.sock" in
+        Fun.protect
+          ~finally:(fun () ->
+            Client.set_breaker ~threshold:5 ~cooldown_ms:2000 ();
+            Client.breaker_reset ())
+          (fun () ->
+            Alcotest.(check bool)
+              "starts closed" true
+              (Client.breaker_state dead = `Closed);
+            let attempt () =
+              Client.with_retry ~attempts:1 ~base_backoff_ms:1 dead Client.ping
+            in
+            ignore (attempt ());
+            ignore (attempt ());
+            Alcotest.(check bool)
+              "open after threshold" true
+              (Client.breaker_state dead = `Open);
+            (match attempt () with
+            | Error { Client.e_kind = Client.E_refused; e_msg } ->
+              Alcotest.(check bool) "fast-fail names the breaker" true
+                (contains_sub e_msg "circuit open")
+            | Error e ->
+              Alcotest.failf "expected fast-fail: %s" (Client.err_to_string e)
+            | Ok () -> Alcotest.fail "dead daemon answered");
+            Thread.delay 0.25;
+            (* cooldown elapsed: the half-open probe runs, fails against
+               the still-dead endpoint, and re-opens the breaker *)
+            (match attempt () with
+            | Error _ -> ()
+            | Ok () -> Alcotest.fail "dead daemon answered the probe");
+            Alcotest.(check bool)
+              "probe failure re-opens" true
+              (Client.breaker_state dead = `Open)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -514,9 +835,9 @@ let telemetry_cases =
                 | Ok s ->
                   Alcotest.(check bool) "text mentions requests" true
                     (contains_sub s "requests")
-                | Error e -> Alcotest.fail e);
+                | Error e -> Alcotest.fail (Client.err_to_string e));
                 match Client.stats_json c with
-                | Error e -> Alcotest.fail e
+                | Error e -> Alcotest.fail (Client.err_to_string e)
                 | Ok j ->
                   Alcotest.(check bool) "one object" true
                     (String.length j > 2 && j.[0] = '{');
@@ -542,7 +863,7 @@ let telemetry_cases =
                 let scrape () =
                   match Client.metrics c Proto.M_prom with
                   | Ok m -> m
-                  | Error e -> Alcotest.fail e
+                  | Error e -> Alcotest.fail (Client.err_to_string e)
                 in
                 let m1 = scrape () in
                 List.iter
@@ -571,7 +892,7 @@ let telemetry_cases =
                 Alcotest.(check bool) "requests counter is monotone" true
                   (v m2 >= v m1 +. 1.0);
                 match Client.metrics c Proto.M_json with
-                | Error e -> Alcotest.fail e
+                | Error e -> Alcotest.fail (Client.err_to_string e)
                 | Ok j ->
                   Alcotest.(check bool) "json carries the latency hist" true
                     (contains_sub j "mcheckd_request_ms");
@@ -606,7 +927,8 @@ let telemetry_cases =
                         ~contents:buggy_src
                     with
                     | Ok (Client.Checked _) -> Atomic.incr completed
-                    | Ok (Client.Refused _) -> Atomic.incr refused
+                    | Ok (Client.Refused _) | Ok (Client.Overloaded _) ->
+                      Atomic.incr refused
                     | Error _ -> Atomic.incr lost)
             in
             let threads = List.init n (fun i -> Thread.create worker i) in
@@ -656,12 +978,12 @@ let telemetry_cases =
                        Client.check_buffer c plain ~name:"b.c"
                          ~contents:buggy_src
                      with
-                    | Error e -> Alcotest.fail e
+                    | Error e -> Alcotest.fail (Client.err_to_string e)
                     | Ok _ -> ());
                     (* same-connection fetch: the entry is committed
                        before the daemon reads this request's frame *)
                     (match Client.flight c with
-                    | Error e -> Alcotest.fail e
+                    | Error e -> Alcotest.fail (Client.err_to_string e)
                     | Ok dump ->
                       Alcotest.(check bool) "dump shows the partial outcome"
                         true
@@ -693,7 +1015,7 @@ let telemetry_cases =
                         { plain with Proto.co_trace = trace }
                         ~name:"b.c" ~contents:buggy_src));
                 (match Client.flight c with
-                | Error e -> Alcotest.fail e
+                | Error e -> Alcotest.fail (Client.err_to_string e)
                 | Ok dump ->
                   Alcotest.(check bool) "dump carries the minted trace" true
                     (contains_sub dump trace));
@@ -781,4 +1103,5 @@ let suite =
         prop_decode_total;
         prop_trailing_garbage_rejected;
       ]
-    @ framing_cases @ daemon_cases @ telemetry_cases @ dogfood_cases )
+    @ framing_cases @ daemon_cases @ supervised_cases @ telemetry_cases
+    @ dogfood_cases )
